@@ -1,0 +1,78 @@
+//! Error type for the algorithm library.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the algorithm library's simulator-side helpers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum AlgorithmError {
+    /// Leader election was attempted on a non-prime labeled graph: two
+    /// nodes share the same depth-∞ view, so no anonymous algorithm can
+    /// separate them (the paper's Section 1.3 discussion).
+    NotPrime {
+        /// Two nodes with identical views.
+        duplicate_views: (usize, usize),
+    },
+    /// An input labeling that was required to be a (k-hop) coloring is not.
+    NotAColoring {
+        /// The required coloring radius.
+        hops: usize,
+    },
+    /// The underlying views machinery failed.
+    Views(anonet_views::ViewError),
+    /// The underlying runtime failed.
+    Runtime(anonet_runtime::RuntimeError),
+}
+
+impl fmt::Display for AlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgorithmError::NotPrime { duplicate_views: (u, v) } => {
+                write!(
+                    f,
+                    "graph is not prime: nodes {u} and {v} have identical views, so leader election is impossible"
+                )
+            }
+            AlgorithmError::NotAColoring { hops } => {
+                write!(f, "input labeling is not a {hops}-hop coloring")
+            }
+            AlgorithmError::Views(e) => write!(f, "views error: {e}"),
+            AlgorithmError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl Error for AlgorithmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AlgorithmError::Views(e) => Some(e),
+            AlgorithmError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<anonet_views::ViewError> for AlgorithmError {
+    fn from(e: anonet_views::ViewError) -> Self {
+        AlgorithmError::Views(e)
+    }
+}
+
+impl From<anonet_runtime::RuntimeError> for AlgorithmError {
+    fn from(e: anonet_runtime::RuntimeError) -> Self {
+        AlgorithmError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = AlgorithmError::NotPrime { duplicate_views: (0, 3) };
+        assert!(e.to_string().contains('0') && e.to_string().contains('3'));
+        assert!(AlgorithmError::NotAColoring { hops: 2 }.to_string().contains("2-hop"));
+    }
+}

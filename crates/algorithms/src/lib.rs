@@ -1,0 +1,49 @@
+//! # anonet-algorithms
+//!
+//! Anonymous distributed algorithms for the `anonet` workspace:
+//!
+//! * **Las-Vegas randomized algorithms** — witnesses that their problems
+//!   lie in GRAN (paper, Section 1.1):
+//!   [`TwoHopColoring`](two_hop_coloring::TwoHopColoring) (the generic
+//!   preprocessing stage of Theorem 1),
+//!   [`RandomizedMis`](mis::RandomizedMis), and
+//!   [`RandomizedColoring`](coloring::RandomizedColoring);
+//! * **deterministic counterparts** that consume a coloring —
+//!   [`DeterministicMis`](det_mis::DeterministicMis) and
+//!   [`DeterministicColoring`](det_coloring::DeterministicColoring) —
+//!   illustrating the paper's thesis that a 2-hop coloring is all the
+//!   symmetry breaking randomness ever buys;
+//! * **leader election** ([`leader`]) via canonical views, with the prime /
+//!   non-prime dichotomy that explains why leader election is *not* in
+//!   GRAN;
+//! * **distributed verifiers** ([`verify`]) — the decision-problem side of
+//!   genuine solvability;
+//! * **problem specifications** ([`problems`]) implementing
+//!   [`Problem`](anonet_runtime::Problem) for each of the above.
+//!
+//! All randomized and deterministic solvers are *port-oblivious*
+//! ([`ObliviousAlgorithm`](anonet_runtime::ObliviousAlgorithm)), the class
+//! the derandomization machinery of `anonet-core` accepts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod det_coloring;
+pub mod det_mis;
+pub mod det_two_hop_reduction;
+pub mod emulation;
+mod error;
+pub mod leader;
+pub mod local_election;
+pub mod matching;
+pub mod monte_carlo;
+pub mod mis;
+pub mod problems;
+pub mod two_hop_coloring;
+pub mod verify;
+
+pub use error::AlgorithmError;
+
+/// Convenient alias for results with [`AlgorithmError`].
+pub type Result<T> = std::result::Result<T, AlgorithmError>;

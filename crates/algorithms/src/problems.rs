@@ -1,0 +1,135 @@
+//! Problem specifications — the `Π`s this workspace solves and
+//! derandomizes, as [`Problem`] implementations.
+//!
+//! All three labeling problems below accept **every** connected labeled
+//! graph as an instance, so their decision problems `Δ_Π` are trivially
+//! solvable and each problem is genuinely solvable (GRAN) as witnessed by
+//! the Las-Vegas solvers in this crate.
+
+use anonet_graph::{coloring, BitString, LabeledGraph};
+use anonet_runtime::Problem;
+
+/// Maximal independent set: outputs are `bool` (membership); valid iff the
+/// chosen set is independent and maximal.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MisProblem;
+
+impl Problem for MisProblem {
+    type Input = ();
+    type Output = bool;
+
+    fn is_instance(&self, _instance: &LabeledGraph<()>) -> bool {
+        true
+    }
+
+    fn is_valid_output(&self, instance: &LabeledGraph<()>, output: &[bool]) -> bool {
+        let g = instance.graph();
+        if output.len() != g.node_count() {
+            return false;
+        }
+        // Independence.
+        for e in g.edges() {
+            if output[e.u.index()] && output[e.v.index()] {
+                return false;
+            }
+        }
+        // Maximality.
+        for v in g.nodes() {
+            if !output[v.index()] && !g.neighbors(v).iter().any(|u| output[u.index()]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Greedy proper coloring: outputs are `u32` colors; valid iff adjacent
+/// nodes differ **and** every node's color is at most its degree (the
+/// greedy bound, so at most `Δ + 1` colors are used overall).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyColoringProblem;
+
+impl Problem for GreedyColoringProblem {
+    type Input = ();
+    type Output = u32;
+
+    fn is_instance(&self, _instance: &LabeledGraph<()>) -> bool {
+        true
+    }
+
+    fn is_valid_output(&self, instance: &LabeledGraph<()>, output: &[u32]) -> bool {
+        let g = instance.graph();
+        if output.len() != g.node_count() {
+            return false;
+        }
+        for e in g.edges() {
+            if output[e.u.index()] == output[e.v.index()] {
+                return false;
+            }
+        }
+        g.nodes().all(|v| (output[v.index()] as usize) <= g.degree(v))
+    }
+}
+
+/// 2-hop coloring: outputs are [`BitString`] colors; valid iff nodes at
+/// distance at most 2 receive distinct colors — the paper's central
+/// problem, whose Las-Vegas solvability powers Theorem 1's decomposition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwoHopColoringProblem;
+
+impl Problem for TwoHopColoringProblem {
+    type Input = ();
+    type Output = BitString;
+
+    fn is_instance(&self, _instance: &LabeledGraph<()>) -> bool {
+        true
+    }
+
+    fn is_valid_output(&self, instance: &LabeledGraph<()>, output: &[BitString]) -> bool {
+        if output.len() != instance.node_count() {
+            return false;
+        }
+        let Ok(colored) = instance.graph().with_labels(output.to_vec()) else {
+            return false;
+        };
+        coloring::is_two_hop_coloring(&colored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::generators;
+
+    #[test]
+    fn mis_problem_validity() {
+        let net = generators::cycle(4).unwrap().with_uniform_label(());
+        assert!(MisProblem.is_instance(&net));
+        assert!(MisProblem.is_valid_output(&net, &[true, false, true, false]));
+        assert!(!MisProblem.is_valid_output(&net, &[true, true, false, false]));
+        assert!(!MisProblem.is_valid_output(&net, &[false, false, false, false]));
+        assert!(!MisProblem.is_valid_output(&net, &[true, false])); // wrong length
+    }
+
+    #[test]
+    fn greedy_coloring_validity() {
+        let net = generators::path(3).unwrap().with_uniform_label(());
+        assert!(GreedyColoringProblem.is_valid_output(&net, &[0, 1, 0]));
+        assert!(!GreedyColoringProblem.is_valid_output(&net, &[0, 0, 1])); // improper
+        // Color 2 > degree 1 of an endpoint: violates the greedy bound.
+        assert!(!GreedyColoringProblem.is_valid_output(&net, &[2, 1, 0]));
+    }
+
+    #[test]
+    fn two_hop_problem_validity() {
+        let net = generators::cycle(6).unwrap().with_uniform_label(());
+        let colors = |vals: &[u64]| -> Vec<BitString> {
+            vals.iter().map(|&v| BitString::from_value(v, 4)).collect()
+        };
+        assert!(TwoHopColoringProblem
+            .is_valid_output(&net, &colors(&[1, 2, 3, 1, 2, 3])));
+        // Distance-2 clash: nodes 0 and 2.
+        assert!(!TwoHopColoringProblem
+            .is_valid_output(&net, &colors(&[1, 2, 1, 3, 2, 3])));
+    }
+}

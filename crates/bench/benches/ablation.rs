@@ -1,0 +1,63 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * exhaustive-minimal vs seeded-replay canonical-simulation search;
+//! * portless vs port-aware refinement;
+//! * explicit vs folded view construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anonet_algorithms::mis::RandomizedMis;
+use anonet_core::{Derandomizer, SearchStrategy};
+use anonet_graph::{generators, NodeId};
+use anonet_views::{FoldedView, Refinement, ViewMode, ViewTree};
+
+fn colored_lift_instance(m: usize) -> anonet_graph::LabeledGraph<((), u32)> {
+    let l = anonet_graph::lift::cyclic_cycle_lift(3, m).expect("valid");
+    l.lift_labels(&[((), 1u32), ((), 2), ((), 3)]).expect("labels fit")
+}
+
+fn bench_search_strategies(c: &mut Criterion) {
+    let inst = colored_lift_instance(4);
+    let mut group = c.benchmark_group("ablation/search_strategy");
+    for (name, strategy) in [
+        ("exhaustive", SearchStrategy::Exhaustive { max_total_bits: 24 }),
+        ("seeded", SearchStrategy::Seeded { max_attempts: 64 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
+            let d = Derandomizer::new(RandomizedMis::new()).with_strategy(s);
+            b.iter(|| d.run(&inst).expect("derandomization completes"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_refinement_modes(c: &mut Criterion) {
+    let g = generators::grid(8, 8, false).expect("valid").with_uniform_label(0u32);
+    let mut group = c.benchmark_group("ablation/refinement_mode");
+    for (name, mode) in [("portless", ViewMode::Portless), ("port_aware", ViewMode::PortAware)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &m| {
+            b.iter(|| Refinement::compute(&g, m));
+        });
+    }
+    group.finish();
+}
+
+fn bench_view_representations(c: &mut Criterion) {
+    let g = generators::cycle(12)
+        .expect("valid")
+        .with_labels((0..12).map(|i| (i % 3) as u32).collect())
+        .expect("valid");
+    let mut group = c.benchmark_group("ablation/view_representation");
+    for depth in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("explicit", depth), &depth, |b, &d| {
+            b.iter(|| ViewTree::build(&g, NodeId::new(0), d).expect("fits"));
+        });
+        group.bench_with_input(BenchmarkId::new("folded", depth), &depth, |b, &d| {
+            b.iter(|| FoldedView::build(&g, NodeId::new(0), d).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_strategies, bench_refinement_modes, bench_view_representations);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Benchmarks for the GRAN member algorithms (E11's timing side):
+//! randomized MIS / coloring and their deterministic-given-coloring
+//! counterparts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anonet_algorithms::coloring::RandomizedColoring;
+use anonet_algorithms::det_mis::DeterministicMis;
+use anonet_algorithms::mis::RandomizedMis;
+use anonet_graph::{coloring, generators};
+use anonet_runtime::{run, ExecConfig, Oblivious, RngSource, ZeroSource};
+
+fn bench_randomized_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis/randomized_cycle");
+    for n in [16usize, 64, 256] {
+        let net = generators::cycle(n).expect("valid").with_uniform_label(());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run(
+                    &Oblivious(RandomizedMis::new()),
+                    net,
+                    &mut RngSource::seeded(seed),
+                    &ExecConfig::default(),
+                )
+                .expect("MIS completes")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_deterministic_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis/deterministic_given_coloring");
+    for n in [16usize, 64, 256] {
+        let g = generators::cycle(n).expect("valid");
+        let colored = coloring::greedy_two_hop_coloring(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &colored, |b, net| {
+            b.iter(|| {
+                run(
+                    &Oblivious(DeterministicMis::<u32>::new()),
+                    net,
+                    &mut ZeroSource,
+                    &ExecConfig::default(),
+                )
+                .expect("deterministic MIS completes")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_randomized_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring/randomized");
+    for (name, g) in [
+        ("cycle-32", generators::cycle(32).expect("valid")),
+        ("grid-5x5", generators::grid(5, 5, false).expect("valid")),
+    ] {
+        let net = g.with_uniform_label(());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &net, |b, net| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run(
+                    &Oblivious(RandomizedColoring::new()),
+                    net,
+                    &mut RngSource::seeded(seed),
+                    &ExecConfig::default(),
+                )
+                .expect("coloring completes")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_randomized_mis, bench_deterministic_mis, bench_randomized_coloring);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks for the factor machinery: prime-factor extraction and
+//! factorizing-map validation (Figure 2 at scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use anonet_factor::prime::prime_factor;
+use anonet_factor::FactorizingMap;
+use anonet_graph::{coloring, generators, lift};
+use anonet_views::ViewMode;
+
+fn bench_prime_factor_of_lifts(c: &mut Criterion) {
+    let base = generators::petersen();
+    let colored = coloring::greedy_two_hop_coloring(&base);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut group = c.benchmark_group("prime_factor/petersen_lift");
+    for m in [2usize, 4, 8] {
+        let l = lift::random_connected_lift(&base, m, 300, &mut rng).expect("liftable");
+        let product = l.lift_labels(colored.labels()).expect("labels fit");
+        group.bench_with_input(BenchmarkId::from_parameter(m), &product, |b, p| {
+            b.iter(|| prime_factor(p, ViewMode::Portless).expect("2-hop colored"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_validation(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let base = generators::cycle(30).expect("valid");
+    let colored = coloring::greedy_two_hop_coloring(&base);
+    let l = lift::random_connected_lift(&base, 4, 300, &mut rng).expect("liftable");
+    let product = l.lift_labels(colored.labels()).expect("labels fit");
+    let images: Vec<usize> = l.projection().iter().map(|v| v.index()).collect();
+    c.bench_function("factorizing_map/validate_c30x4", |b| {
+        b.iter(|| FactorizingMap::new(&product, &colored, images.clone()).expect("valid map"));
+    });
+}
+
+criterion_group!(benches, bench_prime_factor_of_lifts, bench_map_validation);
+criterion_main!(benches);

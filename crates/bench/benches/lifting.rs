@@ -1,0 +1,45 @@
+//! Benchmarks for execution lifting (E8's timing side): the cost of a
+//! verified lift grows with the product size, not the factor size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use anonet_algorithms::mis::RandomizedMis;
+use anonet_factor::lifting::run_lifted_oblivious;
+use anonet_factor::FactorizingMap;
+use anonet_graph::{generators, BitString};
+use anonet_runtime::{BitAssignment, ExecConfig};
+
+fn bench_verified_lift(c: &mut Criterion) {
+    let base = generators::cycle(3).expect("valid").with_uniform_label(());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let tapes: Vec<BitString> =
+        (0..3).map(|_| (0..30).map(|_| rng.gen::<bool>()).collect()).collect();
+    let assignment = BitAssignment::new(tapes);
+
+    let mut group = c.benchmark_group("lifting/verified_mis_c3_lift");
+    for m in [2usize, 8, 32] {
+        let l = anonet_graph::lift::cyclic_cycle_lift(3, m).expect("valid");
+        let product = l.lift_labels(&[(), (), ()]).expect("labels fit");
+        let images: Vec<usize> = l.projection().iter().map(|v| v.index()).collect();
+        let map = FactorizingMap::new(&product, &base, images).expect("valid map");
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                run_lifted_oblivious(
+                    &RandomizedMis::new(),
+                    &product,
+                    &base,
+                    &map,
+                    &assignment,
+                    &ExecConfig::default(),
+                )
+                .expect("lift agrees")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verified_lift);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmarks for the Theorem-1 pipeline (E4's timing side): the full
+//! two-stage run and the deterministic stage alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anonet_algorithms::mis::RandomizedMis;
+use anonet_core::pipeline::run_pipeline;
+use anonet_core::{Derandomizer, SearchStrategy};
+use anonet_graph::generators;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/mis_cycle");
+    for n in [8usize, 16, 32] {
+        let net = generators::cycle(n).expect("valid").with_uniform_label(());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_pipeline(&RandomizedMis::new(), net, seed, SearchStrategy::default())
+                    .expect("pipeline completes")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_deterministic_stage_on_lifts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derandomizer/mis_c3_lift");
+    for m in [2usize, 8, 32] {
+        let l = anonet_graph::lift::cyclic_cycle_lift(3, m).expect("valid");
+        let inst = l
+            .lift_labels(&[((), 1u32), ((), 2), ((), 3)])
+            .expect("labels fit");
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            let d = Derandomizer::new(RandomizedMis::new());
+            b.iter(|| d.run(inst).expect("derandomization completes"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_deterministic_stage_on_lifts);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benchmarks for the Las-Vegas 2-hop coloring stage (E10's timing side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anonet_algorithms::two_hop_coloring::TwoHopColoring;
+use anonet_graph::generators;
+use anonet_runtime::{run, ExecConfig, Oblivious, RngSource};
+
+fn bench_two_hop_on_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_hop_coloring/cycle");
+    for n in [8usize, 32, 128] {
+        let net = generators::cycle(n).expect("valid").with_uniform_label(());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run(
+                    &Oblivious(TwoHopColoring::new()),
+                    net,
+                    &mut RngSource::seeded(seed),
+                    &ExecConfig::default(),
+                )
+                .expect("coloring completes")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_hop_on_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_hop_coloring/dense");
+    for (name, g) in [
+        ("petersen", generators::petersen()),
+        ("torus4x4", generators::grid(4, 4, true).expect("valid")),
+        ("hypercube4", generators::hypercube(4).expect("valid")),
+    ] {
+        let net = g.with_uniform_label(());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &net, |b, net| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run(
+                    &Oblivious(TwoHopColoring::new()),
+                    net,
+                    &mut RngSource::seeded(seed),
+                    &ExecConfig::default(),
+                )
+                .expect("coloring completes")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_hop_on_cycles, bench_two_hop_on_dense);
+criterion_main!(benches);

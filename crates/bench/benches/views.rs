@@ -1,0 +1,48 @@
+//! Benchmarks for the views machinery: explicit view trees (Figure 1) and
+//! refinement / quotient computation (the Norris pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anonet_graph::{generators, NodeId};
+use anonet_views::{quotient, Refinement, ViewMode, ViewTree};
+
+fn colored_cycle(n: usize) -> anonet_graph::LabeledGraph<u32> {
+    let labels: Vec<u32> = (0..n).map(|i| (i % 3) as u32 + 1).collect();
+    generators::cycle(n).expect("valid").with_labels(labels).expect("valid")
+}
+
+fn bench_view_tree_depth(c: &mut Criterion) {
+    let g = colored_cycle(6);
+    let mut group = c.benchmark_group("view_tree/build_c6");
+    for depth in [4usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| ViewTree::build(&g, NodeId::new(0), d).expect("fits budget"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_refinement_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement/uniform_path");
+    for n in [32usize, 128, 512] {
+        let g = generators::path(n).expect("valid").with_uniform_label(0u32);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| Refinement::compute(g, ViewMode::Portless));
+        });
+    }
+    group.finish();
+}
+
+fn bench_quotient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quotient/colored_cycle");
+    for n in [12usize, 48, 192] {
+        let g = colored_cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| quotient(g, ViewMode::Portless).expect("2-hop colored"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_view_tree_depth, bench_refinement_size, bench_quotient);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E9 — the faithful `A_*` versus the practical derandomizer on the
+//! instances where both are feasible. Both are deterministic anonymous
+//! solutions of `Π^c`; they need not pick byte-identical outputs (`A_*`
+//! extends its tape prefix-by-prefix, `A_∞` minimizes globally), but both
+//! must be **valid** and both must be **constant on view classes**.
+
+use anonet_algorithms::mis::RandomizedMis;
+use anonet_algorithms::problems::MisProblem;
+use anonet_core::astar::{run_astar, AStarConfig};
+use anonet_core::{Derandomizer, SearchStrategy};
+use anonet_runtime::Problem;
+use anonet_views::{quotient, ViewMode};
+
+use crate::experiments::{common::tick, thm1_faithful::tiny_instances, ExpResult};
+use crate::Table;
+
+/// Row: `(instance, A_* valid, exhaustive-derandomizer valid,
+/// seeded-derandomizer valid, A_* == exhaustive, class-constant)`.
+#[allow(clippy::type_complexity)]
+pub fn rows() -> ExpResult<Vec<(String, bool, bool, bool, bool, bool)>> {
+    let mut out = Vec::new();
+    for (name, inst) in tiny_instances() {
+        let plain = inst.map_labels(|_| ());
+
+        let astar = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default())?;
+        let exhaustive = Derandomizer::new(RandomizedMis::new())
+            .with_strategy(SearchStrategy::Exhaustive { max_total_bits: 24 })
+            .run(&inst)?;
+        let seeded = Derandomizer::new(RandomizedMis::new())
+            .with_strategy(SearchStrategy::Seeded { max_attempts: 64 })
+            .run(&inst)?;
+
+        let v1 = MisProblem.is_valid_output(&plain, &astar.outputs);
+        let v2 = MisProblem.is_valid_output(&plain, &exhaustive.outputs);
+        let v3 = MisProblem.is_valid_output(&plain, &seeded.outputs);
+        let equal = astar.outputs == exhaustive.outputs;
+
+        // All three must be constant on view classes.
+        let q = quotient(&inst, ViewMode::Portless)?;
+        let class_constant = [&astar.outputs, &exhaustive.outputs, &seeded.outputs]
+            .iter()
+            .all(|outs| {
+                inst.graph().nodes().all(|u| {
+                    inst.graph()
+                        .nodes()
+                        .all(|v| q.project(u) != q.project(v) || outs[u.index()] == outs[v.index()])
+                })
+            });
+
+        out.push((name, v1, v2, v3, equal, class_constant));
+    }
+    Ok(out)
+}
+
+/// Renders the E9 report.
+///
+/// # Errors
+///
+/// Propagates derandomization errors.
+pub fn report() -> ExpResult<String> {
+    let mut t = Table::new(
+        "E9 — faithful A* vs practical derandomizer (MIS)",
+        &["instance", "A* valid", "exhaustive valid", "seeded valid", "A* == exhaustive", "class-constant"],
+    );
+    for (name, v1, v2, v3, eq, cc) in rows()? {
+        t.row(vec![name, tick(v1), tick(v2), tick(v3), tick(eq), tick(cc)]);
+    }
+    Ok(t.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paths_are_valid_and_class_constant() {
+        for (name, v1, v2, v3, _eq, cc) in rows().unwrap() {
+            assert!(v1 && v2 && v3, "{name}: some path invalid");
+            assert!(cc, "{name}: outputs vary within a view class");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report().unwrap();
+        assert!(r.contains("derandomizer"));
+    }
+}

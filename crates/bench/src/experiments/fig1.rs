@@ -1,0 +1,99 @@
+//! E1 — Figure 1: the depth-3 local view of `u₀` in the colored `C₆`,
+//! plus a view-size sweep (the quantitative reason the paper needs the
+//! refinement/Norris detour: explicit views grow exponentially).
+
+use anonet_graph::{generators, LabeledGraph, NodeId};
+use anonet_views::ViewTree;
+
+use crate::experiments::ExpResult;
+use crate::Table;
+
+/// The paper's Figure-1 instance: C6 colored 1, 2, 3, 1, 2, 3.
+pub fn figure1_instance() -> LabeledGraph<u32> {
+    generators::cycle(6)
+        .expect("C6 is valid")
+        .with_labels(vec![1, 2, 3, 1, 2, 3])
+        .expect("six labels")
+}
+
+/// The depth-3 view of node `u₀` — the tree drawn in Figure 1.
+///
+/// # Errors
+///
+/// Propagates view-construction errors (none at this size).
+pub fn figure1_view() -> ExpResult<ViewTree<u32>> {
+    Ok(ViewTree::build(&figure1_instance(), NodeId::new(0), 3)?)
+}
+
+/// View-size sweep rows: `(graph, depth, vertices)`.
+///
+/// # Errors
+///
+/// Propagates view-construction errors.
+pub fn size_sweep() -> ExpResult<Vec<(String, usize, usize)>> {
+    let mut rows = Vec::new();
+    let c6 = figure1_instance();
+    for d in 1..=10 {
+        rows.push(("C6 (colored)".to_string(), d, ViewTree::build(&c6, NodeId::new(0), d)?.size()));
+    }
+    let pet = generators::petersen().with_degree_labels();
+    for d in 1..=8 {
+        rows.push(("Petersen".to_string(), d, ViewTree::build(&pet, NodeId::new(0), d)?.size()));
+    }
+    Ok(rows)
+}
+
+/// Renders the E1 report.
+///
+/// # Errors
+///
+/// Propagates view-construction errors.
+pub fn report() -> ExpResult<String> {
+    let view = figure1_view()?;
+    let mut out = String::new();
+    out.push_str("## E1 / Figure 1 — depth-3 local view of u0 in the colored C6\n\n");
+    out.push_str(&view.render());
+    out.push_str(&format!(
+        "\nvertices: {}, depth: {} (paper draws the same 7-vertex tree)\n\n",
+        view.size(),
+        view.depth()
+    ));
+
+    let mut t = Table::new("E1 — explicit view size vs depth (2^d growth)", &["graph", "depth", "vertices"]);
+    for (g, d, s) in size_sweep()? {
+        t.row(vec![g, d.to_string(), s.to_string()]);
+    }
+    out.push_str(&t.to_string());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_tree_matches_paper() {
+        let v = figure1_view().unwrap();
+        assert_eq!(v.size(), 7);
+        assert_eq!(v.depth(), 3);
+        assert_eq!(*v.mark(), 1);
+    }
+
+    #[test]
+    fn sweep_grows_exponentially_on_cycles() {
+        let rows = size_sweep().unwrap();
+        let c6: Vec<usize> =
+            rows.iter().filter(|(g, _, _)| g.starts_with("C6")).map(|&(_, _, s)| s).collect();
+        // 2^d - 1 on a cycle.
+        assert_eq!(c6[0], 1);
+        assert_eq!(c6[3], 15);
+        assert_eq!(c6[9], 1023);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report().unwrap();
+        assert!(r.contains("Figure 1"));
+        assert!(r.contains("vertices"));
+    }
+}

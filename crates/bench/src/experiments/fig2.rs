@@ -1,0 +1,127 @@
+//! E2 — Figure 2: the factorization tower `C12 ⪰ C6 ⪰ C3`, the quotient
+//! construction recovering the prime factor, and a lift-multiplicity
+//! sweep (`|V| / |V_*| = m`).
+
+use anonet_factor::prime::prime_factor;
+use anonet_factor::FactorizingMap;
+use anonet_graph::{coloring, generators, iso, lift};
+use anonet_views::ViewMode;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::experiments::{common::tick, ExpResult, Family};
+use crate::Table;
+
+/// Rows of the Figure-2 tower table:
+/// `(n, quotient size, multiplicity, quotient ≅ C3, explicit map valid)`.
+///
+/// # Errors
+///
+/// Propagates factor/views errors (none expected — that is the theorem).
+#[allow(clippy::type_complexity)]
+pub fn tower_rows() -> ExpResult<Vec<(usize, usize, usize, bool, bool)>> {
+    let tower = Family::figure2_tower();
+    let (_, c3) = &tower[0];
+    let mut rows = Vec::new();
+    for (n, g) in &tower {
+        let p = prime_factor(g, ViewMode::Portless)?;
+        let is_c3 = iso::are_isomorphic(p.graph(), c3);
+        // The hand-written factorizing map of Figure 2 must also validate.
+        let images: Vec<usize> = (0..*n).map(|i| i % 3).collect();
+        let explicit_ok = FactorizingMap::new(g, c3, images).is_ok();
+        rows.push((*n, p.graph().node_count(), p.map().multiplicity(), is_c3, explicit_ok));
+    }
+    Ok(rows)
+}
+
+/// Lift-multiplicity sweep: random connected `m`-lifts of a 2-hop colored
+/// base; rows `(base, m, lift nodes, quotient nodes, quotient ≅ base)`.
+///
+/// # Errors
+///
+/// Propagates lift/quotient errors.
+#[allow(clippy::type_complexity)]
+pub fn lift_sweep(seed: u64) -> ExpResult<Vec<(String, usize, usize, usize, bool)>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for (name, base) in [
+        ("C5", generators::cycle(5)?),
+        ("Petersen", generators::petersen()),
+        ("K4", generators::complete(4)?),
+    ] {
+        let colored = coloring::greedy_two_hop_coloring(&base);
+        for m in [2usize, 3, 4] {
+            let l = lift::random_connected_lift(&base, m, 200, &mut rng)?;
+            let product = l.lift_labels(colored.labels())?;
+            let p = prime_factor(&product, ViewMode::Portless)?;
+            let recovered = iso::are_isomorphic(p.graph(), &colored);
+            rows.push((
+                name.to_string(),
+                m,
+                product.node_count(),
+                p.graph().node_count(),
+                recovered,
+            ));
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the E2 report.
+///
+/// # Errors
+///
+/// Propagates factor/lift errors.
+pub fn report() -> ExpResult<String> {
+    let mut t = Table::new(
+        "E2 / Figure 2 — the C12 ⪰ C6 ⪰ C3 tower",
+        &["graph", "|V|", "|V*|", "multiplicity", "quotient ≅ C3", "explicit map valid"],
+    );
+    for (n, q, m, is_c3, ok) in tower_rows()? {
+        t.row(vec![
+            format!("C{n} (colored)"),
+            n.to_string(),
+            q.to_string(),
+            m.to_string(),
+            tick(is_c3),
+            tick(ok),
+        ]);
+    }
+    let mut t2 = Table::new(
+        "E2 — random m-lifts: the quotient recovers the base (|V| = m·|V*|)",
+        &["base", "m", "lift |V|", "|V*|", "quotient ≅ base"],
+    );
+    for (name, m, nv, q, rec) in lift_sweep(7)? {
+        t2.row(vec![name, m.to_string(), nv.to_string(), q.to_string(), tick(rec)]);
+    }
+    Ok(format!("{t}\n{t2}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tower_collapses_to_c3() {
+        for (n, q, m, is_c3, ok) in tower_rows().unwrap() {
+            assert_eq!(q, 3);
+            assert_eq!(m, n / 3);
+            assert!(is_c3 && ok, "failure at n = {n}");
+        }
+    }
+
+    #[test]
+    fn lifts_recover_bases() {
+        for (name, m, nv, q, rec) in lift_sweep(3).unwrap() {
+            assert!(rec, "{name} m={m} not recovered");
+            assert_eq!(nv, m * q);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report().unwrap();
+        assert!(r.contains("Figure 2"));
+        assert!(!r.contains("NO"));
+    }
+}

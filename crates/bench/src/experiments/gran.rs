@@ -1,0 +1,169 @@
+//! E11 — GRAN membership in action (randomized MIS and coloring with
+//! distributed verification) and the problem that is *not* in GRAN:
+//! leader election, with the prime / non-prime dichotomy.
+
+use anonet_algorithms::coloring::RandomizedColoring;
+use anonet_algorithms::matching::{MatchingProblem, RandomizedMatching};
+use anonet_algorithms::leader::{elect_leader, leader_election_solvable};
+use anonet_algorithms::mis::RandomizedMis;
+use anonet_algorithms::verify::{accepted, MisVerifier};
+use anonet_graph::generators;
+use anonet_runtime::{run, ExecConfig, Oblivious, Problem, RngSource, ZeroSource};
+
+use crate::experiments::{common::tick, ExpResult, Family};
+use crate::Table;
+
+/// GRAN-members table: `(family, n, MIS rounds, MIS verified, coloring
+/// rounds, coloring palette)`.
+#[allow(clippy::type_complexity)]
+pub fn member_rows(seed: u64) -> ExpResult<Vec<(String, usize, usize, bool, usize, usize)>> {
+    let mut out = Vec::new();
+    for f in Family::standard(seed) {
+        let net = f.graph.with_uniform_label(());
+
+        let mis = run(
+            &Oblivious(RandomizedMis::new()),
+            &net,
+            &mut RngSource::seeded(seed),
+            &ExecConfig::default(),
+        )?;
+        // Distributed verification — the decision side of GRAN.
+        let membership = f.graph.with_labels(mis.outputs_unwrapped())?;
+        let verdicts =
+            run(&Oblivious(MisVerifier), &membership, &mut ZeroSource, &ExecConfig::default())?;
+        let verified = accepted(&verdicts.outputs_unwrapped());
+
+        let col = run(
+            &Oblivious(RandomizedColoring::new()),
+            &net,
+            &mut RngSource::seeded(seed),
+            &ExecConfig::default(),
+        )?;
+        let palette = f.graph.with_labels(col.outputs_unwrapped())?.distinct_label_count();
+
+        out.push((f.name.to_string(), net.node_count(), mis.rounds(), verified, col.rounds(), palette));
+    }
+    Ok(out)
+}
+
+/// Matching rows: `(family, n, rounds, matched nodes, valid)`.
+#[allow(clippy::type_complexity)]
+pub fn matching_rows(seed: u64) -> ExpResult<Vec<(String, usize, usize, usize, bool)>> {
+    let mut out = Vec::new();
+    for f in Family::standard(seed) {
+        let colored = anonet_graph::coloring::greedy_two_hop_coloring(&f.graph);
+        let exec = run(
+            &Oblivious(RandomizedMatching::<u32>::new()),
+            &colored,
+            &mut RngSource::seeded(seed),
+            &ExecConfig::default(),
+        )?;
+        let outputs = exec.outputs_unwrapped();
+        let valid = MatchingProblem.is_valid_output(&colored, &outputs);
+        let matched = outputs.iter().filter(|o| o.is_some()).count();
+        out.push((f.name.to_string(), colored.node_count(), exec.rounds(), matched, valid));
+    }
+    Ok(out)
+}
+
+/// Leader-election dichotomy table:
+/// `(instance, prime?, election outcome)`.
+pub fn leader_rows() -> ExpResult<Vec<(String, bool, String)>> {
+    let mut out = Vec::new();
+    let cases: Vec<(String, anonet_graph::LabeledGraph<u32>)> = vec![
+        (
+            "C5, all-distinct colors".into(),
+            generators::cycle(5)?.with_labels((0..5).collect())?,
+        ),
+        (
+            "P5 colored 1,2,3,1,2".into(),
+            generators::path(5)?.with_labels(vec![1, 2, 3, 1, 2])?,
+        ),
+        (
+            "C6 colored 1,2,3,1,2,3 (product!)".into(),
+            generators::cycle(6)?.with_labels(vec![1, 2, 3, 1, 2, 3])?,
+        ),
+        ("C4 uniform".into(), generators::cycle(4)?.with_uniform_label(0u32)),
+    ];
+    for (name, g) in cases {
+        let prime = leader_election_solvable(&g);
+        let outcome = match elect_leader(&g) {
+            Ok(o) => format!("leader = {}", o.leader),
+            Err(e) => format!("impossible: {e}"),
+        };
+        out.push((name, prime, outcome));
+    }
+    Ok(out)
+}
+
+/// Renders the E11 report.
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn report() -> ExpResult<String> {
+    let mut t = Table::new(
+        "E11a — GRAN members: Las-Vegas MIS (distributively verified) and coloring",
+        &["family", "n", "MIS rounds", "MIS verified", "coloring rounds", "palette"],
+    );
+    for (name, n, mr, ver, cr, pal) in member_rows(13)? {
+        t.row(vec![
+            name,
+            n.to_string(),
+            mr.to_string(),
+            tick(ver),
+            cr.to_string(),
+            pal.to_string(),
+        ]);
+    }
+    let mut t2 = Table::new(
+        "E11b — leader election: possible iff the colored graph is prime",
+        &["instance", "prime", "outcome"],
+    );
+    for (name, prime, outcome) in leader_rows()? {
+        t2.row(vec![name, tick(prime), outcome]);
+    }
+    let mut t3 = Table::new(
+        "E11c — Las-Vegas maximal matching (color-addressed proposals)",
+        &["family", "n", "rounds", "matched", "valid"],
+    );
+    for (name, n, rounds, matched, valid) in matching_rows(13)? {
+        t3.row(vec![name, n.to_string(), rounds.to_string(), matched.to_string(), tick(valid)]);
+    }
+    Ok(format!("{t}\n{t2}\n{t3}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gran_members_verify() {
+        for (name, _, _, verified, _, palette) in member_rows(21).unwrap() {
+            assert!(verified, "{name}: MIS failed distributed verification");
+            assert!(palette >= 2, "{name}: implausible palette");
+        }
+    }
+
+    #[test]
+    fn matching_rows_are_valid() {
+        for (name, _, _, _, valid) in matching_rows(19).unwrap() {
+            assert!(valid, "{name}: invalid matching");
+        }
+    }
+
+    #[test]
+    fn leader_dichotomy() {
+        let rows = leader_rows().unwrap();
+        assert!(rows[0].1 && rows[1].1, "prime cases must elect");
+        assert!(!rows[2].1 && !rows[3].1, "products must fail");
+        assert!(rows[2].2.contains("impossible"));
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report().unwrap();
+        assert!(r.contains("GRAN"));
+        assert!(r.contains("leader"));
+    }
+}

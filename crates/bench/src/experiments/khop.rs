@@ -1,0 +1,115 @@
+//! E12 — k-hop coloring for `k > 2` is **not** in GRAN (paper, Section
+//! 1.2): the lifting certificate.
+//!
+//! The uniform `C6` is a product of `C3`. Any Las-Vegas anonymous
+//! algorithm admits executions on `C6` obtained by lifting executions on
+//! `C3` — in such executions, antipodal nodes (one fiber, distance 3)
+//! behave identically and output **equal** colors. A 3-hop coloring of
+//! `C6` requires antipodal nodes to *differ*, so the algorithm fails with
+//! positive probability: not Las-Vegas. The experiment manufactures those
+//! lifted executions explicitly with our own 2-hop coloring algorithm as
+//! the test subject: every lifted run yields a valid **2-hop** coloring of
+//! `C6` (the problem *in* GRAN survives lifting) that is **never** a
+//! 3-hop coloring (the `k > 2` variant dies by this very argument).
+
+use anonet_algorithms::two_hop_coloring::TwoHopColoring;
+use anonet_factor::lifting::run_lifted_oblivious;
+use anonet_factor::FactorizingMap;
+use anonet_graph::{coloring, generators, BitString, LabeledGraph};
+use anonet_runtime::{BitAssignment, ExecConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::experiments::{common::tick, ExpResult};
+use crate::Table;
+
+/// One lifted execution: `(seed, completed, valid 2-hop, valid 3-hop,
+/// antipodal pairs equal)`.
+#[allow(clippy::type_complexity)]
+pub fn rows(trials: u64) -> ExpResult<Vec<(u64, bool, bool, bool, bool)>> {
+    let c3: LabeledGraph<()> = generators::cycle(3)?.with_uniform_label(());
+    let c6: LabeledGraph<()> = generators::cycle(6)?.with_uniform_label(());
+    let map = FactorizingMap::new(&c6, &c3, vec![0, 1, 2, 0, 1, 2])?;
+
+    let mut out = Vec::new();
+    for seed in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Long random tapes for the C3 execution; lifted to C6.
+        let tapes: Vec<BitString> =
+            (0..3).map(|_| (0..64).map(|_| rng.gen::<bool>()).collect()).collect();
+        let assignment = BitAssignment::new(tapes);
+        let pair = run_lifted_oblivious(
+            &TwoHopColoring::new(),
+            &c6,
+            &c3,
+            &map,
+            &assignment,
+            &ExecConfig::default(),
+        )?;
+        let completed = pair.product.is_successful();
+        let (two_hop, three_hop, antipodal_equal) = if completed {
+            let colors = pair.product.outputs_unwrapped();
+            let colored = c6.graph().with_labels(colors.clone())?;
+            (
+                coloring::is_two_hop_coloring(&colored),
+                coloring::is_k_hop_coloring(&colored, 3),
+                (0..3).all(|i| colors[i] == colors[i + 3]),
+            )
+        } else {
+            (false, false, false)
+        };
+        out.push((seed, completed, two_hop, three_hop, antipodal_equal));
+    }
+    Ok(out)
+}
+
+/// Renders the E12 report.
+///
+/// # Errors
+///
+/// Propagates lifting errors.
+pub fn report() -> ExpResult<String> {
+    let mut t = Table::new(
+        "E12 — k-hop coloring (k>2) ∉ GRAN: lifted executions on C6 (fiber = antipodal pairs)",
+        &["seed", "completed", "valid 2-hop", "valid 3-hop", "antipodes equal"],
+    );
+    let rows = rows(10)?;
+    for (seed, c, h2, h3, eq) in &rows {
+        t.row(vec![seed.to_string(), tick(*c), tick(*h2), tick(*h3), tick(*eq)]);
+    }
+    let completed = rows.iter().filter(|r| r.1).count();
+    let mut s = t.to_string();
+    s.push_str(&format!(
+        "\ncompleted lifted runs: {completed}/{}; every one is a valid 2-hop coloring and none is a 3-hop coloring — the lifting argument that excludes k-hop coloring (k > 2) from GRAN.\n",
+        rows.len()
+    ));
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifted_runs_separate_two_hop_from_three_hop() {
+        let rows = rows(8).unwrap();
+        let completed: Vec<_> = rows.iter().filter(|r| r.1).collect();
+        assert!(
+            completed.len() >= 6,
+            "too few completed lifted executions: {}/{}",
+            completed.len(),
+            rows.len()
+        );
+        for (seed, _, h2, h3, eq) in completed {
+            assert!(h2, "seed {seed}: lifted output is not a 2-hop coloring");
+            assert!(!h3, "seed {seed}: a lifted output was a 3-hop coloring (impossible)");
+            assert!(eq, "seed {seed}: antipodal outputs differ in a lifted execution");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report().unwrap();
+        assert!(r.contains("GRAN"));
+    }
+}

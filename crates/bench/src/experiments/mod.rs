@@ -1,0 +1,22 @@
+//! One module per experiment; see the crate docs for the index.
+
+pub mod agreement;
+mod common;
+pub mod distributed;
+pub mod fig1;
+pub mod fig2;
+pub mod gran;
+pub mod khop;
+pub mod lemmas;
+pub mod montecarlo;
+pub mod lifting;
+pub mod norris;
+pub mod thm1_faithful;
+pub mod thm1_pipeline;
+pub mod thm2;
+pub mod twohop;
+
+pub use common::Family;
+
+/// Convenience alias: experiments bubble any failure up as a boxed error.
+pub type ExpResult<T> = Result<T, Box<dyn std::error::Error>>;

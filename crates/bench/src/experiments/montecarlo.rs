@@ -1,0 +1,96 @@
+//! E14 — the Monte-Carlo / Las-Vegas gap (paper, Sections 1 and 1.3):
+//! leader election is impossible for Las-Vegas anonymous algorithms
+//! (E11b) yet easy for Monte-Carlo ones — at the price of undetectable
+//! failures. The table measures the empirical failure rate against the
+//! `n²/2^{b+1}` union bound as the identifier width `b` varies.
+
+use anonet_algorithms::monte_carlo::MonteCarloLeader;
+use anonet_graph::generators;
+use anonet_runtime::{run, ExecConfig, Oblivious, RngSource};
+
+use crate::experiments::ExpResult;
+use crate::table::f2;
+use crate::Table;
+
+/// One row: `(id_bits, trials, elections with exactly one leader,
+/// failure rate %, union bound %)`.
+#[allow(clippy::type_complexity)]
+pub fn rows(trials: u64) -> ExpResult<Vec<(usize, u64, u64, f64, f64)>> {
+    let g = generators::petersen();
+    let n = g.node_count() as f64;
+    let net = g.with_uniform_label(g.node_count());
+    let mut out = Vec::new();
+    for id_bits in [2usize, 4, 8, 16, 32] {
+        let mut unique = 0u64;
+        for seed in 0..trials {
+            let exec = run(
+                &Oblivious(MonteCarloLeader::new(id_bits)),
+                &net,
+                &mut RngSource::seeded(seed),
+                &ExecConfig::default(),
+            )?;
+            let leaders = exec.outputs_unwrapped().iter().filter(|&&b| b).count();
+            if leaders == 1 {
+                unique += 1;
+            }
+        }
+        let failure = 100.0 * (trials - unique) as f64 / trials as f64;
+        let bound = 100.0 * (n * n / 2f64.powi(id_bits as i32 + 1)).min(1.0);
+        out.push((id_bits, trials, unique, failure, bound));
+    }
+    Ok(out)
+}
+
+/// Renders the E14 report.
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn report() -> ExpResult<String> {
+    let mut t = Table::new(
+        "E14 — Monte-Carlo leader election on Petersen (n=10): failure rate vs id width",
+        &["id bits", "trials", "unique leader", "failure %", "union bound %"],
+    );
+    for (bits, trials, unique, failure, bound) in rows(60)? {
+        t.row(vec![
+            bits.to_string(),
+            trials.to_string(),
+            unique.to_string(),
+            f2(failure),
+            f2(bound),
+        ]);
+    }
+    let mut s = t.to_string();
+    s.push_str(
+        "\nfailures are undetectable by the nodes themselves — which is precisely why\n\
+         Monte-Carlo solvability of leader election does not place it in GRAN (the paper\n\
+         requires probability-1 validity), and why the Theorem-1 characterization is about\n\
+         Las-Vegas algorithms only.\n",
+    );
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_rate_decreases_with_id_width() {
+        let rows = rows(40).unwrap();
+        // Wide ids never fail in 40 trials; narrow ids fail at least once.
+        let narrow = rows.first().unwrap();
+        let wide = rows.last().unwrap();
+        assert!(narrow.3 > 0.0, "2-bit ids should fail somewhere in 40 trials");
+        assert_eq!(wide.3, 0.0, "32-bit ids should never fail in 40 trials");
+        // Rates are weakly decreasing in width.
+        for w in rows.windows(2) {
+            assert!(w[1].3 <= w[0].3 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report().unwrap();
+        assert!(r.contains("Monte-Carlo"));
+    }
+}

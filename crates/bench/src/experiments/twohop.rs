@@ -1,0 +1,133 @@
+//! E10 — the Las-Vegas 2-hop coloring stage measured: rounds to global
+//! completion, random bits consumed, and palette size, across families,
+//! sizes, and seeds. This is the entire randomness budget of the
+//! Theorem-1 pipeline.
+
+use anonet_algorithms::two_hop_coloring::TwoHopColoring;
+use anonet_graph::{coloring, generators, BitString, Graph};
+use anonet_runtime::{run, ExecConfig, Oblivious, RngSource};
+
+use crate::experiments::{common::tick, ExpResult, Family};
+use crate::Table;
+
+/// Aggregated measurements for one graph over several seeds.
+#[derive(Clone, Debug)]
+pub struct TwoHopRow {
+    /// Family / instance name.
+    pub name: String,
+    /// Nodes.
+    pub n: usize,
+    /// Max degree.
+    pub max_degree: usize,
+    /// Mean rounds over seeds.
+    pub mean_rounds: f64,
+    /// Mean random bits consumed.
+    pub mean_bits: f64,
+    /// Mean number of distinct colors used.
+    pub mean_colors: f64,
+    /// All runs produced valid 2-hop colorings.
+    pub all_valid: bool,
+}
+
+fn measure(name: &str, g: &Graph, seeds: u64) -> ExpResult<TwoHopRow> {
+    let net = g.with_uniform_label(());
+    let mut rounds = 0usize;
+    let mut bits = 0usize;
+    let mut colors = 0usize;
+    let mut all_valid = true;
+    for seed in 0..seeds {
+        let exec = run(
+            &Oblivious(TwoHopColoring::new()),
+            &net,
+            &mut RngSource::seeded(seed),
+            &ExecConfig::default(),
+        )?;
+        let outputs: Vec<BitString> = exec.outputs_unwrapped();
+        let colored = g.with_labels(outputs)?;
+        all_valid &= coloring::is_two_hop_coloring(&colored);
+        rounds += exec.rounds();
+        bits += exec.bits_consumed();
+        colors += colored.distinct_label_count();
+    }
+    let k = seeds as f64;
+    Ok(TwoHopRow {
+        name: name.to_string(),
+        n: g.node_count(),
+        max_degree: g.max_degree(),
+        mean_rounds: rounds as f64 / k,
+        mean_bits: bits as f64 / k,
+        mean_colors: colors as f64 / k,
+        all_valid,
+    })
+}
+
+/// Measurements over the standard families plus a cycle-size sweep.
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn rows(seeds: u64) -> ExpResult<Vec<TwoHopRow>> {
+    let mut out = Vec::new();
+    for f in Family::standard(3) {
+        out.push(measure(f.name, &f.graph, seeds)?);
+    }
+    for n in [8usize, 16, 32, 64] {
+        out.push(measure(&format!("cycle-{n}"), &generators::cycle(n)?, seeds)?);
+    }
+    for d in [2usize, 3, 4] {
+        out.push(measure(&format!("hypercube-{d}"), &generators::hypercube(d)?, seeds)?);
+    }
+    Ok(out)
+}
+
+/// Renders the E10 report.
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn report() -> ExpResult<String> {
+    let mut t = Table::new(
+        "E10 — Las-Vegas 2-hop coloring (5 seeds each)",
+        &["graph", "n", "Δ", "mean rounds", "mean bits", "mean colors", "always valid"],
+    );
+    for r in rows(5)? {
+        t.row(vec![
+            r.name,
+            r.n.to_string(),
+            r.max_degree.to_string(),
+            crate::table::f2(r.mean_rounds),
+            crate::table::f2(r.mean_bits),
+            crate::table::f2(r.mean_colors),
+            tick(r.all_valid),
+        ]);
+    }
+    Ok(t.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_valid_and_rounds_scale_gently() {
+        for r in rows(3).unwrap() {
+            assert!(r.all_valid, "{} produced an invalid coloring", r.name);
+            assert!(
+                r.mean_rounds < 120.0,
+                "{} took {} mean rounds",
+                r.name,
+                r.mean_rounds
+            );
+            // The palette can't beat the 2-hop clique bound (Δ + 1 colors
+            // are needed at minimum around a max-degree node).
+            assert!(r.mean_colors >= (r.max_degree + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report().unwrap();
+        assert!(r.contains("2-hop"));
+        assert!(!r.contains("NO"));
+    }
+}

@@ -1,0 +1,353 @@
+//! `A_*` — the paper's Figure 3, faithfully.
+//!
+//! The deterministic algorithm proving Theorem 1 proceeds in phases
+//! `p = 1, 2, …`; in phase `p` every node `v` independently runs:
+//!
+//! * **Update-Graph** — gather `L_p(v, I^p)` (the depth-`p` view of the
+//!   instance augmented with the evolving bitstring labels `b^p`), build
+//!   the set `𝓕` of *candidates* (graphs with ≤ `p` nodes, a matching
+//!   view, and a legal `Π^c` part — see [`crate::candidates`] for why the
+//!   enumeration over view labels is complete), and select the smallest
+//!   finite view graph `Ĝ_*` under the `(|V̂_*|, s(Ĝ_*))` order;
+//! * **Update-Output** — simulate `A_R` on `(V̂_*, Ê_*, î_*)` with the
+//!   tapes `b̂_*`; on success adopt `v̊`'s output;
+//! * **Update-Bits** — find the lexicographically smallest `p`-extension
+//!   of `b̂_*` inducing a successful simulation and extend `b(v)`
+//!   accordingly.
+//!
+//! Phase `p` of the real message-passing algorithm costs `p` rounds of
+//! communication (gathering the view); this driver computes each node's
+//! phase from its explicit [`ViewTree`] — every quantity is a function of
+//! the view, which is the model-theoretic requirement — and reports the
+//! equivalent round count. The candidate enumeration is doubly
+//! exponential by design (it is in the paper, too); the driver is meant
+//! for the small instances of experiments E3/E9, with the
+//! engineering-grade path provided by [`crate::derandomizer`].
+
+use anonet_graph::{distance, BitString, Label, LabeledGraph, NodeId};
+use anonet_runtime::{
+    run, BitAssignment, ExecConfig, Oblivious, ObliviousAlgorithm, Problem, TapeSource,
+};
+use anonet_views::{canonical_order, quotient, update_graph_cmp, ViewMode, ViewQuotient, ViewTree};
+
+use crate::candidates::candidate_pool;
+use crate::error::CoreError;
+use crate::Result;
+
+/// Budgets and knobs for [`run_astar`].
+#[derive(Clone, Copy, Debug)]
+pub struct AStarConfig {
+    /// Hard cap on phases (the paper's `z + 1` must fall below it).
+    pub max_phases: usize,
+    /// Cap on candidate node counts (the paper's C1 allows up to `p`;
+    /// enumeration beyond 4–5 nodes is infeasible). Must be at least the
+    /// instance's quotient size for convergence.
+    pub max_candidate_nodes: usize,
+    /// Cap on total extension bits searched per `Update-Bits` call.
+    pub max_extension_bits: usize,
+    /// Execution config for the quotient simulations.
+    pub sim_config: ExecConfig,
+}
+
+impl Default for AStarConfig {
+    fn default() -> Self {
+        AStarConfig {
+            max_phases: 12,
+            max_candidate_nodes: 4,
+            max_extension_bits: 18,
+            sim_config: ExecConfig::default(),
+        }
+    }
+}
+
+/// The outcome of running `A_*`.
+#[derive(Clone, Debug)]
+pub struct AStarRun<O> {
+    /// Per-node outputs.
+    pub outputs: Vec<O>,
+    /// The phase in which the last node output (the paper's `z + 1`).
+    pub phases_used: usize,
+    /// Communication rounds of the message-level realization
+    /// (`Σ_{p=1..phases} p`).
+    pub equivalent_rounds: usize,
+    /// Phase in which each node first output.
+    pub output_phase: Vec<usize>,
+    /// Final bitstring labels `b`.
+    pub final_bits: Vec<BitString>,
+}
+
+/// Runs the faithful `A_*` for problem `problem`, randomized solver
+/// `alg`, on the 2-hop colored instance `instance` (labels `(input,
+/// color)`).
+///
+/// # Errors
+///
+/// Budget errors ([`CoreError::PhaseBudgetExceeded`],
+/// [`CoreError::EnumerationTooLarge`],
+/// [`CoreError::SearchBudgetExceeded`]); view errors for oversized
+/// explicit views; [`CoreError::InconsistentOutput`] if two phases
+/// disagree on a node's output (impossible per Lemma 9 — a bug trap).
+pub fn run_astar<A, P, C>(
+    alg: &A,
+    problem: &P,
+    instance: &LabeledGraph<(A::Input, C)>,
+    cfg: &AStarConfig,
+) -> Result<AStarRun<A::Output>>
+where
+    A: ObliviousAlgorithm + Clone,
+    A::Input: Label,
+    P: Problem<Input = A::Input>,
+    C: Label,
+{
+    let g = instance.graph();
+    let n = g.node_count();
+    let mut bits: Vec<BitString> = vec![BitString::new(); n];
+    let mut outputs: Vec<Option<A::Output>> = vec![None; n];
+    let mut output_phase: Vec<usize> = vec![0; n];
+    let mut equivalent_rounds = 0usize;
+
+    for p in 1..=cfg.max_phases {
+        equivalent_rounds += p;
+        // I^p: the instance augmented with the current bitstring labels.
+        let full_labels: Vec<((A::Input, C), BitString)> = g
+            .nodes()
+            .map(|v| (instance.label(v).clone(), bits[v.index()].clone()))
+            .collect();
+        let ip = g.with_labels(full_labels)?;
+
+        // Candidate views are per-candidate, shared across nodes; node
+        // views are per-node. Both depend on the phase only.
+        let mut new_bits = bits.clone();
+        for v in g.nodes() {
+            let view_v = ViewTree::build(&ip, v, p)?.canonicalize().encoded();
+
+            // The label universe: marks occurring in L_p(v, I^p), i.e.
+            // labels within p-1 hops (complete for candidates ≤ p nodes).
+            let mut universe: Vec<((A::Input, C), BitString)> = distance::ball(g, v, p - 1)
+                .into_iter()
+                .map(|u| ip.label(u).clone())
+                .collect();
+            universe.sort();
+            universe.dedup();
+
+            // Update-Graph: scan the pool for candidates, select the
+            // minimal finite view graph.
+            let pool = candidate_pool(p.min(cfg.max_candidate_nodes), &universe)?;
+            // The selected candidate's finite view graph and v's node in it.
+            type Selected<I, C> = (ViewQuotient<((I, C), BitString)>, NodeId);
+            let mut selected: Option<Selected<A::Input, C>> = None;
+            for cand in &pool {
+                // C2: a node with the same depth-p view.
+                let mut v_hat = None;
+                for u in cand.graph().nodes() {
+                    let enc = ViewTree::build(cand, u, p)?.canonicalize().encoded();
+                    if enc == view_v {
+                        v_hat = Some(u);
+                        break;
+                    }
+                }
+                let Some(v_hat) = v_hat else { continue };
+                // C3: the (î, ĉ) part is an instance of Π^c.
+                let inputs_only = cand.map_labels(|((i, _c), _b)| i.clone());
+                if !problem.is_instance(&inputs_only) {
+                    continue;
+                }
+                let colors_only = cand.map_labels(|((_i, c), _b)| c.clone());
+                if !anonet_graph::coloring::is_two_hop_coloring(&colors_only) {
+                    continue;
+                }
+                // Finite view graph of the candidate.
+                let Ok(q) = quotient(cand, ViewMode::Portless) else { continue };
+                let better = match &selected {
+                    None => true,
+                    Some((best, _)) => {
+                        update_graph_cmp(q.graph(), best.graph(), ViewMode::Portless)?
+                            == std::cmp::Ordering::Less
+                    }
+                };
+                if better {
+                    let v_star = q.project(v_hat);
+                    selected = Some((q, v_star));
+                }
+            }
+            let Some((q, v_star)) = selected else { continue }; // skip phase p at v
+
+            let order = canonical_order(q.graph(), ViewMode::Portless)?;
+            let j = q.graph().map_labels(|((i, _c), _b)| i.clone());
+            let tapes: Vec<BitString> =
+                q.graph().labels().iter().map(|(_ic, b)| b.clone()).collect();
+            let assignment = BitAssignment::new(tapes);
+
+            // Update-Output: simulate with the candidate's tapes.
+            let mut src = TapeSource::new(assignment.clone());
+            let exec = run(&Oblivious(alg.clone()), &j, &mut src, &cfg.sim_config)?;
+            if exec.is_successful() {
+                let out = exec.output(v_star).expect("successful simulations output everywhere");
+                match &outputs[v.index()] {
+                    Some(existing) if existing != out => {
+                        return Err(CoreError::InconsistentOutput { node: v.index(), phase: p });
+                    }
+                    Some(_) => {}
+                    None => {
+                        outputs[v.index()] = Some(out.clone());
+                        output_phase[v.index()] = p;
+                    }
+                }
+            }
+
+            // Update-Bits: smallest p-extension inducing success.
+            if let Some(b_min) =
+                smallest_successful_extension(alg, &j, &assignment, p, &order, cfg)?
+            {
+                new_bits[v.index()] =
+                    b_min.tape(v_star).expect("extension covers the quotient").clone();
+            }
+        }
+        bits = new_bits;
+
+        if outputs.iter().all(Option::is_some) {
+            return Ok(AStarRun {
+                outputs: outputs.into_iter().map(|o| o.expect("just checked")).collect(),
+                phases_used: p,
+                equivalent_rounds,
+                output_phase,
+                final_bits: bits,
+            });
+        }
+    }
+    Err(CoreError::PhaseBudgetExceeded { phases: cfg.max_phases })
+}
+
+/// Enumerates the extensions of `base` in which every tape reaches length
+/// exactly `target` (the paper's *p-extensions*), in the canonical
+/// assignment order, returning the first that induces a successful
+/// simulation.
+fn smallest_successful_extension<A>(
+    alg: &A,
+    j: &LabeledGraph<A::Input>,
+    base: &BitAssignment,
+    target: usize,
+    order: &[NodeId],
+    cfg: &AStarConfig,
+) -> Result<Option<BitAssignment>>
+where
+    A: ObliviousAlgorithm + Clone,
+    A::Input: Label,
+{
+    let extras: Vec<usize> = order
+        .iter()
+        .map(|&v| target.saturating_sub(base.tape(v).map_or(0, BitString::len)))
+        .collect();
+    let total: usize = extras.iter().sum();
+    if total > cfg.max_extension_bits {
+        return Err(CoreError::SearchBudgetExceeded {
+            quotient_nodes: j.node_count(),
+            max_total_bits: cfg.max_extension_bits,
+        });
+    }
+    for code in 0u64..(1u64 << total) {
+        let mut tapes = base.tapes().to_vec();
+        let mut shift = total;
+        for (k, &v) in order.iter().enumerate() {
+            for _ in 0..extras[k] {
+                shift -= 1;
+                tapes[v.index()].push((code >> shift) & 1 == 1);
+            }
+        }
+        let assignment = BitAssignment::new(tapes);
+        let mut src = TapeSource::new(assignment.clone());
+        let exec = run(&Oblivious(alg.clone()), j, &mut src, &cfg.sim_config)?;
+        if exec.is_successful() {
+            return Ok(Some(assignment));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_algorithms::mis::RandomizedMis;
+    use anonet_algorithms::problems::MisProblem;
+    use anonet_graph::generators;
+
+    fn triangle_instance() -> LabeledGraph<((), u32)> {
+        generators::cycle(3)
+            .unwrap()
+            .with_labels(vec![((), 1u32), ((), 2), ((), 3)])
+            .unwrap()
+    }
+
+    #[test]
+    fn astar_solves_mis_on_the_colored_triangle() {
+        let inst = triangle_instance();
+        let run = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default())
+            .unwrap();
+        let plain = inst.map_labels(|_| ());
+        assert!(MisProblem.is_valid_output(&plain, &run.outputs), "outputs: {:?}", run.outputs);
+        assert!(run.phases_used <= 12);
+        assert!(run.equivalent_rounds >= run.phases_used);
+        // Everyone ends with the same tape length (the converged b').
+        let lens: Vec<usize> = run.final_bits.iter().map(BitString::len).collect();
+        assert!(lens.iter().all(|&l| l == lens[0] || l + 1 == lens[0] || l == lens[0] + 1));
+    }
+
+    #[test]
+    fn astar_is_deterministic() {
+        let inst = triangle_instance();
+        let a = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default())
+            .unwrap();
+        let b = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default())
+            .unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.phases_used, b.phases_used);
+        assert_eq!(a.final_bits, b.final_bits);
+    }
+
+    #[test]
+    fn astar_solves_mis_on_the_colored_path() {
+        // P2 with distinct colors: the smallest nontrivial instance.
+        let inst = generators::path(2)
+            .unwrap()
+            .with_labels(vec![((), 1u32), ((), 2)])
+            .unwrap();
+        let run = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default())
+            .unwrap();
+        let plain = inst.map_labels(|_| ());
+        assert!(MisProblem.is_valid_output(&plain, &run.outputs));
+        assert_eq!(run.outputs.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn astar_handles_a_second_problem_maximal_matching() {
+        use anonet_algorithms::matching::{MatchingProblem, RandomizedMatching};
+        // P2 colored 10, 20; matching inputs are the colors themselves.
+        let inst = generators::path(2)
+            .unwrap()
+            .with_labels(vec![(10u32, 10u32), (20, 20)])
+            .unwrap();
+        let run = run_astar(
+            &RandomizedMatching::<u32>::new(),
+            &MatchingProblem,
+            &inst,
+            &AStarConfig::default(),
+        )
+        .unwrap();
+        let colors = inst.map_labels(|(i, _)| *i);
+        assert!(
+            MatchingProblem.is_valid_output(&colors, &run.outputs),
+            "outputs: {:?}",
+            run.outputs
+        );
+        // P2's only edge must be matched.
+        assert_eq!(run.outputs, vec![Some(20), Some(10)]);
+    }
+
+    #[test]
+    fn phase_budget_is_enforced() {
+        let inst = triangle_instance();
+        let cfg = AStarConfig { max_phases: 2, ..Default::default() };
+        let err = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &cfg).unwrap_err();
+        assert!(matches!(err, CoreError::PhaseBudgetExceeded { phases: 2 }));
+    }
+}

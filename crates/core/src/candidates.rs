@@ -1,0 +1,157 @@
+//! Candidate enumeration for `A_*`'s `Update-Graph` (paper, Section 3.1).
+//!
+//! A *candidate for phase `p`* at node `v` is a labeled graph `Ĝ` with
+//! (C1) at most `p` nodes, (C2) a node `v̂` whose depth-`p` view equals
+//! `v`'s, and (C3) whose `(î, ĉ)` part is an instance of `Π^c`.
+//!
+//! The paper quantifies over **all** labeled graphs, which is enumerable
+//! here because of a connectivity observation: a candidate has at most
+//! `p` nodes and is connected, so *every* candidate node lies within
+//! `p - 1` hops of `v̂` — hence (by C2) every label occurring in a
+//! candidate occurs as a mark in `v`'s depth-`p` view. Enumerating over
+//! the view's label set is therefore **complete**, not a heuristic.
+
+use anonet_graph::{Graph, Label, LabeledGraph};
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// All connected simple graphs on exactly `n` labeled vertices, generated
+/// as edge subsets of `K_n` (presentations, not isomorphism classes —
+/// `A_*`'s minimal-candidate rule is invariant under duplicates).
+///
+/// # Errors
+///
+/// [`CoreError::EnumerationTooLarge`] for `n > 6` (the edge-subset count
+/// is `2^(n(n-1)/2)`).
+pub fn connected_graphs(n: usize) -> Result<Vec<Graph>> {
+    if n == 0 || n > 6 {
+        return Err(CoreError::EnumerationTooLarge { max_nodes: n, universe: 0 });
+    }
+    let pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+    let mut graphs = Vec::new();
+    for mask in 0u64..(1u64 << pairs.len()) {
+        let edges: Vec<(usize, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| (mask >> k) & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        let Ok(g) = Graph::from_edges(n, &edges) else { continue };
+        if g.is_connected() {
+            graphs.push(g);
+        }
+    }
+    Ok(graphs)
+}
+
+/// All labelings of `n` vertices over `universe` (i.e. `universe^n`),
+/// in lexicographic order of index vectors.
+///
+/// # Errors
+///
+/// [`CoreError::EnumerationTooLarge`] when `|universe|^n` exceeds
+/// `2^20`.
+pub fn labelings<L: Label>(universe: &[L], n: usize) -> Result<Vec<Vec<L>>> {
+    let u = universe.len();
+    if u == 0 {
+        return Ok(Vec::new());
+    }
+    let total = (u as u128).checked_pow(n as u32).unwrap_or(u128::MAX);
+    if total > (1 << 20) {
+        return Err(CoreError::EnumerationTooLarge { max_nodes: n, universe: u });
+    }
+    let mut out = Vec::with_capacity(total as usize);
+    let mut idx = vec![0usize; n];
+    loop {
+        out.push(idx.iter().map(|&i| universe[i].clone()).collect());
+        // Increment the index vector (most significant = first position,
+        // mirroring the canonical orders used elsewhere).
+        let mut pos = n;
+        loop {
+            if pos == 0 {
+                return Ok(out);
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < u {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+/// All labeled graphs with **at most** `max_nodes` nodes over the given
+/// label universe — the raw candidate pool before conditions C2/C3.
+///
+/// # Errors
+///
+/// Enumeration-size errors from [`connected_graphs`] / [`labelings`].
+pub fn candidate_pool<L: Label>(
+    max_nodes: usize,
+    universe: &[L],
+) -> Result<Vec<LabeledGraph<L>>> {
+    let mut pool = Vec::new();
+    for n in 1..=max_nodes {
+        for g in connected_graphs(n)? {
+            for labels in labelings(universe, n)? {
+                pool.push(
+                    g.with_labels(labels).expect("labeling length matches by construction"),
+                );
+            }
+        }
+    }
+    Ok(pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_graph_counts_match_oeis() {
+        // Numbers of connected labeled graphs on n nodes: OEIS A001187.
+        assert_eq!(connected_graphs(1).unwrap().len(), 1);
+        assert_eq!(connected_graphs(2).unwrap().len(), 1);
+        assert_eq!(connected_graphs(3).unwrap().len(), 4);
+        assert_eq!(connected_graphs(4).unwrap().len(), 38);
+        assert_eq!(connected_graphs(5).unwrap().len(), 728);
+    }
+
+    #[test]
+    fn oversized_enumerations_are_rejected() {
+        assert!(connected_graphs(7).is_err());
+        let universe: Vec<u32> = (0..40).collect();
+        assert!(labelings(&universe, 6).is_err());
+    }
+
+    #[test]
+    fn labelings_cover_the_product_space() {
+        let ls = labelings(&[1u8, 2, 3], 2).unwrap();
+        assert_eq!(ls.len(), 9);
+        assert_eq!(ls[0], vec![1, 1]);
+        assert_eq!(ls[8], vec![3, 3]);
+        // Lexicographic and duplicate-free.
+        let mut sorted = ls.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, ls);
+    }
+
+    #[test]
+    fn empty_universe_yields_nothing() {
+        let ls = labelings::<u8>(&[], 3).unwrap();
+        assert!(ls.is_empty());
+    }
+
+    #[test]
+    fn pool_sizes_compose() {
+        let universe = vec![1u8, 2];
+        let pool = candidate_pool(3, &universe).unwrap();
+        // n=1: 1 graph × 2 labelings; n=2: 1 × 4; n=3: 4 × 8.
+        assert_eq!(pool.len(), 2 + 4 + 32);
+        assert!(pool.iter().all(|g| g.graph().is_connected()));
+    }
+}

@@ -1,0 +1,356 @@
+//! The practical derandomizer: quotient → canonical simulation → lift.
+//!
+//! This is the construction the paper's `A_*` provably converges to
+//! (Lemma 7): from phase `2n` on, every node has identified the true
+//! finite view graph `I_*` and runs the same canonical simulation on it.
+//! The derandomizer implements that converged behaviour directly:
+//!
+//! 1. compute the finite view graph `G_*` of the 2-hop colored instance
+//!    and each node's image in it (both are functions of the node's view
+//!    alone — classes *are* views);
+//! 2. select the canonical successful simulation of the randomized
+//!    algorithm `A_R` on the quotient ([`SearchStrategy`]);
+//! 3. lift the quotient outputs along the projection.
+//!
+//! Every step is derived from views only, so the whole computation is
+//! anonymous-computable; `anonet-core::astar` realizes it as the paper's
+//! literal phase-by-phase algorithm, and experiment E9 checks the two
+//! agree where both are feasible.
+
+use anonet_graph::{Label, LabeledGraph};
+use anonet_runtime::{BitAssignment, ExecConfig, ObliviousAlgorithm};
+use anonet_views::{canonical_order, quotient, ViewMode};
+
+use crate::search::{canonical_successful_simulation, SearchStrategy};
+use crate::Result;
+
+/// The outcome of derandomizing one instance.
+#[derive(Clone, Debug)]
+pub struct DerandomizedRun<O> {
+    /// Per-node outputs (lifted from the quotient simulation).
+    pub outputs: Vec<O>,
+    /// Size of the quotient `|V_*|`.
+    pub quotient_nodes: usize,
+    /// Fiber size `|V| / |V_*|`.
+    pub multiplicity: usize,
+    /// The bit assignment that induced the selected simulation.
+    pub assignment: BitAssignment,
+    /// Rounds the quotient simulation ran.
+    pub simulation_rounds: usize,
+    /// Simulations attempted before the canonical one succeeded.
+    pub attempts: usize,
+}
+
+/// Derandomizes a port-oblivious Las-Vegas algorithm on 2-hop colored
+/// instances (paper, Theorem 1's deterministic stage).
+///
+/// # Example
+///
+/// ```
+/// use anonet_graph::generators;
+/// use anonet_runtime::Problem;
+/// use anonet_algorithms::{mis::RandomizedMis, problems::MisProblem};
+/// use anonet_core::Derandomizer;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Figure 2's colored C6 (a product of C3): solve MIS deterministically.
+/// let c6 = generators::cycle(6)?.with_labels(vec![((), 1u32), ((), 2), ((), 3),
+///                                                 ((), 1), ((), 2), ((), 3)])?;
+/// let run = Derandomizer::new(RandomizedMis::new()).run(&c6)?;
+/// assert_eq!(run.quotient_nodes, 3);
+/// let plain = generators::cycle(6)?.with_uniform_label(());
+/// assert!(MisProblem.is_valid_output(&plain, &run.outputs));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Derandomizer<A> {
+    alg: A,
+    strategy: SearchStrategy,
+    config: ExecConfig,
+}
+
+impl<A> Derandomizer<A>
+where
+    A: ObliviousAlgorithm + Clone,
+    A::Input: Label,
+{
+    /// Creates a derandomizer with the default (seeded) search strategy.
+    pub fn new(alg: A) -> Self {
+        Derandomizer { alg, strategy: SearchStrategy::default(), config: ExecConfig::default() }
+    }
+
+    /// Overrides the canonical-simulation search strategy.
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the simulation execution config.
+    pub fn with_config(mut self, config: ExecConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the deterministic stage on a 2-hop colored instance: labels
+    /// are `(input, color)` pairs, exactly the paper's `I^c = (V, E, i, c)`.
+    ///
+    /// Deterministic: same instance ⇒ same outputs, no randomness consumed
+    /// on the real network.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotTwoHopColored`](crate::CoreError::NotTwoHopColored)
+    /// if `c` is not a 2-hop coloring; search-budget errors per strategy.
+    pub fn run<C: Label>(
+        &self,
+        instance: &LabeledGraph<(A::Input, C)>,
+    ) -> Result<DerandomizedRun<A::Output>> {
+        // Step 1: the finite view graph of the full (i, c)-labeled instance.
+        let q = quotient(instance, ViewMode::Portless)?;
+        let order = canonical_order(q.graph(), ViewMode::Portless)?;
+
+        // Step 2: canonical successful simulation of A_R on J = (V_*, E_*, i_*).
+        let j = q.graph().map_labels(|(i, _c)| i.clone());
+        let sim = canonical_successful_simulation(
+            &self.alg,
+            &j,
+            &order,
+            self.strategy,
+            &self.config,
+        )?;
+
+        // Step 3: lift outputs along the projection.
+        let qouts = sim.execution.outputs_unwrapped();
+        let outputs =
+            q.class_of().iter().map(|&c| qouts[c.index()].clone()).collect::<Vec<_>>();
+
+        Ok(DerandomizedRun {
+            outputs,
+            quotient_nodes: q.graph().node_count(),
+            multiplicity: q.multiplicity().unwrap_or(0),
+            assignment: sim.assignment,
+            simulation_rounds: sim.execution.rounds(),
+            attempts: sim.attempts,
+        })
+    }
+}
+
+/// Derandomizes an arbitrary **port-sensitive** algorithm on a 2-hop
+/// colored instance by composing the [`Derandomizer`] with the color-based
+/// port emulation of the paper's Section 1.3 remark
+/// ([`VirtualPorts`](anonet_algorithms::emulation::VirtualPorts)).
+///
+/// The emulated algorithm behaves exactly as the original would on the
+/// graph whose ports sort each adjacency list by neighbor color; since a
+/// correct anonymous algorithm must be correct under *every* port
+/// numbering, the lifted outputs are valid. This closes the last gap in
+/// the Theorem-1 reproduction: **every** Las-Vegas anonymous algorithm —
+/// port-sensitive or not — derandomizes given a 2-hop coloring.
+///
+/// # Errors
+///
+/// As [`Derandomizer::run`].
+pub fn derandomize_port_sensitive<A, C>(
+    alg: A,
+    colors: &LabeledGraph<C>,
+    strategy: crate::SearchStrategy,
+) -> Result<DerandomizedRun<A::Output>>
+where
+    A: anonet_runtime::Algorithm<Input = ()> + Clone,
+    A::Message: Ord,
+    C: Label,
+{
+    let instance = colors.map_labels(|c| (((), c.clone()), c.clone()));
+    Derandomizer::new(anonet_algorithms::emulation::VirtualPorts::<A, C>::new(alg))
+        .with_strategy(strategy)
+        .run(&instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_algorithms::coloring::RandomizedColoring;
+    use anonet_algorithms::mis::RandomizedMis;
+    use anonet_algorithms::problems::{GreedyColoringProblem, MisProblem};
+    use anonet_graph::{coloring, generators, Graph};
+    use anonet_runtime::Problem;
+
+    fn colored_instance(g: &Graph) -> LabeledGraph<((), u32)> {
+        let colors = coloring::greedy_two_hop_coloring(g);
+        g.with_uniform_label(()).zip(&colors).unwrap()
+    }
+
+    fn lifted_instance(m: usize) -> (LabeledGraph<((), u32)>, Vec<anonet_graph::NodeId>) {
+        let l = anonet_graph::lift::cyclic_cycle_lift(3, m).unwrap();
+        let inst = l
+            .lift_labels(&[((), 1u32), ((), 2), ((), 3)])
+            .unwrap();
+        (inst, l.projection().to_vec())
+    }
+
+    #[test]
+    fn derandomized_mis_is_valid_across_families() {
+        let graphs = vec![
+            generators::cycle(5).unwrap(),
+            generators::path(7).unwrap(),
+            generators::petersen(),
+            generators::grid(3, 3, false).unwrap(),
+        ];
+        for g in graphs {
+            let inst = colored_instance(&g);
+            let run = Derandomizer::new(RandomizedMis::new()).run(&inst).unwrap();
+            let plain = g.with_uniform_label(());
+            assert!(
+                MisProblem.is_valid_output(&plain, &run.outputs),
+                "invalid derandomized MIS on {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn derandomized_coloring_is_valid() {
+        let g = generators::petersen();
+        let inst = colored_instance(&g);
+        let run = Derandomizer::new(RandomizedColoring::new()).run(&inst).unwrap();
+        let plain = g.with_uniform_label(());
+        assert!(GreedyColoringProblem.is_valid_output(&plain, &run.outputs));
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let (inst, _) = lifted_instance(4);
+        let d = Derandomizer::new(RandomizedMis::new());
+        let a = d.run(&inst).unwrap();
+        let b = d.run(&inst).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn nontrivial_quotient_is_used() {
+        let (inst, projection) = lifted_instance(4);
+        let run = Derandomizer::new(RandomizedMis::new()).run(&inst).unwrap();
+        assert_eq!(run.quotient_nodes, 3);
+        assert_eq!(run.multiplicity, 4);
+        // Outputs are constant on fibers — equal views, equal outputs.
+        for v in 0..12 {
+            for w in 0..12 {
+                if projection[v] == projection[w] {
+                    assert_eq!(run.outputs[v], run.outputs[w]);
+                }
+            }
+        }
+        // MIS on C12 lifted from a C3 simulation: members are one fiber (4 nodes).
+        assert_eq!(run.outputs.iter().filter(|&&b| b).count(), 4);
+        let plain = inst.map_labels(|_| ());
+        assert!(MisProblem.is_valid_output(&plain, &run.outputs));
+    }
+
+    #[test]
+    fn derandomization_commutes_with_lifting() {
+        // derandomize(base) lifted along the projection == derandomize(lift):
+        // the whole computation is a function of views.
+        let base = generators::cycle(3)
+            .unwrap()
+            .with_labels(vec![((), 1u32), ((), 2), ((), 3)])
+            .unwrap();
+        let (lifted, projection) = lifted_instance(5);
+        let d = Derandomizer::new(RandomizedMis::new());
+        let base_run = d.run(&base).unwrap();
+        let lift_run = d.run(&lifted).unwrap();
+        for (v, &img) in projection.iter().enumerate() {
+            assert_eq!(lift_run.outputs[v], base_run.outputs[img.index()]);
+        }
+    }
+
+    #[test]
+    fn rejects_non_two_hop_colored_instances() {
+        let g = generators::cycle(4).unwrap();
+        let inst = g
+            .with_labels(vec![((), 1u32), ((), 2), ((), 1), ((), 2)])
+            .unwrap();
+        let err = Derandomizer::new(RandomizedMis::new()).run(&inst).unwrap_err();
+        assert_eq!(err, crate::CoreError::NotTwoHopColored);
+    }
+
+    #[test]
+    fn port_sensitive_algorithms_derandomize_via_emulation() {
+        use anonet_graph::Port;
+        use anonet_runtime::{Actions, Algorithm, Inbox};
+
+        /// Port-sensitive probe: outputs the sorted (port, received) pairs
+        /// of round 1 — a fingerprint of the (virtual) port structure.
+        #[derive(Clone, Copy, Debug)]
+        struct PortProbe;
+
+        impl Algorithm for PortProbe {
+            type Input = ();
+            type Message = u32;
+            type Output = Vec<(u32, u32)>;
+            type State = ();
+
+            fn init(&self, _: &(), _: usize) {}
+            fn compose(&self, _: &(), port: Port) -> Option<u32> {
+                Some(port.index() as u32)
+            }
+            fn step(
+                &self,
+                _: (),
+                _round: usize,
+                inbox: &Inbox<u32>,
+                _bit: bool,
+                actions: &mut Actions<Vec<(u32, u32)>>,
+            ) {
+                let mut pairs: Vec<(u32, u32)> =
+                    inbox.iter().map(|(p, m)| (p.index() as u32, *m)).collect();
+                pairs.sort();
+                actions.output(pairs);
+                actions.halt();
+            }
+        }
+
+        // Base and lift: the derandomized port-sensitive outputs must
+        // commute with lifting (everything is view-derived).
+        let base_colors = generators::cycle(3)
+            .unwrap()
+            .with_labels(vec![1u32, 2, 3])
+            .unwrap();
+        let base_run = derandomize_port_sensitive(
+            PortProbe,
+            &base_colors,
+            SearchStrategy::default(),
+        )
+        .unwrap();
+        let l = anonet_graph::lift::cyclic_cycle_lift(3, 4).unwrap();
+        let lifted_colors = l.lift_labels(base_colors.labels()).unwrap();
+        let lift_run = derandomize_port_sensitive(
+            PortProbe,
+            &lifted_colors,
+            SearchStrategy::default(),
+        )
+        .unwrap();
+        assert_eq!(lift_run.quotient_nodes, 3);
+        for (v, &img) in l.projection().iter().enumerate() {
+            assert_eq!(lift_run.outputs[v], base_run.outputs[img.index()]);
+        }
+        // Determinism.
+        let again =
+            derandomize_port_sensitive(PortProbe, &lifted_colors, SearchStrategy::default())
+                .unwrap();
+        assert_eq!(again.outputs, lift_run.outputs);
+    }
+
+    #[test]
+    fn exhaustive_strategy_matches_validity() {
+        let (inst, _) = lifted_instance(2);
+        let run = Derandomizer::new(RandomizedMis::new())
+            .with_strategy(SearchStrategy::Exhaustive { max_total_bits: 24 })
+            .run(&inst)
+            .unwrap();
+        let plain = inst.map_labels(|_| ());
+        assert!(MisProblem.is_valid_output(&plain, &run.outputs));
+        // The exhaustive strategy reports how many simulations it tried.
+        assert!(run.attempts >= 1);
+    }
+}

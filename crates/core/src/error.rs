@@ -1,0 +1,149 @@
+//! Error type for the derandomization machinery.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the derandomization machinery.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The instance's color labeling is not a 2-hop coloring, so the view
+    /// quotient is not simple and the construction of Theorem 1 does not
+    /// apply.
+    NotTwoHopColored,
+    /// The exhaustive minimal-assignment search exceeded its bit budget
+    /// before finding a successful simulation.
+    SearchBudgetExceeded {
+        /// Quotient size.
+        quotient_nodes: usize,
+        /// The budget on total enumerated bits (`|V_*|·t`).
+        max_total_bits: usize,
+    },
+    /// The seeded search exhausted its attempts without a successful
+    /// simulation (raise `max_attempts` or `max_rounds`).
+    SeedsExhausted {
+        /// How many seeds were tried.
+        attempts: usize,
+    },
+    /// `A_*` exceeded its phase budget without every node producing an
+    /// output.
+    PhaseBudgetExceeded {
+        /// Phases executed.
+        phases: usize,
+    },
+    /// `A_*` produced conflicting outputs for one node across phases —
+    /// would falsify the paper's Lemma 9, i.e. an implementation bug
+    /// surfaced loudly.
+    InconsistentOutput {
+        /// The node with conflicting outputs.
+        node: usize,
+        /// The phase of the conflicting write.
+        phase: usize,
+    },
+    /// A candidate enumeration was asked for parameters outside its
+    /// feasible range.
+    EnumerationTooLarge {
+        /// Requested maximum node count.
+        max_nodes: usize,
+        /// Size of the label universe.
+        universe: usize,
+    },
+    /// The problem rejected the instance (condition C3 can never hold).
+    NotAnInstance,
+    /// An underlying views error.
+    Views(anonet_views::ViewError),
+    /// An underlying runtime error.
+    Runtime(anonet_runtime::RuntimeError),
+    /// An underlying graph error.
+    Graph(anonet_graph::GraphError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotTwoHopColored => {
+                write!(f, "instance colors are not a 2-hop coloring; Theorem 1 does not apply")
+            }
+            CoreError::SearchBudgetExceeded { quotient_nodes, max_total_bits } => write!(
+                f,
+                "exhaustive assignment search on a {quotient_nodes}-node quotient exceeded {max_total_bits} total bits"
+            ),
+            CoreError::SeedsExhausted { attempts } => {
+                write!(f, "no successful simulation within {attempts} seeded attempts")
+            }
+            CoreError::PhaseBudgetExceeded { phases } => {
+                write!(f, "A* did not produce all outputs within {phases} phases")
+            }
+            CoreError::InconsistentOutput { node, phase } => write!(
+                f,
+                "A* produced conflicting outputs for node {node} in phase {phase} (Lemma 9 violation — bug)"
+            ),
+            CoreError::EnumerationTooLarge { max_nodes, universe } => write!(
+                f,
+                "candidate enumeration with {max_nodes} nodes over {universe} labels is infeasible"
+            ),
+            CoreError::NotAnInstance => {
+                write!(f, "the labeled graph is not an input instance of the problem")
+            }
+            CoreError::Views(e) => write!(f, "views error: {e}"),
+            CoreError::Runtime(e) => write!(f, "runtime error: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Views(e) => Some(e),
+            CoreError::Runtime(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<anonet_views::ViewError> for CoreError {
+    fn from(e: anonet_views::ViewError) -> Self {
+        // A non-simple quotient means the colors were not a 2-hop coloring;
+        // report that crisply instead of the low-level witness.
+        match e {
+            anonet_views::ViewError::QuotientSelfLoop { .. }
+            | anonet_views::ViewError::QuotientParallelEdge { .. } => CoreError::NotTwoHopColored,
+            other => CoreError::Views(other),
+        }
+    }
+}
+
+impl From<anonet_runtime::RuntimeError> for CoreError {
+    fn from(e: anonet_runtime::RuntimeError) -> Self {
+        CoreError::Runtime(e)
+    }
+}
+
+impl From<anonet_graph::GraphError> for CoreError {
+    fn from(e: anonet_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(CoreError::NotTwoHopColored.to_string().contains("2-hop"));
+        let e = CoreError::SearchBudgetExceeded { quotient_nodes: 5, max_total_bits: 24 };
+        assert!(e.to_string().contains('5') && e.to_string().contains("24"));
+        assert!(CoreError::SeedsExhausted { attempts: 9 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn quotient_errors_map_to_not_two_hop_colored() {
+        let e: CoreError = anonet_views::ViewError::QuotientParallelEdge { node: 1 }.into();
+        assert_eq!(e, CoreError::NotTwoHopColored);
+        let e: CoreError = anonet_views::ViewError::NotDiscrete { nodes: 4, classes: 2 }.into();
+        assert!(matches!(e, CoreError::Views(_)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Theorem 2 — the infinity-model algorithm `A_∞`.
+//!
+//! In the paper's infinity model (Section 2), node `v` outputs
+//! `A_∞(L_∞(v))`: a pure function of its depth-∞ view. The function is:
+//! reconstruct the infinite view graph `I_∞` from the view (every depth-∞
+//! subtree of `L_∞(v)` is a node of `I_∞`), simulate `A_R` on it under the
+//! **minimal successful** bit assignment in the canonical order (Lemma 1:
+//! all nodes select the same simulation `σ_∞`), and output node `ṽ`'s
+//! result.
+//!
+//! By Norris' theorem and Corollary 2 the infinite view graph has the
+//! finite representation `G_*`, which is what this module computes — so
+//! [`solve_infinity`] is precisely `A_∞`, with the minimal-assignment
+//! search made explicit and budgeted.
+
+use anonet_graph::{Label, LabeledGraph};
+use anonet_runtime::{ExecConfig, ObliviousAlgorithm};
+
+use crate::derandomizer::{DerandomizedRun, Derandomizer};
+use crate::search::SearchStrategy;
+use crate::Result;
+
+/// Runs `A_∞` on a 2-hop colored instance (labels are `(input, color)`
+/// pairs): quotient + **exhaustive minimal** successful assignment + lift.
+///
+/// `max_total_bits` bounds the exhaustive search (`2^(|V_*|·t)`
+/// simulations per tape length `t`); the run fails cleanly when the
+/// quotient is too large for the paper-exact rule — use
+/// [`Derandomizer`] with [`SearchStrategy::Seeded`] beyond that point.
+///
+/// # Errors
+///
+/// [`CoreError::NotTwoHopColored`](crate::CoreError::NotTwoHopColored) or
+/// [`CoreError::SearchBudgetExceeded`](crate::CoreError::SearchBudgetExceeded).
+pub fn solve_infinity<A, C>(
+    alg: &A,
+    instance: &LabeledGraph<(A::Input, C)>,
+    max_total_bits: usize,
+    config: &ExecConfig,
+) -> Result<DerandomizedRun<A::Output>>
+where
+    A: ObliviousAlgorithm + Clone,
+    A::Input: Label,
+    C: Label,
+{
+    Derandomizer::new(alg.clone())
+        .with_strategy(SearchStrategy::Exhaustive { max_total_bits })
+        .with_config(*config)
+        .run(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_algorithms::mis::RandomizedMis;
+    use anonet_algorithms::problems::MisProblem;
+    use anonet_graph::generators;
+    use anonet_runtime::Problem;
+
+    fn figure2_instance(n: usize) -> LabeledGraph<((), u32)> {
+        let labels: Vec<((), u32)> = (0..n).map(|i| ((), (i % 3) as u32 + 1)).collect();
+        generators::cycle(n).unwrap().with_labels(labels).unwrap()
+    }
+
+    #[test]
+    fn theorem2_on_figure2_products() {
+        // The same minimal simulation solves C3, C6, and C12: the outputs
+        // on the products are the lifts of the C3 outputs.
+        let base = solve_infinity(
+            &RandomizedMis::new(),
+            &figure2_instance(3),
+            24,
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        for n in [6usize, 12] {
+            let run = solve_infinity(
+                &RandomizedMis::new(),
+                &figure2_instance(n),
+                24,
+                &ExecConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(run.quotient_nodes, 3);
+            // Identical canonical assignments on identical quotients.
+            assert_eq!(run.assignment, base.assignment);
+            let plain = figure2_instance(n).map_labels(|_| ());
+            assert!(MisProblem.is_valid_output(&plain, &run.outputs));
+        }
+    }
+
+    #[test]
+    fn infinity_model_nodes_with_equal_views_agree() {
+        let run = solve_infinity(
+            &RandomizedMis::new(),
+            &figure2_instance(12),
+            24,
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        for v in 0..12 {
+            assert_eq!(run.outputs[v], run.outputs[(v + 3) % 12], "fiber disagreement at {v}");
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let err = solve_infinity(
+            &RandomizedMis::new(),
+            &figure2_instance(6),
+            4,
+            &ExecConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::CoreError::SearchBudgetExceeded { .. }));
+    }
+}

@@ -1,0 +1,49 @@
+//! # anonet-core
+//!
+//! The derandomization machinery of *"Anonymous Networks: Randomization =
+//! 2-Hop Coloring"* (PODC 2014) — the paper's primary contribution, made
+//! executable:
+//!
+//! * [`infinity`] — **Theorem 2** (`A_∞`): on a 2-hop colored instance,
+//!   build the finite representation `G_*` of the infinite view graph,
+//!   select the *minimal successful* bit assignment in the canonical
+//!   order, simulate the randomized algorithm on the quotient, and lift
+//!   the outputs;
+//! * [`astar`] — **Theorem 1** (`A_*`, the paper's Figure 3): the
+//!   phase-structured deterministic algorithm with its candidate
+//!   enumeration (`Update-Graph`), quotient simulation (`Update-Output`),
+//!   and lexicographically minimal tape extension (`Update-Bits`) —
+//!   faithful to the pseudocode, feasible on small instances;
+//! * [`derandomizer`] — the engineering-grade variant of the same
+//!   construction: quotient once, pick a canonical successful assignment
+//!   (exhaustive-minimal or seeded-replay), lift;
+//! * [`pipeline`] — the **Theorem-1 decomposition** end to end: a generic
+//!   randomized 2-hop coloring stage followed by the problem-specific
+//!   deterministic stage;
+//! * [`candidates`] — enumeration of all candidate labeled graphs with at
+//!   most `p` nodes over a finite label universe (complete for `A_*` by
+//!   the connectivity argument: every node of a candidate appears in the
+//!   matching view);
+//! * [`gran`] — the GRAN bundle: a problem together with its Las-Vegas
+//!   solver and decider, including deciding instance membership *by
+//!   simulation* of the decider.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod astar;
+pub mod candidates;
+mod error;
+pub mod gran;
+pub mod infinity;
+pub mod derandomizer;
+pub mod distributed;
+pub mod pipeline;
+mod search;
+
+pub use derandomizer::{derandomize_port_sensitive, DerandomizedRun, Derandomizer};
+pub use error::CoreError;
+pub use search::SearchStrategy;
+
+/// Convenient alias for results with [`CoreError`].
+pub type Result<T> = std::result::Result<T, CoreError>;

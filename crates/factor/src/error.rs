@@ -1,0 +1,134 @@
+//! Error type for the factor machinery.
+
+use std::error::Error;
+use std::fmt;
+
+use anonet_graph::NodeId;
+
+/// Errors produced when validating factorizing maps and lifting executions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum FactorError {
+    /// The map's length does not match the product's node count.
+    WrongDomain {
+        /// Map length.
+        map_len: usize,
+        /// Product node count.
+        nodes: usize,
+    },
+    /// Some image node index is out of range for the factor graph.
+    ImageOutOfRange {
+        /// The offending product node.
+        node: NodeId,
+        /// Its (invalid) image index.
+        image: usize,
+    },
+    /// The map is not surjective: some factor node has an empty fiber.
+    NotSurjective {
+        /// A factor node with no preimage.
+        uncovered: NodeId,
+    },
+    /// The map does not preserve labels at some node.
+    LabelMismatch {
+        /// A product node whose label differs from its image's label.
+        node: NodeId,
+    },
+    /// The restriction of the map to some node's neighborhood is not a
+    /// bijection onto the image's neighborhood.
+    NotLocalIsomorphism {
+        /// A product node at which locality fails.
+        node: NodeId,
+    },
+    /// A port-preserving lift was requested but the map does not respect
+    /// port numbers at some node.
+    NotPortPreserving {
+        /// A product node at which port structure differs from its image.
+        node: NodeId,
+    },
+    /// Lifted execution states diverged — would falsify the lifting lemma
+    /// (indicates a non-oblivious algorithm was lifted through a
+    /// non-port-preserving map, or an impure algorithm).
+    LiftDiverged {
+        /// The product node that diverged from its image.
+        node: NodeId,
+        /// The first round of divergence.
+        round: usize,
+    },
+    /// The underlying runtime rejected an execution.
+    Runtime(anonet_runtime::RuntimeError),
+    /// The underlying views machinery rejected a quotient.
+    Views(anonet_views::ViewError),
+}
+
+impl fmt::Display for FactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorError::WrongDomain { map_len, nodes } => {
+                write!(f, "factorizing map covers {map_len} nodes but the product has {nodes}")
+            }
+            FactorError::ImageOutOfRange { node, image } => {
+                write!(f, "image {image} of node {node} is out of range for the factor")
+            }
+            FactorError::NotSurjective { uncovered } => {
+                write!(f, "map is not surjective: factor node {uncovered} has no preimage")
+            }
+            FactorError::LabelMismatch { node } => {
+                write!(f, "map does not preserve the label of node {node}")
+            }
+            FactorError::NotLocalIsomorphism { node } => {
+                write!(f, "map is not a local isomorphism at node {node}")
+            }
+            FactorError::NotPortPreserving { node } => {
+                write!(f, "map does not preserve port numbers at node {node}")
+            }
+            FactorError::LiftDiverged { node, round } => {
+                write!(f, "lifted execution diverged at node {node} in round {round}")
+            }
+            FactorError::Runtime(e) => write!(f, "runtime error: {e}"),
+            FactorError::Views(e) => write!(f, "views error: {e}"),
+        }
+    }
+}
+
+impl Error for FactorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FactorError::Runtime(e) => Some(e),
+            FactorError::Views(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<anonet_runtime::RuntimeError> for FactorError {
+    fn from(e: anonet_runtime::RuntimeError) -> Self {
+        FactorError::Runtime(e)
+    }
+}
+
+impl From<anonet_views::ViewError> for FactorError {
+    fn from(e: anonet_views::ViewError) -> Self {
+        FactorError::Views(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = FactorError::NotSurjective { uncovered: NodeId::new(2) };
+        assert!(e.to_string().contains("v2"));
+        let e = FactorError::LiftDiverged { node: NodeId::new(1), round: 4 };
+        assert!(e.to_string().contains("round 4"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = FactorError::Views(anonet_views::ViewError::QuotientSelfLoop { node: 0 });
+        assert!(Error::source(&e).is_some());
+        let e = FactorError::NotSurjective { uncovered: NodeId::new(0) };
+        assert!(Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! The fibration connection (paper, Section 4).
+//!
+//! A 2-hop colored undirected graph `G = (V, E, c)` has a *directed
+//! (edge-colored) representation* `H`: both directions of every edge
+//! become arcs, and arc `(u, v)` is colored `⟨c(u), c(v)⟩`. The paper
+//! observes that `H` is symmetric, its edge coloring is *deterministic*
+//! (all out-arcs of a node have distinct colors — exactly because `c` is a
+//! 2-hop coloring), the coloring respects edge symmetries, and fibrations
+//! between such representations correspond to factorizing maps between the
+//! underlying 2-hop colored graphs.
+
+use std::collections::HashSet;
+
+use anonet_graph::{Label, LabeledGraph, NodeId};
+
+use crate::map::FactorizingMap;
+
+/// A directed arc with its color `⟨c(tail), c(head)⟩`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Arc<L> {
+    /// Tail (source) node.
+    pub tail: NodeId,
+    /// Head (target) node.
+    pub head: NodeId,
+    /// The arc color `⟨c(tail), c(head)⟩`.
+    pub color: (L, L),
+}
+
+/// The directed edge-colored representation of a node-colored graph.
+#[derive(Clone, Debug)]
+pub struct DirectedRepresentation<L> {
+    node_count: usize,
+    arcs: Vec<Arc<L>>,
+}
+
+impl<L: Label> DirectedRepresentation<L> {
+    /// Builds the representation of `g` per Section 4: two opposite arcs
+    /// per undirected edge, colored by the ordered endpoint-color pair.
+    pub fn of(g: &LabeledGraph<L>) -> Self {
+        let mut arcs = Vec::with_capacity(2 * g.graph().edge_count());
+        for e in g.graph().edges() {
+            arcs.push(Arc {
+                tail: e.u,
+                head: e.v,
+                color: (g.label(e.u).clone(), g.label(e.v).clone()),
+            });
+            arcs.push(Arc {
+                tail: e.v,
+                head: e.u,
+                color: (g.label(e.v).clone(), g.label(e.u).clone()),
+            });
+        }
+        DirectedRepresentation { node_count: g.node_count(), arcs }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// All arcs.
+    pub fn arcs(&self) -> &[Arc<L>] {
+        &self.arcs
+    }
+
+    /// `true` iff for every arc the opposite arc is present — the paper's
+    /// *symmetric* property (holds by construction; exposed for tests and
+    /// for representations built by other means).
+    pub fn is_symmetric(&self) -> bool {
+        let set: HashSet<(NodeId, NodeId)> =
+            self.arcs.iter().map(|a| (a.tail, a.head)).collect();
+        set.iter().all(|&(t, h)| set.contains(&(h, t)))
+    }
+
+    /// `true` iff the edge coloring is *deterministic*: all out-arcs of
+    /// every node carry distinct colors.
+    ///
+    /// For representations built by [`DirectedRepresentation::of`], this
+    /// holds **iff** the node coloring is a 2-hop coloring: out-arcs of
+    /// `u` are colored `⟨c(u), c(v)⟩` over neighbors `v`, which are
+    /// distinct iff the neighbors' colors are.
+    pub fn is_deterministic(&self) -> bool {
+        for v in 0..self.node_count {
+            let v = NodeId::new(v);
+            let mut seen = HashSet::new();
+            for a in self.arcs.iter().filter(|a| a.tail == v) {
+                if !seen.insert(a.color.clone()) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` iff the coloring respects edge symmetries: the opposite of
+    /// an arc colored `⟨c₁, c₂⟩` is colored `⟨c₂, c₁⟩`.
+    pub fn respects_symmetries(&self) -> bool {
+        let colored: HashSet<(NodeId, NodeId, Vec<u8>, Vec<u8>)> = self
+            .arcs
+            .iter()
+            .map(|a| (a.tail, a.head, a.color.0.encoded(), a.color.1.encoded()))
+            .collect();
+        colored
+            .iter()
+            .all(|(t, h, c1, c2)| colored.contains(&(*h, *t, c2.clone(), c1.clone())))
+    }
+
+    /// Checks that `map` (a candidate fibration) preserves arcs and arc
+    /// colors into `other` — the Section-4 translation: a factorizing map
+    /// between 2-hop colored graphs is exactly an arc-color-preserving
+    /// node map between their directed representations (plus the local
+    /// lifting property, which [`FactorizingMap`] has already validated).
+    pub fn is_fibration_into(&self, other: &Self, map: &FactorizingMap) -> bool {
+        let target: HashSet<(NodeId, NodeId, Vec<u8>, Vec<u8>)> = other
+            .arcs
+            .iter()
+            .map(|a| (a.tail, a.head, a.color.0.encoded(), a.color.1.encoded()))
+            .collect();
+        self.arcs.iter().all(|a| {
+            target.contains(&(
+                map.image(a.tail),
+                map.image(a.head),
+                a.color.0.encoded(),
+                a.color.1.encoded(),
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::generators;
+
+    fn colored_cycle(n: usize) -> LabeledGraph<u32> {
+        let labels: Vec<u32> = (0..n).map(|i| (i % 3) as u32 + 1).collect();
+        generators::cycle(n).unwrap().with_labels(labels).unwrap()
+    }
+
+    #[test]
+    fn representation_is_symmetric_and_respects_symmetries() {
+        let h = DirectedRepresentation::of(&colored_cycle(6));
+        assert!(h.is_symmetric());
+        assert!(h.respects_symmetries());
+        assert_eq!(h.arcs().len(), 12);
+    }
+
+    #[test]
+    fn deterministic_iff_two_hop_colored() {
+        // 2-hop colored: deterministic.
+        assert!(DirectedRepresentation::of(&colored_cycle(6)).is_deterministic());
+        // Proper 1-hop but not 2-hop: node 0 of C4 colored 1,2,1,2 has two
+        // out-arcs colored (1,2).
+        let c4 = generators::cycle(4).unwrap().with_labels(vec![1u32, 2, 1, 2]).unwrap();
+        assert!(!DirectedRepresentation::of(&c4).is_deterministic());
+    }
+
+    #[test]
+    fn factorizing_maps_are_fibrations() {
+        let c6 = colored_cycle(6);
+        let c3 = colored_cycle(3);
+        let map = FactorizingMap::new(&c6, &c3, vec![0, 1, 2, 0, 1, 2]).unwrap();
+        let h6 = DirectedRepresentation::of(&c6);
+        let h3 = DirectedRepresentation::of(&c3);
+        assert!(h6.is_fibration_into(&h3, &map));
+    }
+
+    #[test]
+    fn non_factor_maps_are_not_fibrations() {
+        // A label-preserving map that scrambles adjacency: swap images of
+        // two nodes with equal colors but different neighborhoods... on C6
+        // every same-colored pair is view-equivalent, so instead break it
+        // by mapping C6 onto C3 with a *rotated* assignment that violates
+        // arcs: map 0,1,2,3,4,5 ↦ 0,1,2,0,2,1 is not even label-preserving;
+        // use the identity-coloring trick on a path instead.
+        let p3 = generators::path(3).unwrap().with_labels(vec![1u32, 2, 1]).unwrap();
+        let h = DirectedRepresentation::of(&p3);
+        // "Map" collapsing the two endpoints onto node 0 and the middle to
+        // itself is a fine node map but P3/{0,2} would need a loop-free
+        // 2-node target; test the arc check directly with an identity map
+        // into a *different* graph.
+        let p3b = generators::path(3).unwrap().with_labels(vec![2u32, 1, 2]).unwrap();
+        let hb = DirectedRepresentation::of(&p3b);
+        let id = FactorizingMap::identity(3);
+        assert!(!h.is_fibration_into(&hb, &id));
+    }
+}

@@ -1,0 +1,36 @@
+//! # anonet-factor
+//!
+//! Factor/product graph machinery (paper, Section 2.3.1) and the lifting
+//! lemma, plus the fibration connection of Section 4.
+//!
+//! A labeled graph `G'` is a **factor** of `G` (and `G` a **product** of
+//! `G'`), written `G' ⪯_f G`, when the *factorizing map* `f : V → V'` is
+//! (1) surjective, (2) label-preserving, and (3) a local isomorphism. The
+//! paper's derandomization rests on three facts this crate makes
+//! executable:
+//!
+//! * the view quotient `G_*` of a 2-hop colored graph is a factor
+//!   ([`prime::prime_factor`], Lemma 2) and is its **unique prime factor**
+//!   (Lemma 3);
+//! * nodes related by a factorizing map have equal views
+//!   ([`lifting`], Fact 1) and, consequently, executions on the factor
+//!   **lift** to executions on the product (the lifting lemma of
+//!   Angluin / Boldi–Vigna);
+//! * 2-hop colored graphs translate to deterministically edge-colored
+//!   symmetric digraphs whose fibrations are exactly the factorizing maps
+//!   ([`fibration`], Section 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod fibration;
+pub mod lifting;
+mod map;
+pub mod prime;
+
+pub use error::FactorError;
+pub use map::FactorizingMap;
+
+/// Convenient alias for results with [`FactorError`].
+pub type Result<T> = std::result::Result<T, FactorError>;

@@ -1,0 +1,298 @@
+//! Factorizing maps `f : V → V'` and their validation.
+
+use anonet_graph::{Label, LabeledGraph, NodeId, Port};
+
+use crate::error::FactorError;
+use crate::Result;
+
+/// A validated factorizing map witnessing `factor ⪯_f product`
+/// (paper, Section 2.3.1).
+///
+/// Construction checks the three defining properties — surjectivity,
+/// label preservation, and local isomorphism — and returns a descriptive
+/// error naming a witness node when one fails.
+///
+/// # Example
+///
+/// ```
+/// use anonet_graph::{generators, lift};
+/// use anonet_factor::FactorizingMap;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // C6 (colored 1,2,3,1,2,3) is a product of C3 (colored 1,2,3):
+/// // exactly the paper's Figure 2.
+/// let c3 = generators::cycle(3)?.with_labels(vec![1u32, 2, 3])?;
+/// let c6 = generators::cycle(6)?.with_labels(vec![1u32, 2, 3, 1, 2, 3])?;
+/// let f = FactorizingMap::new(&c6, &c3, vec![0, 1, 2, 0, 1, 2])?;
+/// assert_eq!(f.multiplicity(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FactorizingMap {
+    images: Vec<NodeId>,
+    factor_nodes: usize,
+}
+
+impl FactorizingMap {
+    /// Validates `images` (indexed by product node, values = factor node
+    /// indices) as a factorizing map from `product` onto `factor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated property as a [`FactorError`].
+    pub fn new<L: Label>(
+        product: &LabeledGraph<L>,
+        factor: &LabeledGraph<L>,
+        images: Vec<usize>,
+    ) -> Result<Self> {
+        let n = product.node_count();
+        let k = factor.node_count();
+        if images.len() != n {
+            return Err(FactorError::WrongDomain { map_len: images.len(), nodes: n });
+        }
+        for (v, &img) in images.iter().enumerate() {
+            if img >= k {
+                return Err(FactorError::ImageOutOfRange { node: NodeId::new(v), image: img });
+            }
+        }
+        let images: Vec<NodeId> = images.into_iter().map(NodeId::new).collect();
+
+        // (1) surjective
+        let mut covered = vec![false; k];
+        for &img in &images {
+            covered[img.index()] = true;
+        }
+        if let Some(c) = covered.iter().position(|&c| !c) {
+            return Err(FactorError::NotSurjective { uncovered: NodeId::new(c) });
+        }
+
+        // (2) label-preserving
+        for v in product.graph().nodes() {
+            if product.label(v) != factor.label(images[v.index()]) {
+                return Err(FactorError::LabelMismatch { node: v });
+            }
+        }
+
+        // (3) local isomorphism: f|Γ(v) is a bijection onto Γ(f(v)).
+        for v in product.graph().nodes() {
+            let mut image_nbrs: Vec<NodeId> = product
+                .graph()
+                .neighbors(v)
+                .iter()
+                .map(|&u| images[u.index()])
+                .collect();
+            image_nbrs.sort();
+            let has_dup = image_nbrs.windows(2).any(|w| w[0] == w[1]);
+            let mut expect: Vec<NodeId> = factor.graph().neighbors(images[v.index()]).to_vec();
+            expect.sort();
+            if has_dup || image_nbrs != expect {
+                return Err(FactorError::NotLocalIsomorphism { node: v });
+            }
+        }
+
+        Ok(FactorizingMap { images, factor_nodes: k })
+    }
+
+    /// The identity map on a graph (every graph is a factor of itself).
+    pub fn identity(n: usize) -> Self {
+        FactorizingMap { images: (0..n).map(NodeId::new).collect(), factor_nodes: n }
+    }
+
+    /// The image `f(v)`.
+    pub fn image(&self, v: NodeId) -> NodeId {
+        self.images[v.index()]
+    }
+
+    /// All images, indexed by product node.
+    pub fn images(&self) -> &[NodeId] {
+        &self.images
+    }
+
+    /// Number of nodes in the product (the domain).
+    pub fn product_nodes(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Number of nodes in the factor (the codomain).
+    pub fn factor_nodes(&self) -> usize {
+        self.factor_nodes
+    }
+
+    /// The fiber `f⁻¹(c)`.
+    pub fn fiber(&self, c: NodeId) -> Vec<NodeId> {
+        self.images
+            .iter()
+            .enumerate()
+            .filter(|(_, &img)| img == c)
+            .map(|(v, _)| NodeId::new(v))
+            .collect()
+    }
+
+    /// `|V| / |V'|` — well-defined for connected products (paper:
+    /// `|V| = m·|V'|`).
+    pub fn multiplicity(&self) -> usize {
+        self.images.len() / self.factor_nodes
+    }
+
+    /// `true` iff the map is a bijection, i.e. the two graphs are
+    /// isomorphic via `f`.
+    pub fn is_bijective(&self) -> bool {
+        self.images.len() == self.factor_nodes
+    }
+
+    /// Composition `other ∘ self` (first `self`, then `other`):
+    /// factors compose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other`'s domain does not match `self`'s codomain.
+    pub fn then(&self, other: &FactorizingMap) -> FactorizingMap {
+        assert_eq!(
+            self.factor_nodes,
+            other.images.len(),
+            "composition requires matching intermediate graphs"
+        );
+        FactorizingMap {
+            images: self.images.iter().map(|&v| other.image(v)).collect(),
+            factor_nodes: other.factor_nodes,
+        }
+    }
+
+    /// Checks whether the map additionally preserves port numbers between
+    /// `product` and `factor`: port `p` of `v` must lead to the node whose
+    /// image is reached through port `p` of `f(v)`, with matching reverse
+    /// ports. Graph lifts built by `anonet-graph` satisfy this; arbitrary
+    /// factorizing maps need not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::NotPortPreserving`] with a witness node.
+    pub fn require_port_preserving<L: Label>(
+        &self,
+        product: &LabeledGraph<L>,
+        factor: &LabeledGraph<L>,
+    ) -> Result<()> {
+        let pg = product.graph();
+        let fg = factor.graph();
+        for v in pg.nodes() {
+            let c = self.image(v);
+            if pg.degree(v) != fg.degree(c) {
+                return Err(FactorError::NotPortPreserving { node: v });
+            }
+            for p in 0..pg.degree(v) {
+                let port = Port::new(p);
+                let port_ok = self.image(pg.endpoint(v, port)) == fg.endpoint(c, port);
+                let rev_ok = pg.reverse_port(v, port) == fg.reverse_port(c, port);
+                if !port_ok || !rev_ok {
+                    return Err(FactorError::NotPortPreserving { node: v });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::generators;
+
+    fn c3() -> LabeledGraph<u32> {
+        generators::cycle(3).unwrap().with_labels(vec![1, 2, 3]).unwrap()
+    }
+
+    fn c6() -> LabeledGraph<u32> {
+        generators::cycle(6).unwrap().with_labels(vec![1, 2, 3, 1, 2, 3]).unwrap()
+    }
+
+    #[test]
+    fn figure2_map_validates() {
+        let f = FactorizingMap::new(&c6(), &c3(), vec![0, 1, 2, 0, 1, 2]).unwrap();
+        assert_eq!(f.multiplicity(), 2);
+        assert!(!f.is_bijective());
+        assert_eq!(f.fiber(NodeId::new(1)), vec![NodeId::new(1), NodeId::new(4)]);
+    }
+
+    #[test]
+    fn figure2_full_chain_composes() {
+        // C12 → C6 → C3, composed = C12 → C3.
+        let c12 = generators::cycle(12)
+            .unwrap()
+            .with_labels(vec![1u32, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3])
+            .unwrap();
+        let f = FactorizingMap::new(&c12, &c6(), (0..12).map(|i| i % 6).collect()).unwrap();
+        let g = FactorizingMap::new(&c6(), &c3(), vec![0, 1, 2, 0, 1, 2]).unwrap();
+        let h = f.then(&g);
+        assert_eq!(h.multiplicity(), 4);
+        // The composite is itself a valid factorizing map.
+        let images: Vec<usize> = h.images().iter().map(|v| v.index()).collect();
+        assert!(FactorizingMap::new(&c12, &c3(), images).is_ok());
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let err = FactorizingMap::new(&c6(), &c3(), vec![0, 1, 2]).unwrap_err();
+        assert!(matches!(err, FactorError::WrongDomain { map_len: 3, nodes: 6 }));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = FactorizingMap::new(&c6(), &c3(), vec![0, 1, 2, 0, 1, 5]).unwrap_err();
+        assert!(matches!(err, FactorError::ImageOutOfRange { image: 5, .. }));
+    }
+
+    #[test]
+    fn non_surjective_rejected() {
+        // Map everything to node 0: labels break first? Node 1 has label 2
+        // but image 0 has label 1 — label check fires. Use a label-true but
+        // non-surjective situation instead: C6 -> C6 constant-shift by 3 is
+        // fine; constant map to {0,1,2} misses 3,4,5.
+        let g = c6();
+        let err = FactorizingMap::new(&g, &g, vec![0, 1, 2, 0, 1, 2]).unwrap_err();
+        assert!(matches!(err, FactorError::NotSurjective { .. }));
+    }
+
+    #[test]
+    fn label_mismatch_rejected() {
+        let err = FactorizingMap::new(&c6(), &c3(), vec![1, 2, 0, 1, 2, 0]).unwrap_err();
+        assert!(matches!(err, FactorError::LabelMismatch { .. }));
+    }
+
+    #[test]
+    fn local_isomorphism_enforced() {
+        // Identity labels but a map that merges non-equivalent nodes: take
+        // P4 with symmetric labels and map it onto P2... local iso fails.
+        let p4 = generators::path(4).unwrap().with_labels(vec![1u32, 2, 2, 1]).unwrap();
+        let p2 = generators::path(2).unwrap().with_labels(vec![1u32, 2]).unwrap();
+        let err = FactorizingMap::new(&p4, &p2, vec![0, 1, 1, 0]).unwrap_err();
+        assert!(matches!(err, FactorError::NotLocalIsomorphism { .. }));
+    }
+
+    #[test]
+    fn identity_is_bijective() {
+        let f = FactorizingMap::identity(5);
+        assert!(f.is_bijective());
+        assert_eq!(f.image(NodeId::new(3)), NodeId::new(3));
+        assert_eq!(f.multiplicity(), 1);
+    }
+
+    #[test]
+    fn lifts_are_port_preserving() {
+        let l = anonet_graph::lift::cyclic_cycle_lift(3, 2).unwrap();
+        let base = c3();
+        let product = l.lift_labels(base.labels()).unwrap();
+        let images: Vec<usize> = l.projection().iter().map(|v| v.index()).collect();
+        let f = FactorizingMap::new(&product, &base, images).unwrap();
+        f.require_port_preserving(&product, &base).unwrap();
+    }
+
+    #[test]
+    fn figure2_hand_map_need_not_preserve_ports() {
+        // The hand-written C6 → C3 map is a perfectly good factorizing
+        // map, but the cycle generator's port numbering is asymmetric, so
+        // port preservation fails somewhere.
+        let f = FactorizingMap::new(&c6(), &c3(), vec![0, 1, 2, 0, 1, 2]).unwrap();
+        assert!(f.require_port_preserving(&c6(), &c3()).is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Finite bitstrings — the paper's label domain.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::labels::Label;
+
+/// A finite bitstring, the paper's canonical label domain (Section 1.1:
+/// "we assume hereafter that all labels are finite bitstrings").
+///
+/// Bitstrings are ordered by the **shortlex** order: first by length, then
+/// lexicographically. This makes the order total on strings of *different*
+/// lengths as well, which is exactly what the paper's `Update-Bits`
+/// machinery requires when comparing bit assignments of different phase
+/// lengths (Section 2.2 extends the assignment order by `t₁ < t₂`).
+///
+/// # Example
+///
+/// ```
+/// use anonet_graph::BitString;
+///
+/// let a: BitString = "010".parse().unwrap();
+/// let b: BitString = "1".parse().unwrap();
+/// // shortlex: all length-1 strings precede all length-3 strings
+/// assert!(b < a);
+/// assert_eq!(a.to_string(), "010");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitString {
+    bits: Vec<bool>,
+}
+
+impl BitString {
+    /// Creates an empty bitstring.
+    pub fn new() -> Self {
+        BitString { bits: Vec::new() }
+    }
+
+    /// Creates a bitstring from an iterator of bits.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        BitString { bits: bits.into_iter().collect() }
+    }
+
+    /// Creates a bitstring holding the `len` low-order bits of `value`,
+    /// most significant bit first.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use anonet_graph::BitString;
+    /// assert_eq!(BitString::from_value(5, 4).to_string(), "0101");
+    /// ```
+    pub fn from_value(value: u64, len: usize) -> Self {
+        let bits = (0..len).rev().map(|i| (value >> i) & 1 == 1).collect();
+        BitString { bits }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` if the bitstring has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Returns bit `i`, or `None` if out of range.
+    pub fn get(&self, i: usize) -> Option<bool> {
+        self.bits.get(i).copied()
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// Removes and returns the last bit.
+    pub fn pop(&mut self) -> Option<bool> {
+        self.bits.pop()
+    }
+
+    /// Truncates to the first `len` bits (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.bits.truncate(len);
+    }
+
+    /// View of the underlying bits.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// `true` if `self` is a prefix of `other` (including equality).
+    ///
+    /// `Update-Bits` only ever *extends* a node's bitstring, so prefix
+    /// queries are how the analysis (Lemma 9) relates phases.
+    pub fn is_prefix_of(&self, other: &BitString) -> bool {
+        other.bits.len() >= self.bits.len() && other.bits[..self.bits.len()] == self.bits[..]
+    }
+
+    /// Returns a copy extended by the bits of `suffix`.
+    pub fn concat(&self, suffix: &BitString) -> BitString {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&suffix.bits);
+        BitString { bits }
+    }
+
+    /// Interprets the bitstring as a big-endian integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitstring is longer than 64 bits.
+    pub fn to_value(&self) -> u64 {
+        assert!(self.bits.len() <= 64, "bitstring too long for u64");
+        self.bits.iter().fold(0u64, |acc, &b| (acc << 1) | u64::from(b))
+    }
+}
+
+impl PartialOrd for BitString {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BitString {
+    /// Shortlex: length first, then lexicographic (`false < true`).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bits
+            .len()
+            .cmp(&other.bits.len())
+            .then_with(|| self.bits.cmp(&other.bits))
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitString(\"{self}\")")
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits.is_empty() {
+            return write!(f, "ε");
+        }
+        for &b in &self.bits {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`BitString`] from text fails.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParseBitStringError {
+    offset: usize,
+}
+
+impl fmt::Display for ParseBitStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bit character at offset {}", self.offset)
+    }
+}
+
+impl std::error::Error for ParseBitStringError {}
+
+impl FromStr for BitString {
+    type Err = ParseBitStringError;
+
+    /// Parses `"0"`/`"1"` characters; `"ε"` and the empty string parse to
+    /// the empty bitstring.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "ε" {
+            return Ok(BitString::new());
+        }
+        let mut bits = Vec::with_capacity(s.len());
+        for (i, c) in s.chars().enumerate() {
+            match c {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                _ => return Err(ParseBitStringError { offset: i }),
+            }
+        }
+        Ok(BitString { bits })
+    }
+}
+
+impl FromIterator<bool> for BitString {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitString::from_bits(iter)
+    }
+}
+
+impl Extend<bool> for BitString {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        self.bits.extend(iter);
+    }
+}
+
+impl Label for BitString {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.bits.len() as u64).encode(out);
+        // Pack bits into bytes, MSB first.
+        let mut byte = 0u8;
+        for (i, &b) in self.bits.iter().enumerate() {
+            byte = (byte << 1) | u8::from(b);
+            if i % 8 == 7 {
+                out.push(byte);
+                byte = 0;
+            }
+        }
+        if !self.bits.len().is_multiple_of(8) {
+            byte <<= 8 - self.bits.len() % 8;
+            out.push(byte);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_len() {
+        let mut s = BitString::new();
+        assert!(s.is_empty());
+        s.push(true);
+        s.push(false);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), Some(true));
+        assert_eq!(s.get(1), Some(false));
+        assert_eq!(s.get(2), None);
+        assert_eq!(s.pop(), Some(false));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn shortlex_order() {
+        let parse = |s: &str| s.parse::<BitString>().unwrap();
+        // length dominates
+        assert!(parse("1") < parse("00"));
+        // equal length: lexicographic
+        assert!(parse("01") < parse("10"));
+        assert!(parse("00") < parse("01"));
+        // empty string is smallest
+        assert!(BitString::new() < parse("0"));
+    }
+
+    #[test]
+    fn from_value_roundtrip() {
+        for v in 0..32u64 {
+            let s = BitString::from_value(v, 5);
+            assert_eq!(s.len(), 5);
+            assert_eq!(s.to_value(), v);
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for text in ["0", "1", "0110", "111000111"] {
+            let s: BitString = text.parse().unwrap();
+            assert_eq!(s.to_string(), text);
+        }
+        assert_eq!(BitString::new().to_string(), "ε");
+        assert_eq!("ε".parse::<BitString>().unwrap(), BitString::new());
+        assert!("01x".parse::<BitString>().is_err());
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a: BitString = "01".parse().unwrap();
+        let b: BitString = "0110".parse().unwrap();
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        let c: BitString = "10".parse().unwrap();
+        assert!(!c.is_prefix_of(&b));
+    }
+
+    #[test]
+    fn concat_and_truncate() {
+        let a: BitString = "01".parse().unwrap();
+        let b: BitString = "10".parse().unwrap();
+        let mut ab = a.concat(&b);
+        assert_eq!(ab.to_string(), "0110");
+        ab.truncate(3);
+        assert_eq!(ab.to_string(), "011");
+        ab.truncate(10);
+        assert_eq!(ab.len(), 3);
+    }
+
+    #[test]
+    fn encode_distinguishes_length() {
+        // "0" vs "00": must encode differently even though packed bits agree.
+        let mut e1 = Vec::new();
+        let mut e2 = Vec::new();
+        "0".parse::<BitString>().unwrap().encode(&mut e1);
+        "00".parse::<BitString>().unwrap().encode(&mut e2);
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn encode_is_injective_on_small_strings() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for len in 0..=9usize {
+            for v in 0..(1u64 << len) {
+                let s = BitString::from_value(v, len);
+                let mut e = Vec::new();
+                s.encode(&mut e);
+                assert!(seen.insert(e), "collision for {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! The port-numbered simple graph at the heart of the model.
+
+use std::fmt;
+
+use crate::error::GraphError;
+use crate::labeled::LabeledGraph;
+use crate::labels::Label;
+use crate::node::{NodeId, Port};
+use crate::Result;
+
+/// An undirected edge, stored with `u <= v`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Edge {
+    /// The smaller endpoint.
+    pub u: NodeId,
+    /// The larger endpoint.
+    pub v: NodeId,
+}
+
+impl Edge {
+    /// Creates an edge, normalizing endpoint order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (simple graphs have no loops).
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        assert_ne!(u, v, "loop edges are not allowed in simple graphs");
+        if u < v {
+            Edge { u, v }
+        } else {
+            Edge { u: v, v: u }
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+/// A finite simple undirected graph with an implicit port numbering.
+///
+/// Port `p` of node `v` is the `p`-th entry of `v`'s adjacency list, so a
+/// `Graph` value pins down not only the topology but also the port
+/// numbering that anonymous algorithms observe (paper, Section 1.1: "`v`
+/// distinguishes between the ports corresponding to its incident edges").
+///
+/// Graphs are immutable after construction; build them with
+/// [`GraphBuilder`] or the [`generators`](crate::generators) module.
+///
+/// # Example
+///
+/// ```
+/// use anonet_graph::{Graph, NodeId};
+///
+/// # fn main() -> Result<(), anonet_graph::GraphError> {
+/// let triangle = Graph::builder(3).edge(0, 1)?.edge(1, 2)?.edge(0, 2)?.build()?;
+/// assert_eq!(triangle.node_count(), 3);
+/// assert_eq!(triangle.edge_count(), 3);
+/// assert_eq!(triangle.degree(NodeId::new(0)), 2);
+/// assert!(triangle.is_connected());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Graph {
+    /// `adj[v]` lists the neighbors of `v`; index = port number.
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl Graph {
+    /// Starts building a graph with `n` nodes.
+    pub fn builder(n: usize) -> GraphBuilder {
+        GraphBuilder::new(n)
+    }
+
+    /// Builds a graph directly from an edge list over `n` nodes.
+    ///
+    /// Ports are assigned in edge-insertion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty graph, out-of-range endpoints, loops,
+    /// or parallel edges. Connectivity is **not** required here; use
+    /// [`Graph::is_connected`] or build through generators when you need it.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b = b.edge(u, v)?;
+        }
+        b.build_unconnected()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over all node identifiers `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::new)
+    }
+
+    /// Neighbors of `v` in port order (`Γ(v)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.index()]
+    }
+
+    /// The neighbor of `v` reached through `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `port` is out of range.
+    pub fn endpoint(&self, v: NodeId, port: Port) -> NodeId {
+        self.adj[v.index()][port.index()]
+    }
+
+    /// The port of `v` that leads to `u`, if `(v, u)` is an edge.
+    pub fn port_to(&self, v: NodeId, u: NodeId) -> Option<Port> {
+        self.adj[v.index()].iter().position(|&w| w == u).map(Port::new)
+    }
+
+    /// The port on the *other* side of the edge `(v, endpoint(v, port))`,
+    /// i.e. the port through which the neighbor sees `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `port` is out of range.
+    pub fn reverse_port(&self, v: NodeId, port: Port) -> Port {
+        let u = self.endpoint(v, port);
+        self.port_to(u, v)
+            .expect("adjacency lists are symmetric by construction")
+    }
+
+    /// `true` if `(u, v)` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u.index()].contains(&v)
+    }
+
+    /// Iterates over all undirected edges, each reported once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = NodeId::new(u);
+            nbrs.iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| Edge { u, v })
+        })
+    }
+
+    /// `true` if the graph is connected (every graph with one node is).
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n == 0 {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &u in self.neighbors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Validates connectivity, returning the graph's error otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Disconnected`] if the graph is not connected.
+    pub fn require_connected(&self) -> Result<()> {
+        if self.is_connected() {
+            Ok(())
+        } else {
+            Err(GraphError::Disconnected)
+        }
+    }
+
+    /// Attaches labels to the nodes, producing a [`LabeledGraph`].
+    ///
+    /// `labels[i]` becomes the label of node `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::LabelCountMismatch`] if `labels.len()` differs
+    /// from the node count.
+    pub fn with_labels<L: Label>(&self, labels: Vec<L>) -> Result<LabeledGraph<L>> {
+        LabeledGraph::new(self.clone(), labels)
+    }
+
+    /// Attaches the *same* label to every node.
+    pub fn with_uniform_label<L: Label>(&self, label: L) -> LabeledGraph<L> {
+        LabeledGraph::new(self.clone(), vec![label; self.node_count()])
+            .expect("label count matches by construction")
+    }
+
+    /// Attaches each node's degree as its label.
+    ///
+    /// The paper assumes every input label includes the node's degree
+    /// (Section 1.1); this is the minimal such labeling.
+    pub fn with_degree_labels(&self) -> LabeledGraph<u32> {
+        let labels = self.nodes().map(|v| self.degree(v) as u32).collect();
+        LabeledGraph::new(self.clone(), labels).expect("label count matches by construction")
+    }
+
+    /// Internal constructor from validated adjacency lists.
+    pub(crate) fn from_adjacency_unchecked(adj: Vec<Vec<NodeId>>) -> Self {
+        Graph { adj }
+    }
+
+    /// Builds a graph from explicit adjacency lists, validating that the
+    /// result is a simple symmetric graph. The order of each list becomes
+    /// the port numbering of that node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty node set, out-of-range entries,
+    /// loops, duplicate neighbors, or asymmetric adjacency.
+    pub fn from_adjacency(adj: Vec<Vec<NodeId>>) -> Result<Self> {
+        let n = adj.len();
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        for (v, nbrs) in adj.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for &u in nbrs {
+                if u.index() >= n {
+                    return Err(GraphError::NodeOutOfRange { node: u.index(), n });
+                }
+                if u.index() == v {
+                    return Err(GraphError::LoopEdge { node: v });
+                }
+                if !seen.insert(u) {
+                    return Err(GraphError::ParallelEdge { u: v, v: u.index() });
+                }
+                if !adj[u.index()].contains(&NodeId::new(v)) {
+                    return Err(GraphError::InvalidParameter {
+                        reason: format!("adjacency not symmetric: {v} lists {u} but not vice versa"),
+                    });
+                }
+            }
+        }
+        Ok(Graph { adj })
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.node_count(), self.edge_count())
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Edges are inserted in call order, which determines port numbers: the
+/// first edge incident to `v` occupies port 0 of `v`, and so on.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { adj: vec![Vec::new(); n] }
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range, `u == v`, or the
+    /// edge already exists.
+    pub fn edge(mut self, u: usize, v: usize) -> Result<Self> {
+        let n = self.adj.len();
+        if u >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            return Err(GraphError::LoopEdge { node: u });
+        }
+        if self.adj[u].contains(&NodeId::new(v)) {
+            return Err(GraphError::ParallelEdge { u, v });
+        }
+        self.adj[u].push(NodeId::new(v));
+        self.adj[v].push(NodeId::new(u));
+        Ok(self)
+    }
+
+    /// Finishes building, requiring a connected non-empty graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] for zero nodes or
+    /// [`GraphError::Disconnected`] if not connected.
+    pub fn build(self) -> Result<Graph> {
+        let g = self.build_unconnected()?;
+        g.require_connected()?;
+        Ok(g)
+    }
+
+    /// Finishes building without the connectivity requirement.
+    ///
+    /// Useful for intermediate constructions (e.g. lifts before their
+    /// connectivity check).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] for zero nodes.
+    pub fn build_unconnected(self) -> Result<Graph> {
+        if self.adj.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        Ok(Graph::from_adjacency_unchecked(self.adj))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::builder(3).edge(0, 1).unwrap().edge(1, 2).unwrap().build().unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_bad_edges() {
+        assert_eq!(
+            Graph::builder(2).edge(0, 2).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 2, n: 2 }
+        );
+        assert_eq!(Graph::builder(2).edge(1, 1).unwrap_err(), GraphError::LoopEdge { node: 1 });
+        assert_eq!(
+            Graph::builder(2).edge(0, 1).unwrap().edge(1, 0).unwrap_err(),
+            GraphError::ParallelEdge { u: 1, v: 0 }
+        );
+    }
+
+    #[test]
+    fn builder_requires_connectivity() {
+        let err = Graph::builder(3).edge(0, 1).unwrap().build().unwrap_err();
+        assert_eq!(err, GraphError::Disconnected);
+        assert_eq!(Graph::builder(0).build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn single_node_is_connected() {
+        let g = Graph::builder(1).build().unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn ports_follow_insertion_order() {
+        let g = path3();
+        let v1 = NodeId::new(1);
+        // node 1 saw edge (0,1) first, then (1,2)
+        assert_eq!(g.endpoint(v1, Port::new(0)), NodeId::new(0));
+        assert_eq!(g.endpoint(v1, Port::new(1)), NodeId::new(2));
+        assert_eq!(g.port_to(v1, NodeId::new(2)), Some(Port::new(1)));
+        assert_eq!(g.port_to(v1, NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn reverse_port_is_involutive() {
+        let g = path3();
+        for v in g.nodes() {
+            for p in 0..g.degree(v) {
+                let p = Port::new(p);
+                let u = g.endpoint(v, p);
+                let q = g.reverse_port(v, p);
+                assert_eq!(g.endpoint(u, q), v);
+                assert_eq!(g.reverse_port(u, q), p);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_reported_once() {
+        let g = path3();
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0], Edge::new(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(edges[1], Edge::new(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn edge_normalizes_order() {
+        let e = Edge::new(NodeId::new(5), NodeId::new(2));
+        assert_eq!(e.u, NodeId::new(2));
+        assert_eq!(e.v, NodeId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "loop edges")]
+    fn edge_rejects_loops() {
+        let _ = Edge::new(NodeId::new(1), NodeId::new(1));
+    }
+
+    #[test]
+    fn from_edges_allows_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!g.is_connected());
+        assert_eq!(g.require_connected().unwrap_err(), GraphError::Disconnected);
+    }
+
+    #[test]
+    fn degree_labels_match_degrees() {
+        let g = path3();
+        let lg = g.with_degree_labels();
+        assert_eq!(lg.labels(), &[1, 2, 1]);
+    }
+
+    #[test]
+    fn display_mentions_sizes() {
+        assert_eq!(path3().to_string(), "Graph(n=3, m=2)");
+    }
+}

@@ -1,0 +1,300 @@
+//! Labeled-graph isomorphism.
+//!
+//! Two labeled graphs are isomorphic (`G ≅ G'`) when some bijection is a
+//! label-preserving local isomorphism — equivalently, a bijective
+//! factorizing map (paper, Section 2.3.1). Port numberings are *not* part
+//! of the isomorphism notion.
+//!
+//! The implementation refines both graphs jointly by iterated neighborhood
+//! classes (1-WL / color refinement) and then searches for a bijection by
+//! backtracking inside refinement classes. This is exponential in the
+//! worst case but instantaneous at the sizes the experiments use, and the
+//! refinement prune is total on graphs whose refinement is discrete (in
+//! particular on prime 2-hop colored graphs, by Lemma 4).
+
+use std::collections::HashMap;
+
+use crate::labeled::LabeledGraph;
+use crate::labels::Label;
+use crate::node::NodeId;
+
+/// Searches for a label-preserving isomorphism from `a` to `b`.
+///
+/// Returns `Some(mapping)` with `mapping[v]` the image of node `v` of `a`
+/// in `b`, or `None` if the graphs are not isomorphic.
+pub fn find_isomorphism<L: Label>(
+    a: &LabeledGraph<L>,
+    b: &LabeledGraph<L>,
+) -> Option<Vec<NodeId>> {
+    let n = a.node_count();
+    if n != b.node_count() || a.graph().edge_count() != b.graph().edge_count() {
+        return None;
+    }
+
+    // Joint refinement: classes are shared between the two graphs so class
+    // ids are directly comparable.
+    let (class_a, class_b) = joint_refinement(a, b)?;
+
+    // Node order for the search: most constrained first (smallest class).
+    let mut class_size = HashMap::new();
+    for &c in class_a.iter().chain(class_b.iter()) {
+        *class_size.entry(c).or_insert(0usize) += 1;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| class_size[&class_a[v]]);
+
+    let mut mapping: Vec<Option<NodeId>> = vec![None; n];
+    let mut used = vec![false; n];
+    if backtrack(a, b, &class_a, &class_b, &order, 0, &mut mapping, &mut used) {
+        Some(mapping.into_iter().map(|m| m.expect("search completed")).collect())
+    } else {
+        None
+    }
+}
+
+/// `true` iff the two labeled graphs are isomorphic.
+pub fn are_isomorphic<L: Label>(a: &LabeledGraph<L>, b: &LabeledGraph<L>) -> bool {
+    find_isomorphism(a, b).is_some()
+}
+
+/// Verifies that `mapping` is a label-preserving isomorphism from `a` to `b`.
+pub fn is_isomorphism<L: Label>(
+    a: &LabeledGraph<L>,
+    b: &LabeledGraph<L>,
+    mapping: &[NodeId],
+) -> bool {
+    let n = a.node_count();
+    if mapping.len() != n || b.node_count() != n {
+        return false;
+    }
+    // Bijection?
+    let mut seen = vec![false; n];
+    for &img in mapping {
+        if img.index() >= n || seen[img.index()] {
+            return false;
+        }
+        seen[img.index()] = true;
+    }
+    // Labels preserved?
+    for v in a.graph().nodes() {
+        if a.label(v) != b.label(mapping[v.index()]) {
+            return false;
+        }
+    }
+    // Edges preserved both ways (bijection + equal edge counts ⇒ enough to
+    // check one direction plus counts, but be explicit).
+    if a.graph().edge_count() != b.graph().edge_count() {
+        return false;
+    }
+    for e in a.graph().edges() {
+        if !b.graph().has_edge(mapping[e.u.index()], mapping[e.v.index()]) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Jointly refines the nodes of both graphs into shared classes; returns
+/// `None` early if the per-graph class histograms diverge (certain
+/// non-isomorphism).
+fn joint_refinement<L: Label>(
+    a: &LabeledGraph<L>,
+    b: &LabeledGraph<L>,
+) -> Option<(Vec<u32>, Vec<u32>)> {
+    let n = a.node_count();
+    // Initial classes by (label, degree).
+    let mut keys: Vec<(Vec<u8>, usize, bool)> = Vec::with_capacity(2 * n);
+    for v in a.graph().nodes() {
+        keys.push((a.label(v).encoded(), a.graph().degree(v), false));
+    }
+    for v in b.graph().nodes() {
+        keys.push((b.label(v).encoded(), b.graph().degree(v), false));
+    }
+    let mut class = assign_classes(&keys);
+    loop {
+        if !histograms_match(&class, n) {
+            return None;
+        }
+        // Refine: key = (own class, sorted neighbor classes).
+        let mut next_keys: Vec<(u32, Vec<u32>)> = Vec::with_capacity(2 * n);
+        for v in a.graph().nodes() {
+            let mut nbrs: Vec<u32> =
+                a.graph().neighbors(v).iter().map(|u| class[u.index()]).collect();
+            nbrs.sort_unstable();
+            next_keys.push((class[v.index()], nbrs));
+        }
+        for v in b.graph().nodes() {
+            let mut nbrs: Vec<u32> =
+                b.graph().neighbors(v).iter().map(|u| class[n + u.index()]).collect();
+            nbrs.sort_unstable();
+            next_keys.push((class[n + v.index()], nbrs));
+        }
+        let next = assign_classes(&next_keys);
+        if next == class {
+            break;
+        }
+        class = next;
+    }
+    if !histograms_match(&class, n) {
+        return None;
+    }
+    Some((class[..n].to_vec(), class[n..].to_vec()))
+}
+
+fn assign_classes<K: Eq + std::hash::Hash + Ord + Clone>(keys: &[K]) -> Vec<u32> {
+    let mut sorted: Vec<&K> = keys.iter().collect();
+    sorted.sort();
+    sorted.dedup();
+    let index: HashMap<&K, u32> =
+        sorted.into_iter().enumerate().map(|(i, k)| (k, i as u32)).collect();
+    keys.iter().map(|k| index[k]).collect()
+}
+
+fn histograms_match(class: &[u32], n: usize) -> bool {
+    let mut ha = HashMap::new();
+    let mut hb = HashMap::new();
+    for &c in &class[..n] {
+        *ha.entry(c).or_insert(0usize) += 1;
+    }
+    for &c in &class[n..] {
+        *hb.entry(c).or_insert(0usize) += 1;
+    }
+    ha == hb
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack<L: Label>(
+    a: &LabeledGraph<L>,
+    b: &LabeledGraph<L>,
+    class_a: &[u32],
+    class_b: &[u32],
+    order: &[usize],
+    depth: usize,
+    mapping: &mut Vec<Option<NodeId>>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let v = order[depth];
+    'candidates: for w in 0..class_b.len() {
+        if used[w] || class_b[w] != class_a[v] {
+            continue;
+        }
+        // Adjacency consistency with already-mapped nodes.
+        for u in a.graph().neighbors(NodeId::new(v)) {
+            if let Some(img) = mapping[u.index()] {
+                if !b.graph().has_edge(NodeId::new(w), img) {
+                    continue 'candidates;
+                }
+            }
+        }
+        // Non-adjacency consistency: every mapped non-neighbor must stay
+        // non-adjacent (needed because we check edges only from v's side).
+        for (u, m) in mapping.iter().enumerate() {
+            if let Some(img) = m {
+                let adj_a = a.graph().has_edge(NodeId::new(v), NodeId::new(u));
+                let adj_b = b.graph().has_edge(NodeId::new(w), *img);
+                if adj_a != adj_b {
+                    continue 'candidates;
+                }
+            }
+        }
+        mapping[v] = Some(NodeId::new(w));
+        used[w] = true;
+        if backtrack(a, b, class_a, class_b, order, depth + 1, mapping, used) {
+            return true;
+        }
+        mapping[v] = None;
+        used[w] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::Graph;
+
+    #[test]
+    fn identical_graphs_are_isomorphic() {
+        let g = generators::petersen().with_degree_labels();
+        let m = find_isomorphism(&g, &g).unwrap();
+        assert!(is_isomorphism(&g, &g, &m));
+    }
+
+    #[test]
+    fn relabeled_cycle_is_isomorphic_to_rotation() {
+        let c6 = generators::cycle(6).unwrap();
+        let a = c6.with_labels(vec![1u8, 2, 3, 1, 2, 3]).unwrap();
+        let b = c6.with_labels(vec![2u8, 3, 1, 2, 3, 1]).unwrap(); // rotated by 1
+        let m = find_isomorphism(&a, &b).unwrap();
+        assert!(is_isomorphism(&a, &b, &m));
+    }
+
+    #[test]
+    fn different_labels_are_not_isomorphic() {
+        let c4 = generators::cycle(4).unwrap();
+        let a = c4.with_labels(vec![1u8, 2, 1, 2]).unwrap();
+        let b = c4.with_labels(vec![1u8, 1, 2, 2]).unwrap();
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn cycle_vs_path_not_isomorphic() {
+        let a = generators::cycle(4).unwrap().with_uniform_label(0u8);
+        let b = generators::path(4).unwrap().with_uniform_label(0u8);
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn port_renumbering_is_still_isomorphic() {
+        // Same topology, different insertion order ⇒ different ports, but
+        // isomorphism ignores ports.
+        let a = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap().with_uniform_label(0u8);
+        let b = Graph::from_edges(3, &[(0, 2), (1, 2), (0, 1)]).unwrap().with_uniform_label(0u8);
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn c6_not_isomorphic_to_two_triangles() {
+        let a = generators::cycle(6).unwrap().with_uniform_label(0u8);
+        let b = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+            .unwrap()
+            .with_uniform_label(0u8);
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn regular_but_nonisomorphic() {
+        // K3,3 and the 3-prism are both 3-regular on 6 nodes but differ
+        // (the prism has triangles). Refinement alone cannot separate them;
+        // the backtracking must.
+        let k33 = Graph::from_edges(
+            6,
+            &[(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+        )
+        .unwrap()
+        .with_uniform_label(0u8);
+        let prism = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (0, 3), (1, 4), (2, 5)],
+        )
+        .unwrap()
+        .with_uniform_label(0u8);
+        assert!(!are_isomorphic(&k33, &prism));
+        assert!(are_isomorphic(&k33, &k33));
+    }
+
+    #[test]
+    fn is_isomorphism_rejects_bad_maps() {
+        let g = generators::cycle(4).unwrap().with_uniform_label(0u8);
+        // Swapping two adjacent nodes only is not an automorphism of C4's
+        // edge set... actually check a genuinely broken map: constant.
+        let bad = vec![NodeId::new(0); 4];
+        assert!(!is_isomorphism(&g, &g, &bad));
+        let not_edge_preserving = vec![NodeId::new(0), NodeId::new(2), NodeId::new(1), NodeId::new(3)];
+        assert!(!is_isomorphism(&g, &g, &not_edge_preserving));
+    }
+}

@@ -1,0 +1,196 @@
+//! Labeled graphs `G = (V, E, ℓ)`.
+
+use std::fmt;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::labels::Label;
+use crate::node::NodeId;
+use crate::Result;
+
+/// A graph together with a labeling function `ℓ : V → L`.
+///
+/// Multiple labelings `ℓ₁, …, ℓ_k` are modeled as a single labeling by
+/// tuples, exactly as in the paper (Section 1.1): use [`LabeledGraph::zip`]
+/// to combine and [`LabeledGraph::map_labels`] to project.
+///
+/// # Example
+///
+/// ```
+/// use anonet_graph::generators;
+///
+/// # fn main() -> Result<(), anonet_graph::GraphError> {
+/// let c6 = generators::cycle(6)?;
+/// let input = c6.with_uniform_label(0u8);
+/// let colors = c6.with_labels(vec![1u32, 2, 3, 1, 2, 3])?;
+/// let combined = input.zip(&colors)?; // labels are (u8, u32) pairs
+/// assert_eq!(*combined.label(anonet_graph::NodeId::new(1)), (0u8, 2u32));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LabeledGraph<L> {
+    graph: Graph,
+    labels: Vec<L>,
+}
+
+impl<L: Label> LabeledGraph<L> {
+    /// Creates a labeled graph; `labels[i]` labels node `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::LabelCountMismatch`] if the label count does
+    /// not match the node count.
+    pub fn new(graph: Graph, labels: Vec<L>) -> Result<Self> {
+        if labels.len() != graph.node_count() {
+            return Err(GraphError::LabelCountMismatch {
+                labels: labels.len(),
+                nodes: graph.node_count(),
+            });
+        }
+        Ok(LabeledGraph { graph, labels })
+    }
+
+    /// The underlying unlabeled graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The label of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: NodeId) -> &L {
+        &self.labels[v.index()]
+    }
+
+    /// All labels, indexed by node.
+    pub fn labels(&self) -> &[L] {
+        &self.labels
+    }
+
+    /// Consumes the labeled graph, returning its parts.
+    pub fn into_parts(self) -> (Graph, Vec<L>) {
+        (self.graph, self.labels)
+    }
+
+    /// Number of nodes (delegates to the graph).
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Applies `f` to every label, keeping the topology.
+    pub fn map_labels<M: Label>(&self, f: impl FnMut(&L) -> M) -> LabeledGraph<M> {
+        LabeledGraph {
+            graph: self.graph.clone(),
+            labels: self.labels.iter().map(f).collect(),
+        }
+    }
+
+    /// Combines two labelings of the *same* graph into a tuple labeling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if the two labeled graphs
+    /// have different topologies (node sets, edges, or port numberings).
+    pub fn zip<M: Label>(&self, other: &LabeledGraph<M>) -> Result<LabeledGraph<(L, M)>> {
+        if self.graph != other.graph {
+            return Err(GraphError::InvalidParameter {
+                reason: "zip requires identical topologies and port numberings".into(),
+            });
+        }
+        let labels = self
+            .labels
+            .iter()
+            .cloned()
+            .zip(other.labels.iter().cloned())
+            .collect();
+        Ok(LabeledGraph { graph: self.graph.clone(), labels })
+    }
+
+    /// The number of *distinct* labels in use.
+    pub fn distinct_label_count(&self) -> usize {
+        let mut sorted: Vec<&L> = self.labels.iter().collect();
+        sorted.sort();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Replaces the label of a single node, returning a new graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn with_label_at(&self, v: NodeId, label: L) -> Self {
+        let mut labels = self.labels.clone();
+        labels[v.index()] = label;
+        LabeledGraph { graph: self.graph.clone(), labels }
+    }
+}
+
+impl<L: Label> fmt::Display for LabeledGraph<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LabeledGraph(n={}, m={}, distinct labels={})",
+            self.graph.node_count(),
+            self.graph.edge_count(),
+            self.distinct_label_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn label_count_must_match() {
+        let g = generators::cycle(4).unwrap();
+        let err = g.with_labels(vec![1u8, 2]).unwrap_err();
+        assert_eq!(err, GraphError::LabelCountMismatch { labels: 2, nodes: 4 });
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let g = generators::path(3).unwrap();
+        let a = g.with_labels(vec![1u8, 2, 3]).unwrap();
+        let b = a.map_labels(|l| u32::from(l * 10));
+        assert_eq!(b.labels(), &[10, 20, 30]);
+        let z = a.zip(&b).unwrap();
+        assert_eq!(*z.label(NodeId::new(2)), (3u8, 30u32));
+    }
+
+    #[test]
+    fn zip_rejects_different_topologies() {
+        let p = generators::path(3).unwrap().with_uniform_label(0u8);
+        let c = generators::cycle(3).unwrap().with_uniform_label(0u8);
+        assert!(p.zip(&c).is_err());
+    }
+
+    #[test]
+    fn distinct_label_count_counts_unique() {
+        let g = generators::cycle(6).unwrap();
+        let lg = g.with_labels(vec![1u8, 2, 3, 1, 2, 3]).unwrap();
+        assert_eq!(lg.distinct_label_count(), 3);
+        assert_eq!(g.with_uniform_label(7u8).distinct_label_count(), 1);
+    }
+
+    #[test]
+    fn with_label_at_replaces_one() {
+        let g = generators::path(3).unwrap();
+        let lg = g.with_uniform_label(0u8).with_label_at(NodeId::new(1), 9);
+        assert_eq!(lg.labels(), &[0, 9, 0]);
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let g = generators::path(2).unwrap();
+        let lg = g.with_labels(vec![5u8, 6]).unwrap();
+        let (graph, labels) = lg.into_parts();
+        assert_eq!(graph.node_count(), 2);
+        assert_eq!(labels, vec![5, 6]);
+    }
+}

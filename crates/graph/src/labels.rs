@@ -1,0 +1,181 @@
+//! The [`Label`] trait: what a node label must support.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A node label.
+///
+/// The paper models labels as finite bitstrings; this trait captures the
+/// operations the machinery actually needs: equality and hashing (view
+/// refinement), a total order (the canonical orders of Sections 2.1/3.1),
+/// and a deterministic, **injective** byte encoding (the `s(G_*)` encodings
+/// used to order finite view graphs).
+///
+/// `encode` must be *self-delimiting in context*: encoding a sequence of
+/// labels by concatenation must remain injective. All provided
+/// implementations achieve this with fixed-width or length-prefixed
+/// encodings.
+///
+/// # Example
+///
+/// ```
+/// use anonet_graph::Label;
+///
+/// let mut out = Vec::new();
+/// 7u32.encode(&mut out);
+/// (true, 7u32).encode(&mut out);
+/// assert!(!out.is_empty());
+/// ```
+pub trait Label: Clone + Eq + Ord + Hash + Debug {
+    /// Appends a deterministic, injective byte encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+macro_rules! impl_label_for_int {
+    ($($t:ty),*) => {
+        $(
+            impl Label for $t {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    out.extend_from_slice(&self.to_be_bytes());
+                }
+            }
+        )*
+    };
+}
+
+impl_label_for_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Label for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as u64).to_be_bytes());
+    }
+}
+
+impl Label for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Label for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+}
+
+impl Label for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl<L: Label> Label for Option<L> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(l) => {
+                out.push(1);
+                l.encode(out);
+            }
+        }
+    }
+}
+
+impl<L: Label> Label for Vec<L> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for l in self {
+            l.encode(out);
+        }
+    }
+}
+
+impl<A: Label, B: Label> Label for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: Label, B: Label, C: Label> Label for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+}
+
+impl<A: Label, B: Label, C: Label, D: Label> Label for (A, B, C, D) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+        self.3.encode(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_encodings_are_fixed_width() {
+        assert_eq!(1u8.encoded().len(), 1);
+        assert_eq!(1u32.encoded().len(), 4);
+        assert_eq!(1u64.encoded().len(), 8);
+        assert_eq!(1usize.encoded().len(), 8);
+    }
+
+    #[test]
+    fn int_encoding_preserves_order() {
+        // Big-endian encodings compare like the integers themselves.
+        for a in 0..50u32 {
+            for b in 0..50u32 {
+                assert_eq!(a.cmp(&b), a.encoded().cmp(&b.encoded()));
+            }
+        }
+    }
+
+    #[test]
+    fn string_encoding_is_length_prefixed() {
+        // "a" then "b" must differ from "ab" then "".
+        let mut e1 = Vec::new();
+        "a".to_string().encode(&mut e1);
+        "b".to_string().encode(&mut e1);
+        let mut e2 = Vec::new();
+        "ab".to_string().encode(&mut e2);
+        String::new().encode(&mut e2);
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn option_encoding_distinguishes_none() {
+        assert_ne!(None::<u8>.encoded(), Some(0u8).encoded());
+    }
+
+    #[test]
+    fn tuple_encoding_concatenates() {
+        let mut expect = Vec::new();
+        1u16.encode(&mut expect);
+        true.encode(&mut expect);
+        assert_eq!((1u16, true).encoded(), expect);
+    }
+
+    #[test]
+    fn vec_encoding_is_injective_across_splits() {
+        let a = vec![vec![1u8, 2], vec![3u8]];
+        let b = vec![vec![1u8], vec![2u8, 3]];
+        assert_ne!(a.encoded(), b.encoded());
+    }
+
+    #[test]
+    fn unit_label_encodes_to_nothing() {
+        assert!(().encoded().is_empty());
+    }
+}

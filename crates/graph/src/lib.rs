@@ -1,0 +1,70 @@
+//! # anonet-graph
+//!
+//! Labeled-graph substrate for the `anonet` workspace, a reproduction of
+//! *"Anonymous Networks: Randomization = 2-Hop Coloring"* (Emek, Pfister,
+//! Seidel, Wattenhofer — PODC 2014).
+//!
+//! The paper's model operates on finite, connected, simple graphs whose
+//! nodes carry labels (finite bitstrings) and whose incident edges are
+//! distinguished locally by *port numbers*. This crate provides:
+//!
+//! * [`Graph`] — a simple undirected graph with an implicit port numbering
+//!   (port `p` of node `v` is the `p`-th entry of `v`'s adjacency list);
+//! * [`LabeledGraph`] — a graph together with a labeling function
+//!   `ℓ : V → L` for any [`Label`] type;
+//! * [`BitString`] — the paper's label domain (finite bitstrings) with the
+//!   shortlex total order used throughout the derandomization machinery;
+//! * [`coloring`] — validation and centralized construction of *k*-hop
+//!   colorings (the paper's central notion for `k = 2`);
+//! * [`generators`] — the graph families used by the experiments (cycles,
+//!   paths, tori, hypercubes, random trees, connected `G(n,p)`, random
+//!   regular graphs, the Petersen graph);
+//! * [`lift`] — permutation-voltage lifts, i.e. the *products* of the
+//!   paper's factor/product machinery, together with their projection maps;
+//! * [`iso`] — labeled-graph isomorphism testing (refinement + backtracking),
+//!   needed to verify `G_* ≅ G_∞` style statements experimentally;
+//! * [`canonical`] — deterministic byte encodings of labeled graphs, the
+//!   `s(G_*)` encoding of the paper's `Update-Graph` total order;
+//! * [`distance`] — BFS distances, balls `H^i(v)`, diameter.
+//!
+//! # Example
+//!
+//! ```
+//! use anonet_graph::{generators, coloring};
+//!
+//! # fn main() -> Result<(), anonet_graph::GraphError> {
+//! let c6 = generators::cycle(6)?;
+//! // A proper 2-hop coloring of the 6-cycle needs ≥ 3 colors; the paper's
+//! // Figure 1 uses colors {1, 2, 3} repeating around the cycle.
+//! let colored = c6.with_labels(vec![1u32, 2, 3, 1, 2, 3])?;
+//! assert!(coloring::is_k_hop_coloring(&colored, 2));
+//! assert!(!coloring::is_k_hop_coloring(&colored, 3));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitstring;
+pub mod canonical;
+pub mod coloring;
+pub mod distance;
+mod error;
+pub mod generators;
+mod graph;
+pub mod iso;
+mod labeled;
+mod labels;
+pub mod lift;
+mod node;
+
+pub use bitstring::BitString;
+pub use error::GraphError;
+pub use graph::{Edge, Graph, GraphBuilder};
+pub use labeled::LabeledGraph;
+pub use labels::Label;
+pub use node::{NodeId, Port};
+
+/// Convenient alias for results with [`GraphError`].
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,113 @@
+//! Node and port identifiers.
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`](crate::Graph).
+///
+/// Node identifiers are dense indices `0..n`. They exist only on the
+/// *simulator* side: the distributed algorithms executed on top of the
+/// graph are anonymous and never observe a [`NodeId`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` (graphs that large are far
+    /// outside this crate's scope).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+/// A local port number distinguishing the incident edges of a node.
+///
+/// Node `v` with degree `d` has ports `0..d`; port `p` corresponds to the
+/// `p`-th entry of `v`'s adjacency list. Ports are the only means by which
+/// an anonymous node distinguishes its neighbors (paper, Section 1.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Port(u32);
+
+impl Port {
+    /// Creates a port from its local index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        Port(u32::try_from(index).expect("port index exceeds u32::MAX"))
+    }
+
+    /// Returns the local index of this port.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for Port {
+    fn from(index: u32) -> Self {
+        Port(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.to_string(), "v42");
+        assert_eq!(NodeId::from(42u32), v);
+    }
+
+    #[test]
+    fn port_roundtrip() {
+        let p = Port::new(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(p.to_string(), "p3");
+        assert_eq!(Port::from(3u32), p);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(Port::new(0) < Port::new(1));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default(), NodeId::new(0));
+        assert_eq!(Port::default(), Port::new(0));
+    }
+}

@@ -1,0 +1,558 @@
+//! The synchronous execution engine.
+
+use anonet_graph::{Label, LabeledGraph, NodeId, Port};
+
+use crate::algorithm::{Actions, Algorithm, Inbox};
+use crate::error::RuntimeError;
+use crate::randomness::RandomSource;
+use crate::Result;
+
+/// Configuration for a single execution.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Hard cap on the number of rounds; executions that reach it stop
+    /// with [`Status::MaxRounds`]. Defaults to `100_000`.
+    pub max_rounds: usize,
+    /// Record the full per-round state history (round 0 = initial states).
+    /// Needed by the lifting-lemma experiments; costs memory. Defaults to
+    /// `false`.
+    pub record_states: bool,
+    /// Record a structured [`Event`](crate::Event) log (sends, outputs,
+    /// halts). Defaults to `false`.
+    pub record_events: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { max_rounds: 100_000, record_states: false, record_events: false }
+    }
+}
+
+impl ExecConfig {
+    /// Config with a custom round cap.
+    pub fn with_max_rounds(max_rounds: usize) -> Self {
+        ExecConfig { max_rounds, ..Default::default() }
+    }
+
+    /// Enables state recording.
+    pub fn recording(mut self) -> Self {
+        self.record_states = true;
+        self
+    }
+
+    /// Enables event tracing.
+    pub fn tracing(mut self) -> Self {
+        self.record_events = true;
+        self
+    }
+}
+
+/// How an execution ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Every node halted.
+    Completed,
+    /// Some active node's [`RandomSource`] ran out of bits — the
+    /// prescribed simulation ended (paper: a `t`-round simulation).
+    OutOfBits,
+    /// The round cap was reached with active nodes remaining.
+    MaxRounds,
+}
+
+/// The result of executing an [`Algorithm`] on a network.
+#[derive(Clone, Debug)]
+pub struct Execution<A: Algorithm> {
+    outputs: Vec<Option<A::Output>>,
+    output_rounds: Vec<Option<usize>>,
+    halt_rounds: Vec<Option<usize>>,
+    final_states: Vec<A::State>,
+    state_history: Option<Vec<Vec<A::State>>>,
+    rounds: usize,
+    messages_sent: usize,
+    messages_per_round: Vec<usize>,
+    active_per_round: Vec<usize>,
+    events: Option<Vec<crate::Event>>,
+    bits_consumed: usize,
+    status: Status,
+}
+
+impl<A: Algorithm> Execution<A> {
+    /// The irrevocable outputs, indexed by node (`None` = never produced).
+    pub fn outputs(&self) -> &[Option<A::Output>] {
+        &self.outputs
+    }
+
+    /// The output of one node.
+    pub fn output(&self, v: NodeId) -> Option<&A::Output> {
+        self.outputs[v.index()].as_ref()
+    }
+
+    /// `true` iff **every** node produced an output — the paper's notion
+    /// of a *successful* simulation (Section 2.2).
+    pub fn is_successful(&self) -> bool {
+        self.outputs.iter().all(Option::is_some)
+    }
+
+    /// Unwraps the outputs of a successful execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node produced no output; check
+    /// [`Execution::is_successful`] first.
+    pub fn outputs_unwrapped(&self) -> Vec<A::Output> {
+        self.outputs
+            .iter()
+            .map(|o| o.clone().expect("execution was not successful"))
+            .collect()
+    }
+
+    /// The round in which each node wrote its output.
+    pub fn output_rounds(&self) -> &[Option<usize>] {
+        &self.output_rounds
+    }
+
+    /// The round in which each node halted.
+    pub fn halt_rounds(&self) -> &[Option<usize>] {
+        &self.halt_rounds
+    }
+
+    /// Final per-node states.
+    pub fn final_states(&self) -> &[A::State] {
+        &self.final_states
+    }
+
+    /// Per-node states after `round` (0 = initial), if recording was on.
+    pub fn states_at(&self, round: usize) -> Option<&[A::State]> {
+        self.state_history.as_ref()?.get(round).map(Vec::as_slice)
+    }
+
+    /// Number of rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Total messages delivered across the execution.
+    pub fn messages_sent(&self) -> usize {
+        self.messages_sent
+    }
+
+    /// Messages delivered in each round (index 0 = round 1).
+    pub fn messages_per_round(&self) -> &[usize] {
+        &self.messages_per_round
+    }
+
+    /// Number of non-halted nodes at the start of each round.
+    pub fn active_per_round(&self) -> &[usize] {
+        &self.active_per_round
+    }
+
+    /// The structured event log, if tracing was enabled.
+    pub fn events(&self) -> Option<&[crate::Event]> {
+        self.events.as_deref()
+    }
+
+    /// Renders the traced events as an ASCII timeline (empty without
+    /// tracing).
+    pub fn timeline(&self) -> String {
+        self.events.as_deref().map(crate::trace::render_timeline).unwrap_or_default()
+    }
+
+    /// Total random bits consumed (one per active node per round).
+    pub fn bits_consumed(&self) -> usize {
+        self.bits_consumed
+    }
+
+    /// How the execution ended.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+}
+
+/// Executes `alg` on the network `net` (a connected labeled graph whose
+/// labels are the nodes' inputs), drawing bits from `source`.
+///
+/// # Errors
+///
+/// * [`RuntimeError::InvalidNetwork`] if the graph is not connected (the
+///   model only defines executions on connected graphs);
+/// * [`RuntimeError::OutputConflict`] if a node overwrites its output.
+pub fn run<A, S>(
+    alg: &A,
+    net: &LabeledGraph<A::Input>,
+    source: &mut S,
+    config: &ExecConfig,
+) -> Result<Execution<A>>
+where
+    A: Algorithm,
+    A::Input: Label,
+    S: RandomSource + ?Sized,
+{
+    let g = net.graph();
+    if !g.is_connected() {
+        return Err(RuntimeError::InvalidNetwork { reason: "graph is not connected".into() });
+    }
+    let n = g.node_count();
+
+    let mut states: Vec<A::State> =
+        g.nodes().map(|v| alg.init(net.label(v), g.degree(v))).collect();
+    let mut outputs: Vec<Option<A::Output>> = vec![None; n];
+    let mut output_rounds: Vec<Option<usize>> = vec![None; n];
+    let mut halt_rounds: Vec<Option<usize>> = vec![None; n];
+    let mut halted = vec![false; n];
+    let mut history: Option<Vec<Vec<A::State>>> =
+        config.record_states.then(|| vec![states.clone()]);
+
+    let mut events: Option<Vec<crate::Event>> = config.record_events.then(Vec::new);
+    let mut messages_sent = 0usize;
+    let mut messages_per_round: Vec<usize> = Vec::new();
+    let mut active_per_round: Vec<usize> = Vec::new();
+    let mut bits_consumed = 0usize;
+    let mut rounds = 0usize;
+
+    let status = loop {
+        if halted.iter().all(|&h| h) {
+            break Status::Completed;
+        }
+        let round = rounds + 1;
+        if round > config.max_rounds {
+            break Status::MaxRounds;
+        }
+
+        // Draw this round's bits for active nodes first: if any tape is
+        // exhausted, the prescribed simulation ends *before* this round.
+        let mut bits: Vec<bool> = vec![false; n];
+        let mut exhausted = false;
+        for v in g.nodes() {
+            if halted[v.index()] {
+                continue;
+            }
+            match source.bit(v, round) {
+                Some(b) => bits[v.index()] = b,
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        if exhausted {
+            break Status::OutOfBits;
+        }
+
+        active_per_round.push(halted.iter().filter(|&&h| !h).count());
+        let round_message_base = messages_sent;
+
+        // Compose and deliver messages.
+        let mut inboxes: Vec<Vec<Option<A::Message>>> =
+            g.nodes().map(|v| vec![None; g.degree(v)]).collect();
+        for v in g.nodes() {
+            if halted[v.index()] {
+                continue;
+            }
+            for p in 0..g.degree(v) {
+                let port = Port::new(p);
+                if let Some(msg) = alg.compose(&states[v.index()], port) {
+                    let u = g.endpoint(v, port);
+                    let q = g.reverse_port(v, port);
+                    messages_sent += 1;
+                    if let Some(ev) = events.as_mut() {
+                        ev.push(crate::Event::MessageSent { round, from: v, port });
+                    }
+                    inboxes[u.index()][q.index()] = Some(msg);
+                }
+            }
+        }
+
+        // Step states.
+        for v in g.nodes() {
+            if halted[v.index()] {
+                continue;
+            }
+            bits_consumed += 1;
+            let inbox = Inbox::new(std::mem::take(&mut inboxes[v.index()]));
+            let mut actions: Actions<A::Output> = Actions::new(outputs[v.index()].clone());
+            let state = states[v.index()].clone();
+            states[v.index()] = alg.step(state, round, &inbox, bits[v.index()], &mut actions);
+            if actions.output_written {
+                return Err(RuntimeError::OutputConflict { node: v, round });
+            }
+            if outputs[v.index()].is_none() && actions.output.is_some() {
+                output_rounds[v.index()] = Some(round);
+                if let Some(ev) = events.as_mut() {
+                    ev.push(crate::Event::OutputSet { round, node: v });
+                }
+            }
+            outputs[v.index()] = actions.output;
+            if actions.halt {
+                halted[v.index()] = true;
+                halt_rounds[v.index()] = Some(round);
+                if let Some(ev) = events.as_mut() {
+                    ev.push(crate::Event::Halted { round, node: v });
+                }
+            }
+        }
+
+        rounds = round;
+        messages_per_round.push(messages_sent - round_message_base);
+        if let Some(h) = history.as_mut() {
+            h.push(states.clone());
+        }
+    };
+
+    // The bit/compose loops may have started a round that ended early
+    // (OutOfBits); trim the per-round profiles to completed rounds.
+    active_per_round.truncate(rounds);
+    Ok(Execution {
+        outputs,
+        output_rounds,
+        halt_rounds,
+        final_states: states,
+        state_history: history,
+        rounds,
+        messages_sent,
+        messages_per_round,
+        active_per_round,
+        events,
+        bits_consumed,
+        status,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::BitAssignment;
+    use crate::randomness::{RngSource, TapeSource, ZeroSource};
+    use anonet_graph::{generators, BitString, Graph};
+
+    /// Each node floods the maximum input label it has seen; after `k`
+    /// rounds it outputs that maximum and halts.
+    struct FloodMax {
+        k: usize,
+    }
+
+    impl Algorithm for FloodMax {
+        type Input = u32;
+        type Message = u32;
+        type Output = u32;
+        type State = (u32, usize); // (max seen, rounds done)
+
+        fn init(&self, input: &u32, _degree: usize) -> Self::State {
+            (*input, 0)
+        }
+
+        fn compose(&self, state: &Self::State, _port: Port) -> Option<u32> {
+            Some(state.0)
+        }
+
+        fn step(
+            &self,
+            state: Self::State,
+            round: usize,
+            inbox: &Inbox<u32>,
+            _bit: bool,
+            actions: &mut Actions<u32>,
+        ) -> Self::State {
+            let max = inbox.iter().map(|(_, m)| *m).fold(state.0, u32::max);
+            if round == self.k {
+                actions.output(max);
+                actions.halt();
+            }
+            (max, round)
+        }
+    }
+
+    /// Outputs the node's first random bit as 0/1, then halts.
+    #[derive(Debug)]
+    struct FirstBit;
+
+    impl Algorithm for FirstBit {
+        type Input = u32;
+        type Message = ();
+        type Output = u8;
+        type State = ();
+
+        fn init(&self, _input: &u32, _degree: usize) {}
+        fn compose(&self, _state: &(), _port: Port) -> Option<()> {
+            None
+        }
+        fn step(
+            &self,
+            _state: (),
+            _round: usize,
+            _inbox: &Inbox<()>,
+            bit: bool,
+            actions: &mut Actions<u8>,
+        ) {
+            actions.output(u8::from(bit));
+            actions.halt();
+        }
+    }
+
+    #[test]
+    fn flood_max_reaches_everyone_when_k_covers_diameter() {
+        let g = generators::path(6).unwrap();
+        let net = g.with_labels(vec![3u32, 1, 4, 1, 5, 9]).unwrap();
+        let exec = run(&FloodMax { k: 5 }, &net, &mut ZeroSource, &ExecConfig::default()).unwrap();
+        assert_eq!(exec.status(), Status::Completed);
+        assert!(exec.is_successful());
+        assert_eq!(exec.outputs_unwrapped(), vec![9; 6]);
+        assert_eq!(exec.rounds(), 5);
+        // 2 endpoints with degree 1, 4 middle nodes with degree 2, 5 rounds.
+        assert_eq!(exec.messages_sent(), 5 * (2 + 4 * 2));
+        assert_eq!(exec.bits_consumed(), 30);
+    }
+
+    #[test]
+    fn flood_max_partial_when_k_too_small() {
+        let g = generators::path(6).unwrap();
+        let net = g.with_labels(vec![9u32, 1, 1, 1, 1, 1]).unwrap();
+        let exec = run(&FloodMax { k: 2 }, &net, &mut ZeroSource, &ExecConfig::default()).unwrap();
+        // Node 5 is 5 hops from the 9; after 2 rounds it has only seen 1s.
+        assert_eq!(exec.output(NodeId::new(5)), Some(&1));
+        assert_eq!(exec.output(NodeId::new(1)), Some(&9));
+    }
+
+    #[test]
+    fn prescribed_tapes_replay_exactly() {
+        let g = generators::cycle(3).unwrap();
+        let net = g.with_uniform_label(0u32);
+        let tapes = vec![
+            "1".parse::<BitString>().unwrap(),
+            "0".parse().unwrap(),
+            "1".parse().unwrap(),
+        ];
+        let mut src = TapeSource::new(BitAssignment::new(tapes));
+        let exec = run(&FirstBit, &net, &mut src, &ExecConfig::default()).unwrap();
+        assert!(exec.is_successful());
+        assert_eq!(exec.outputs_unwrapped(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn exhausted_tape_ends_simulation() {
+        let g = generators::cycle(3).unwrap();
+        let net = g.with_uniform_label(0u32);
+        let mut src = TapeSource::new(BitAssignment::empty(3));
+        let exec = run(&FirstBit, &net, &mut src, &ExecConfig::default()).unwrap();
+        assert_eq!(exec.status(), Status::OutOfBits);
+        assert!(!exec.is_successful());
+        assert_eq!(exec.rounds(), 0);
+    }
+
+    #[test]
+    fn never_halting_hits_round_cap() {
+        struct Forever;
+        impl Algorithm for Forever {
+            type Input = u32;
+            type Message = ();
+            type Output = ();
+            type State = ();
+            fn init(&self, _: &u32, _: usize) {}
+            fn compose(&self, _: &(), _: Port) -> Option<()> {
+                None
+            }
+            fn step(&self, _: (), _: usize, _: &Inbox<()>, _: bool, _: &mut Actions<()>) {}
+        }
+        let net = generators::cycle(3).unwrap().with_uniform_label(0u32);
+        let exec =
+            run(&Forever, &net, &mut ZeroSource, &ExecConfig::with_max_rounds(17)).unwrap();
+        assert_eq!(exec.status(), Status::MaxRounds);
+        assert_eq!(exec.rounds(), 17);
+    }
+
+    #[test]
+    fn output_conflict_is_an_error() {
+        #[derive(Debug)]
+        struct Flipper;
+        impl Algorithm for Flipper {
+            type Input = u32;
+            type Message = ();
+            type Output = usize;
+            type State = ();
+            fn init(&self, _: &u32, _: usize) {}
+            fn compose(&self, _: &(), _: Port) -> Option<()> {
+                None
+            }
+            fn step(
+                &self,
+                _: (),
+                round: usize,
+                _: &Inbox<()>,
+                _: bool,
+                actions: &mut Actions<usize>,
+            ) {
+                actions.output(round); // different every round
+            }
+        }
+        let net = generators::cycle(3).unwrap().with_uniform_label(0u32);
+        let err = run(&Flipper, &net, &mut ZeroSource, &ExecConfig::default()).unwrap_err();
+        assert!(matches!(err, RuntimeError::OutputConflict { round: 2, .. }));
+    }
+
+    #[test]
+    fn disconnected_networks_are_rejected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let net = g.with_uniform_label(0u32);
+        let err = run(&FirstBit, &net, &mut ZeroSource, &ExecConfig::default()).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidNetwork { .. }));
+    }
+
+    #[test]
+    fn state_history_is_recorded_when_asked() {
+        let g = generators::path(3).unwrap();
+        let net = g.with_labels(vec![1u32, 2, 3]).unwrap();
+        let cfg = ExecConfig::default().recording();
+        let exec = run(&FloodMax { k: 2 }, &net, &mut ZeroSource, &cfg).unwrap();
+        // Round 0 = initial states.
+        assert_eq!(exec.states_at(0).unwrap(), &[(1, 0), (2, 0), (3, 0)]);
+        // After round 1 everyone has seen direct neighbors.
+        assert_eq!(exec.states_at(1).unwrap(), &[(2, 1), (3, 1), (3, 1)]);
+        assert_eq!(exec.states_at(2).unwrap(), &[(3, 2), (3, 2), (3, 2)]);
+        assert!(exec.states_at(3).is_none());
+        // Without the flag there is no history.
+        let exec2 = run(&FloodMax { k: 2 }, &net, &mut ZeroSource, &ExecConfig::default()).unwrap();
+        assert!(exec2.states_at(0).is_none());
+    }
+
+    #[test]
+    fn event_tracing_records_sends_outputs_halts() {
+        let g = generators::path(3).unwrap();
+        let net = g.with_labels(vec![1u32, 2, 3]).unwrap();
+        let cfg = ExecConfig::default().tracing();
+        let exec = run(&FloodMax { k: 2 }, &net, &mut ZeroSource, &cfg).unwrap();
+        let events = exec.events().unwrap();
+        let sends = events
+            .iter()
+            .filter(|e| matches!(e, crate::Event::MessageSent { .. }))
+            .count();
+        assert_eq!(sends, exec.messages_sent());
+        let outputs = events
+            .iter()
+            .filter(|e| matches!(e, crate::Event::OutputSet { .. }))
+            .count();
+        assert_eq!(outputs, 3);
+        let timeline = exec.timeline();
+        assert!(timeline.contains("round   1:"));
+        assert!(timeline.contains("halt:"));
+        // Without tracing there is no log and the timeline is empty.
+        let plain = run(&FloodMax { k: 2 }, &net, &mut ZeroSource, &ExecConfig::default())
+            .unwrap();
+        assert!(plain.events().is_none());
+        assert!(plain.timeline().is_empty());
+    }
+
+    #[test]
+    fn executions_are_reproducible_per_seed() {
+        let net = generators::cycle(7).unwrap().with_uniform_label(0u32);
+        let e1 = run(&FirstBit, &net, &mut RngSource::seeded(9), &ExecConfig::default()).unwrap();
+        let e2 = run(&FirstBit, &net, &mut RngSource::seeded(9), &ExecConfig::default()).unwrap();
+        assert_eq!(e1.outputs(), e2.outputs());
+    }
+
+    #[test]
+    fn single_node_graph_executes() {
+        let g = Graph::builder(1).build().unwrap();
+        let net = g.with_uniform_label(5u32);
+        let exec = run(&FloodMax { k: 1 }, &net, &mut ZeroSource, &ExecConfig::default()).unwrap();
+        assert_eq!(exec.outputs_unwrapped(), vec![5]);
+    }
+}

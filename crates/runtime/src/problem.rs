@@ -1,0 +1,130 @@
+//! Distributed problems `Π` and distributed decision problems `Δ_Y`.
+
+use anonet_graph::{Label, LabeledGraph};
+
+/// A distributed problem `Π` (paper, Section 1.1): a set of input
+/// instances (labeled graphs) and, per instance, a set of valid output
+/// labelings.
+///
+/// This trait is the *mathematical specification* used by the simulator
+/// side — validating executions, checking the candidate condition C3 of
+/// `A_*`, and defining the 2-hop colored variant `Π^c`. It is **not**
+/// distributed itself; the distributed solvers and verifiers live in
+/// `anonet-algorithms`.
+pub trait Problem {
+    /// Input label type.
+    type Input: Label;
+    /// Output label type.
+    type Output: Label;
+
+    /// `true` iff the labeled graph is an input instance of `Π`.
+    fn is_instance(&self, instance: &LabeledGraph<Self::Input>) -> bool;
+
+    /// `true` iff `output` (indexed by node) is a valid output labeling
+    /// for `instance`. Implementations may assume
+    /// `is_instance(instance)` holds and `output.len()` matches the node
+    /// count.
+    fn is_valid_output(
+        &self,
+        instance: &LabeledGraph<Self::Input>,
+        output: &[Self::Output],
+    ) -> bool;
+}
+
+/// The verdict of one node in a distributed decision.
+///
+/// For the decision problem `Δ_Y`: on a yes-instance all nodes must say
+/// [`DecisionOutput::Yes`]; on a no-instance at least one node must say
+/// [`DecisionOutput::No`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DecisionOutput {
+    /// The node accepts.
+    Yes,
+    /// The node rejects (one rejection rejects globally).
+    No,
+}
+
+impl anonet_graph::Label for DecisionOutput {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            DecisionOutput::Yes => 1,
+            DecisionOutput::No => 0,
+        });
+    }
+}
+
+/// The distributed decision problem `Δ_Y` induced by a set of
+/// yes-instances `Y` (paper, *Genuine Solvability*): every labeled graph
+/// is an instance; valid outputs are all-`Yes` on members of `Y` and
+/// anything containing a `No` otherwise.
+pub struct DecisionProblem<I, F> {
+    membership: F,
+    _marker: std::marker::PhantomData<fn(&I)>,
+}
+
+impl<I, F> DecisionProblem<I, F>
+where
+    I: Label,
+    F: Fn(&LabeledGraph<I>) -> bool,
+{
+    /// Creates `Δ_Y` from a membership predicate for `Y`.
+    pub fn new(membership: F) -> Self {
+        DecisionProblem { membership, _marker: std::marker::PhantomData }
+    }
+
+    /// `true` iff `g ∈ Y`.
+    pub fn is_yes_instance(&self, g: &LabeledGraph<I>) -> bool {
+        (self.membership)(g)
+    }
+}
+
+impl<I, F> Problem for DecisionProblem<I, F>
+where
+    I: Label,
+    F: Fn(&LabeledGraph<I>) -> bool,
+{
+    type Input = I;
+    type Output = DecisionOutput;
+
+    fn is_instance(&self, _instance: &LabeledGraph<I>) -> bool {
+        true // Δ_Y is defined on all labeled graphs
+    }
+
+    fn is_valid_output(&self, instance: &LabeledGraph<I>, output: &[DecisionOutput]) -> bool {
+        if self.is_yes_instance(instance) {
+            output.iter().all(|o| *o == DecisionOutput::Yes)
+        } else {
+            output.contains(&DecisionOutput::No)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::generators;
+
+    #[test]
+    fn decision_problem_semantics() {
+        // Y = graphs where every node is labeled 7.
+        let delta = DecisionProblem::new(|g: &LabeledGraph<u32>| g.labels().iter().all(|&l| l == 7));
+        let yes = generators::cycle(3).unwrap().with_uniform_label(7u32);
+        let no = generators::cycle(3).unwrap().with_labels(vec![7u32, 7, 8]).unwrap();
+
+        assert!(delta.is_instance(&yes));
+        assert!(delta.is_instance(&no));
+
+        use DecisionOutput::{No, Yes};
+        assert!(delta.is_valid_output(&yes, &[Yes, Yes, Yes]));
+        assert!(!delta.is_valid_output(&yes, &[Yes, No, Yes]));
+        assert!(delta.is_valid_output(&no, &[Yes, No, Yes]));
+        assert!(delta.is_valid_output(&no, &[No, No, No]));
+        assert!(!delta.is_valid_output(&no, &[Yes, Yes, Yes]));
+    }
+
+    #[test]
+    fn decision_output_encodes_distinctly() {
+        use anonet_graph::Label;
+        assert_ne!(DecisionOutput::Yes.encoded(), DecisionOutput::No.encoded());
+    }
+}

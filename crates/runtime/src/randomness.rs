@@ -1,0 +1,126 @@
+//! Sources of per-node, per-round random bits.
+
+use anonet_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::assignment::BitAssignment;
+
+/// A source of the one random bit each node consumes per round.
+///
+/// The paper's executions are parameterized by such bits: a live RNG
+/// ([`RngSource`]) yields Las-Vegas executions, while a prescribed tape
+/// ([`TapeSource`]) replays the *simulation induced by an assignment
+/// `b : V → {0,1}^t`* (Section 2.2).
+pub trait RandomSource {
+    /// The bit for `node` in `round` (1-indexed), or `None` if this source
+    /// has no more bits for that node — the simulation ends there.
+    fn bit(&mut self, node: NodeId, round: usize) -> Option<bool>;
+}
+
+/// A live RNG source: fresh independent bits, never exhausted.
+///
+/// Bits are drawn from a seeded [`StdRng`] so whole executions remain
+/// reproducible from a seed.
+#[derive(Debug)]
+pub struct RngSource {
+    rng: StdRng,
+}
+
+impl RngSource {
+    /// Creates a source from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        RngSource { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Creates a source from an existing RNG's output.
+    pub fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        RngSource { rng: StdRng::seed_from_u64(rng.next_u64()) }
+    }
+}
+
+impl RandomSource for RngSource {
+    fn bit(&mut self, _node: NodeId, _round: usize) -> Option<bool> {
+        Some(self.rng.gen())
+    }
+}
+
+/// A prescribed tape source: node `v` receives the bits of `b(v)` in
+/// order and the source is exhausted for `v` after `|b(v)|` rounds.
+///
+/// Running an algorithm under a `TapeSource` for as long as no tape is
+/// exhausted is exactly the paper's *simulation induced by `b`*.
+#[derive(Clone, Debug)]
+pub struct TapeSource {
+    assignment: BitAssignment,
+}
+
+impl TapeSource {
+    /// Creates a tape source from a bit assignment.
+    pub fn new(assignment: BitAssignment) -> Self {
+        TapeSource { assignment }
+    }
+
+    /// The underlying assignment.
+    pub fn assignment(&self) -> &BitAssignment {
+        &self.assignment
+    }
+}
+
+impl RandomSource for TapeSource {
+    fn bit(&mut self, node: NodeId, round: usize) -> Option<bool> {
+        self.assignment.tape(node)?.get(round - 1)
+    }
+}
+
+/// A source that always returns `false` — useful for running
+/// deterministic algorithms, where the bit is ignored anyway, without
+/// seeding anything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ZeroSource;
+
+impl RandomSource for ZeroSource {
+    fn bit(&mut self, _node: NodeId, _round: usize) -> Option<bool> {
+        Some(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::BitString;
+
+    #[test]
+    fn rng_source_is_reproducible() {
+        let mut a = RngSource::seeded(42);
+        let mut b = RngSource::seeded(42);
+        for r in 1..=64 {
+            assert_eq!(a.bit(NodeId::new(0), r), b.bit(NodeId::new(0), r));
+        }
+    }
+
+    #[test]
+    fn tape_source_replays_and_exhausts() {
+        let tape: BitString = "101".parse().unwrap();
+        let assignment = BitAssignment::uniform(2, &tape);
+        let mut src = TapeSource::new(assignment);
+        let v = NodeId::new(1);
+        assert_eq!(src.bit(v, 1), Some(true));
+        assert_eq!(src.bit(v, 2), Some(false));
+        assert_eq!(src.bit(v, 3), Some(true));
+        assert_eq!(src.bit(v, 4), None);
+    }
+
+    #[test]
+    fn tape_source_out_of_range_node() {
+        let assignment = BitAssignment::uniform(1, &BitString::new());
+        let mut src = TapeSource::new(assignment);
+        assert_eq!(src.bit(NodeId::new(5), 1), None);
+    }
+
+    #[test]
+    fn zero_source_never_exhausts() {
+        let mut z = ZeroSource;
+        assert_eq!(z.bit(NodeId::new(9), 1000), Some(false));
+    }
+}

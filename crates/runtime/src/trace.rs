@@ -1,0 +1,118 @@
+//! Structured execution traces for debugging anonymous algorithms.
+//!
+//! Enable with [`ExecConfig::tracing`](crate::ExecConfig::tracing); the
+//! resulting [`Execution`](crate::Execution) then carries a chronological
+//! [`Event`] log — who sent on which port, who output, who halted, round
+//! by round — plus a compact ASCII timeline renderer. Events carry no
+//! message payloads (those are generic); combine with state recording
+//! when contents matter.
+
+use anonet_graph::{NodeId, Port};
+
+/// One observable event of an execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// A node sent a message through one of its ports.
+    MessageSent {
+        /// Round (1-indexed).
+        round: usize,
+        /// The sender.
+        from: NodeId,
+        /// The sender's port.
+        port: Port,
+    },
+    /// A node wrote its irrevocable output.
+    OutputSet {
+        /// Round (1-indexed).
+        round: usize,
+        /// The node.
+        node: NodeId,
+    },
+    /// A node halted.
+    Halted {
+        /// Round (1-indexed).
+        round: usize,
+        /// The node.
+        node: NodeId,
+    },
+}
+
+impl Event {
+    /// The round the event happened in.
+    pub fn round(&self) -> usize {
+        match self {
+            Event::MessageSent { round, .. }
+            | Event::OutputSet { round, .. }
+            | Event::Halted { round, .. } => *round,
+        }
+    }
+}
+
+/// Renders an event log as an ASCII timeline: one line per round, with
+/// message counts and the nodes that output/halted.
+pub fn render_timeline(events: &[Event]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let last_round = events.iter().map(Event::round).max().unwrap_or(0);
+    for r in 1..=last_round {
+        let msgs = events
+            .iter()
+            .filter(|e| matches!(e, Event::MessageSent { round, .. } if *round == r))
+            .count();
+        let outputs: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::OutputSet { round, node } if *round == r => Some(node.to_string()),
+                _ => None,
+            })
+            .collect();
+        let halts: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Halted { round, node } if *round == r => Some(node.to_string()),
+                _ => None,
+            })
+            .collect();
+        let _ = write!(out, "round {r:>3}: {msgs:>4} msgs");
+        if !outputs.is_empty() {
+            let _ = write!(out, " | out: {}", outputs.join(" "));
+        }
+        if !halts.is_empty() {
+            let _ = write!(out, " | halt: {}", halts.join(" "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_accessor() {
+        let e = Event::OutputSet { round: 4, node: NodeId::new(1) };
+        assert_eq!(e.round(), 4);
+        let e = Event::MessageSent { round: 2, from: NodeId::new(0), port: Port::new(1) };
+        assert_eq!(e.round(), 2);
+    }
+
+    #[test]
+    fn timeline_renders_rounds() {
+        let events = vec![
+            Event::MessageSent { round: 1, from: NodeId::new(0), port: Port::new(0) },
+            Event::MessageSent { round: 1, from: NodeId::new(1), port: Port::new(0) },
+            Event::OutputSet { round: 2, node: NodeId::new(0) },
+            Event::Halted { round: 2, node: NodeId::new(0) },
+        ];
+        let t = render_timeline(&events);
+        assert!(t.contains("round   1:    2 msgs"));
+        assert!(t.contains("out: v0"));
+        assert!(t.contains("halt: v0"));
+    }
+
+    #[test]
+    fn empty_log_renders_empty() {
+        assert!(render_timeline(&[]).is_empty());
+    }
+}

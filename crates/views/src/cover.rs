@@ -1,0 +1,121 @@
+//! Universal covers `U(G)` (paper, Section 1.3 related work).
+//!
+//! The universal cover is the (possibly infinite) tree obtained from a
+//! depth-∞ view by "(1) for every vertex `x` pruning `x`'s child
+//! corresponding to `x`'s parent; and (2) making every edge undirected" —
+//! i.e. the *non-backtracking* unfolding of the graph. Norris' theorem
+//! [39] is stated in terms of `U(G)`; this module provides finite
+//! fragments of it so the experiments can cross-check the view-based
+//! statements against the cover-based original.
+
+use anonet_graph::{Label, LabeledGraph, NodeId};
+
+use crate::view_tree::ViewTree;
+use crate::Result;
+
+/// Builds the depth-`d` fragment of the universal cover rooted at `v`:
+/// like the local view, but a vertex never descends back through the edge
+/// it was entered by (no immediate backtracking).
+///
+/// On a tree this reproduces the tree itself; on a cycle it unrolls into
+/// a path; on graphs with girth `> 2d` it is the view without its
+/// backtracking blow-up.
+///
+/// # Errors
+///
+/// Returns a view error for `d = 0`.
+pub fn cover_fragment<L: Label>(
+    g: &LabeledGraph<L>,
+    v: NodeId,
+    d: usize,
+) -> Result<ViewTree<L>> {
+    if d == 0 {
+        return Err(crate::error::ViewError::ViewTooLarge { depth: 0, budget: 0 });
+    }
+    Ok(build(g, v, None, d))
+}
+
+fn build<L: Label>(
+    g: &LabeledGraph<L>,
+    v: NodeId,
+    parent: Option<NodeId>,
+    d: usize,
+) -> ViewTree<L> {
+    let mut children = Vec::new();
+    if d > 1 {
+        let mut skipped_parent = false;
+        for &u in g.graph().neighbors(v) {
+            // Prune exactly one child toward the parent (parallel edges do
+            // not exist in simple graphs, so "the" edge is unambiguous).
+            if !skipped_parent && Some(u) == parent {
+                skipped_parent = true;
+                continue;
+            }
+            children.push(build(g, u, Some(v), d - 1));
+        }
+    }
+    ViewTree::from_parts(g.label(v).clone(), children)
+}
+
+/// Number of vertices in the depth-`d` cover fragment — grows like
+/// `(Δ-1)^d` instead of the view's `Δ^d`.
+pub fn cover_fragment_size<L: Label>(g: &LabeledGraph<L>, v: NodeId, d: usize) -> Result<usize> {
+    Ok(cover_fragment(g, v, d)?.size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::generators;
+
+    #[test]
+    fn cover_of_a_tree_is_the_tree() {
+        // From a leaf of P4, the depth-4 cover fragment is the whole path:
+        // exactly n vertices, no blow-up.
+        let g = generators::path(4).unwrap().with_labels(vec![1u32, 2, 3, 4]).unwrap();
+        let frag = cover_fragment(&g, NodeId::new(0), 4).unwrap();
+        assert_eq!(frag.size(), 4);
+        // Compare: the *view* of the same depth backtracks and is larger.
+        let view = crate::ViewTree::build(&g, NodeId::new(0), 4).unwrap();
+        assert!(view.size() > frag.size());
+    }
+
+    #[test]
+    fn cover_of_a_cycle_unrolls_into_a_path() {
+        let g = generators::cycle(6).unwrap().with_uniform_label(0u8);
+        for d in 1..=10 {
+            let frag = cover_fragment(&g, NodeId::new(0), d).unwrap();
+            // A 2-regular graph's non-backtracking unfolding: the root has
+            // two arms of length d-1: 1 + 2(d-1) vertices.
+            assert_eq!(frag.size(), 1 + 2 * (d - 1));
+        }
+    }
+
+    #[test]
+    fn cover_fragments_agree_on_view_equivalent_nodes() {
+        // Nodes with equal views have equal covers (Fact 1 territory):
+        // C6 colored 1,2,3,1,2,3 — antipodal nodes agree.
+        let g = generators::cycle(6).unwrap().with_labels(vec![1u32, 2, 3, 1, 2, 3]).unwrap();
+        for d in 1..=8 {
+            let a = cover_fragment(&g, NodeId::new(1), d).unwrap().canonicalize();
+            let b = cover_fragment(&g, NodeId::new(4), d).unwrap().canonicalize();
+            assert_eq!(a.encoded(), b.encoded(), "depth {d}");
+        }
+    }
+
+    #[test]
+    fn cover_is_smaller_than_view_on_regular_graphs() {
+        let g = generators::petersen().with_degree_labels();
+        let d = 7;
+        let view = crate::ViewTree::build(&g, NodeId::new(0), d).unwrap().size();
+        let cover = cover_fragment_size(&g, NodeId::new(0), d).unwrap();
+        // View ~3^d, cover ~3·2^(d-1).
+        assert!(cover < view / 2, "cover {cover} vs view {view}");
+    }
+
+    #[test]
+    fn depth_zero_is_an_error() {
+        let g = generators::cycle(3).unwrap().with_uniform_label(0u8);
+        assert!(cover_fragment(&g, NodeId::new(0), 0).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the views machinery.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by view, refinement, and quotient computations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ViewError {
+    /// The view quotient would contain a self-loop: some node is
+    /// view-equivalent to one of its own neighbors. Cannot happen on
+    /// (1-hop or better) colored graphs.
+    QuotientSelfLoop {
+        /// A node whose class is adjacent to itself.
+        node: usize,
+    },
+    /// The view quotient would contain parallel edges: some node has two
+    /// view-equivalent neighbors. Cannot happen on 2-hop colored graphs
+    /// (this is exactly the paper's Lemma 2 argument).
+    QuotientParallelEdge {
+        /// The node with two equivalent neighbors.
+        node: usize,
+    },
+    /// A canonical order was requested on a graph whose refinement does
+    /// not separate all nodes (only quotients / prime graphs have one).
+    NotDiscrete {
+        /// Number of nodes.
+        nodes: usize,
+        /// Number of refinement classes (< nodes).
+        classes: usize,
+    },
+    /// An explicit view tree of this depth would exceed the size budget.
+    ViewTooLarge {
+        /// Requested depth.
+        depth: usize,
+        /// The size bound that would be exceeded.
+        budget: usize,
+    },
+    /// Reconstructing a quotient from a folded view failed — the view is
+    /// not deep enough, not a closed view, or the underlying graph is not
+    /// 2-hop colored.
+    Reconstruction {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::QuotientSelfLoop { node } => {
+                write!(f, "view quotient is not simple: node {node} is view-equivalent to a neighbor")
+            }
+            ViewError::QuotientParallelEdge { node } => {
+                write!(
+                    f,
+                    "view quotient is not simple: node {node} has two view-equivalent neighbors (graph is not 2-hop colored)"
+                )
+            }
+            ViewError::NotDiscrete { nodes, classes } => {
+                write!(
+                    f,
+                    "refinement separates only {classes} of {nodes} nodes; a canonical node order requires distinct views"
+                )
+            }
+            ViewError::ViewTooLarge { depth, budget } => {
+                write!(f, "explicit view tree of depth {depth} exceeds the size budget of {budget} vertices")
+            }
+            ViewError::Reconstruction { reason } => {
+                write!(f, "quotient reconstruction from folded view failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ViewError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ViewError::QuotientSelfLoop { node: 2 }.to_string().contains("node 2"));
+        assert!(ViewError::QuotientParallelEdge { node: 1 }.to_string().contains("2-hop"));
+        assert!(ViewError::NotDiscrete { nodes: 6, classes: 3 }.to_string().contains('3'));
+        assert!(ViewError::ViewTooLarge { depth: 30, budget: 100 }.to_string().contains("30"));
+    }
+}

@@ -1,0 +1,373 @@
+//! Color refinement: the linear-time equivalent of view equality.
+//!
+//! Classic fact (implicit in the paper's use of Norris [39]): two nodes
+//! have equal depth-`(k+1)` local views iff `k` rounds of color refinement
+//! place them in the same class. Refinement partitions only ever get
+//! finer, so they stabilize after at most `n - 1` rounds — the
+//! finite-depth phenomenon that Section 3 of the paper exploits.
+
+use std::collections::HashMap;
+
+use anonet_graph::{Label, LabeledGraph, NodeId};
+
+/// Which notion of view equivalence to compute.
+///
+/// See the crate docs for the full discussion; in short:
+/// [`ViewMode::Portless`] is the paper's literal definition, while
+/// [`ViewMode::PortAware`] additionally distinguishes port structure and
+/// is what lifting arbitrary port-sensitive algorithms requires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ViewMode {
+    /// Views record node labels only (paper, Section 1.1). This is the
+    /// paper-exact notion and the default: the derandomization machinery
+    /// pairs it with *port-oblivious* algorithms, which by the paper's
+    /// Section 1.3 remark lose no power on 2-hop colored graphs.
+    #[default]
+    Portless,
+    /// Views additionally record, for each port `p`, the port through
+    /// which the neighbor reached via `p` sees this node. Strictly finer
+    /// than [`ViewMode::Portless`] (port numberings can break symmetry);
+    /// used by the experiments that study the effect of ports.
+    PortAware,
+}
+
+/// The result of running color refinement to stability.
+///
+/// Class identifiers are *canonical*: they are assigned by sorting the
+/// refinement keys, so isomorphic labeled graphs receive identical class
+/// structures — which is what lets every node of an anonymous network
+/// compute the same quotient independently.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Refinement {
+    /// `history[k][v]` = class of node `v` after `k` rounds (`k = 0` is
+    /// the initial label/degree partition). The last entry is stable.
+    history: Vec<Vec<u32>>,
+    mode: ViewMode,
+}
+
+impl Refinement {
+    /// Runs refinement on `g` until the partition stabilizes.
+    pub fn compute<L: Label>(g: &LabeledGraph<L>, mode: ViewMode) -> Self {
+        let graph = g.graph();
+        let n = graph.node_count();
+
+        // Round 0: labels only — so that `classes_at(k)` matches equality
+        // of depth-(k+1) views exactly. (Degrees are picked up at round 1
+        // as the neighbor-multiset size; the paper's convention that
+        // labels include degrees makes the two initial partitions coincide
+        // on its instances anyway.)
+        let keys0: Vec<Vec<u8>> = graph.nodes().map(|v| g.label(v).encoded()).collect();
+        let mut history = vec![assign_classes(&keys0)];
+
+        loop {
+            let prev = history.last().expect("history is non-empty");
+            let prev_count = class_count_of(prev);
+            let keys: Vec<(u32, Vec<(u32, u32)>)> = graph
+                .nodes()
+                .map(|v| {
+                    let mut nbrs: Vec<(u32, u32)> = graph
+                        .neighbors(v)
+                        .iter()
+                        .enumerate()
+                        .map(|(p, &u)| {
+                            let rev = match mode {
+                                ViewMode::Portless => 0,
+                                ViewMode::PortAware => {
+                                    graph.reverse_port(v, anonet_graph::Port::new(p)).index() as u32
+                                }
+                            };
+                            (prev[u.index()], rev)
+                        })
+                        .collect();
+                    if mode == ViewMode::Portless {
+                        // Neighbor multiset, not port vector.
+                        nbrs.sort_unstable();
+                    }
+                    (prev[v.index()], nbrs)
+                })
+                .collect();
+            let next = assign_classes(&keys);
+            let next_count = class_count_of(&next);
+            // Refinement only splits classes, so equal counts ⇒ equal
+            // partitions ⇒ stable.
+            if next_count == prev_count {
+                break;
+            }
+            history.push(next);
+            if history.len() > n + 1 {
+                unreachable!("refinement must stabilize within n rounds");
+            }
+        }
+
+        Refinement { history, mode }
+    }
+
+    /// The stable classes, indexed by node.
+    pub fn classes(&self) -> &[u32] {
+        self.history.last().expect("history is non-empty")
+    }
+
+    /// The classes after `k` rounds, if `k` does not exceed the
+    /// stabilization depth (the partition no longer changes past it).
+    pub fn classes_at(&self, k: usize) -> Option<&[u32]> {
+        self.history.get(k).map(Vec::as_slice)
+    }
+
+    /// The classes after `k` rounds for any `k`, clamping past stability.
+    pub fn classes_at_clamped(&self, k: usize) -> &[u32] {
+        let k = k.min(self.history.len() - 1);
+        &self.history[k]
+    }
+
+    /// Number of stable classes (`|V_∞|` — the size of the paper's
+    /// infinite view graph).
+    pub fn class_count(&self) -> usize {
+        class_count_of(self.classes())
+    }
+
+    /// Number of refinement rounds until stability.
+    ///
+    /// Norris' theorem (paper, Theorem 3) corresponds to the bound
+    /// `stabilization_depth() ≤ n - 1`.
+    pub fn stabilization_depth(&self) -> usize {
+        self.history.len() - 1
+    }
+
+    /// `true` iff every node is alone in its class — i.e. all depth-∞
+    /// views are distinct (Lemma 4: the graph is prime).
+    pub fn is_discrete(&self) -> bool {
+        self.class_count() == self.history[0].len()
+    }
+
+    /// The mode this refinement was computed under.
+    pub fn mode(&self) -> ViewMode {
+        self.mode
+    }
+
+    /// The stable partition as explicit groups of nodes, ordered by
+    /// canonical class id.
+    pub fn partition(&self) -> Vec<Vec<NodeId>> {
+        let classes = self.classes();
+        let count = self.class_count();
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); count];
+        for (v, &c) in classes.iter().enumerate() {
+            groups[c as usize].push(NodeId::new(v));
+        }
+        groups
+    }
+
+    /// The per-round class history of a node — a lexicographic sort key
+    /// that totally orders nodes with distinct views in an
+    /// isomorphism-invariant way (the canonical order of Section 2.1).
+    pub fn history_key(&self, v: NodeId) -> Vec<u32> {
+        self.history.iter().map(|round| round[v.index()]).collect()
+    }
+
+    /// `true` iff `u` and `v` have equal depth-`(k+1)` local views.
+    pub fn view_equal_at(&self, u: NodeId, v: NodeId, k: usize) -> bool {
+        let classes = self.classes_at_clamped(k);
+        classes[u.index()] == classes[v.index()]
+    }
+}
+
+/// Sorts keys and assigns dense canonical ids by sorted order.
+fn assign_classes<K: Eq + std::hash::Hash + Ord + Clone>(keys: &[K]) -> Vec<u32> {
+    let mut sorted: Vec<&K> = keys.iter().collect();
+    sorted.sort();
+    sorted.dedup();
+    let index: HashMap<&K, u32> =
+        sorted.into_iter().enumerate().map(|(i, k)| (k, i as u32)).collect();
+    keys.iter().map(|k| index[k]).collect()
+}
+
+fn class_count_of(classes: &[u32]) -> usize {
+    let mut seen: Vec<u32> = classes.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view_tree::ViewTree;
+    use anonet_graph::{generators, Graph};
+
+    fn fig1_c6() -> LabeledGraph<u32> {
+        generators::cycle(6).unwrap().with_labels(vec![1u32, 2, 3, 1, 2, 3]).unwrap()
+    }
+
+    #[test]
+    fn colored_c6_has_three_classes() {
+        let r = Refinement::compute(&fig1_c6(), ViewMode::Portless);
+        assert_eq!(r.class_count(), 3);
+        let c = r.classes();
+        assert_eq!(c[0], c[3]);
+        assert_eq!(c[1], c[4]);
+        assert_eq!(c[2], c[5]);
+        assert_ne!(c[0], c[1]);
+    }
+
+    #[test]
+    fn uniform_cycle_is_one_class() {
+        let g = generators::cycle(7).unwrap().with_uniform_label(0u8);
+        let r = Refinement::compute(&g, ViewMode::Portless);
+        assert_eq!(r.class_count(), 1);
+        assert!(!r.is_discrete());
+    }
+
+    #[test]
+    fn port_numberings_can_break_symmetry() {
+        // The cycle generator wires port 0 toward the successor for every
+        // node except the last, whose ports are swapped — a genuinely
+        // asymmetric port numbering. Portless views cannot see it; the
+        // port-aware refinement splits the single class.
+        let g = generators::cycle(7).unwrap().with_uniform_label(0u8);
+        let portless = Refinement::compute(&g, ViewMode::Portless);
+        let aware = Refinement::compute(&g, ViewMode::PortAware);
+        assert_eq!(portless.class_count(), 1);
+        assert!(aware.class_count() > 1);
+    }
+
+    #[test]
+    fn path_refinement_is_discrete_up_to_mirror() {
+        // P5 with uniform labels: refinement distinguishes by distance to
+        // the ends, but the mirror symmetry survives: classes {0,4},{1,3},{2}.
+        let g = generators::path(5).unwrap().with_uniform_label(0u8);
+        let r = Refinement::compute(&g, ViewMode::Portless);
+        assert_eq!(r.class_count(), 3);
+        let c = r.classes();
+        assert_eq!(c[0], c[4]);
+        assert_eq!(c[1], c[3]);
+        assert_ne!(c[0], c[1]);
+        assert_ne!(c[1], c[2]);
+    }
+
+    #[test]
+    fn refinement_matches_explicit_views() {
+        // classes_at(k) must equal depth-(k+1) view equality, node pair by
+        // node pair — the standard refinement/view correspondence.
+        let graphs = vec![
+            fig1_c6(),
+            generators::path(6).unwrap().with_uniform_label(0u32),
+            generators::petersen().with_degree_labels(),
+            Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 1)])
+                .unwrap()
+                .with_uniform_label(0u32),
+        ];
+        for g in graphs {
+            let r = Refinement::compute(&g, ViewMode::Portless);
+            let n = g.node_count();
+            for k in 0..=r.stabilization_depth() {
+                let views: Vec<ViewTree<u32>> = (0..n)
+                    .map(|v| {
+                        ViewTree::build(&g, NodeId::new(v), k + 1).unwrap().canonicalize()
+                    })
+                    .collect();
+                for u in 0..n {
+                    for v in 0..n {
+                        let by_view = views[u].encoded() == views[v].encoded();
+                        let by_ref = r.view_equal_at(NodeId::new(u), NodeId::new(v), k);
+                        assert_eq!(
+                            by_view, by_ref,
+                            "mismatch at depth {k} for nodes {u},{v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stabilization_within_n_minus_one() {
+        let graphs: Vec<LabeledGraph<u32>> = vec![
+            generators::path(9).unwrap().with_uniform_label(0u32),
+            generators::cycle(8).unwrap().with_uniform_label(0u32),
+            generators::petersen().with_uniform_label(0u32),
+            fig1_c6(),
+        ];
+        for g in graphs {
+            for mode in [ViewMode::Portless, ViewMode::PortAware] {
+                let r = Refinement::compute(&g, mode);
+                assert!(
+                    r.stabilization_depth() <= g.node_count().saturating_sub(1),
+                    "depth {} exceeds n-1",
+                    r.stabilization_depth()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn port_aware_is_at_least_as_fine() {
+        for g in [fig1_c6(), generators::petersen().with_uniform_label(0u32)] {
+            let portless = Refinement::compute(&g, ViewMode::Portless);
+            let aware = Refinement::compute(&g, ViewMode::PortAware);
+            assert!(aware.class_count() >= portless.class_count());
+            // Same port-aware class ⇒ same portless class.
+            let n = g.node_count();
+            for u in 0..n {
+                for v in 0..n {
+                    if aware.classes()[u] == aware.classes()[v] {
+                        assert_eq!(portless.classes()[u], portless.classes()[v]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn history_keys_are_distinct_exactly_when_discrete() {
+        let ids = generators::petersen().with_labels((0..10u32).collect()).unwrap();
+        let r = Refinement::compute(&ids, ViewMode::Portless);
+        assert!(r.is_discrete());
+        let mut keys: Vec<Vec<u32>> =
+            (0..10).map(|v| r.history_key(NodeId::new(v))).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 10);
+    }
+
+    #[test]
+    fn canonical_ids_are_isomorphism_invariant() {
+        // The same colored cycle presented with rotated node names must
+        // yield the same multiset of (class id, label) pairs.
+        let a = fig1_c6();
+        let rot = generators::cycle(6).unwrap().with_labels(vec![3u32, 1, 2, 3, 1, 2]).unwrap();
+        let ra = Refinement::compute(&a, ViewMode::Portless);
+        let rb = Refinement::compute(&rot, ViewMode::Portless);
+        let mut pa: Vec<(u32, u32)> =
+            (0..6).map(|v| (ra.classes()[v], *a.label(NodeId::new(v)))).collect();
+        let mut pb: Vec<(u32, u32)> =
+            (0..6).map(|v| (rb.classes()[v], *rot.label(NodeId::new(v)))).collect();
+        pa.sort();
+        pb.sort();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn partition_groups_match_classes() {
+        let g = generators::path(5).unwrap().with_uniform_label(0u8);
+        let r = Refinement::compute(&g, ViewMode::Portless);
+        let groups = r.partition();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 5);
+        // Mirror pairs share a group.
+        let find = |v: usize| {
+            groups.iter().position(|grp| grp.contains(&NodeId::new(v))).unwrap()
+        };
+        assert_eq!(find(0), find(4));
+        assert_eq!(find(1), find(3));
+        assert_ne!(find(0), find(2));
+    }
+
+    #[test]
+    fn classes_at_and_clamping() {
+        let g = generators::path(6).unwrap().with_uniform_label(0u8);
+        let r = Refinement::compute(&g, ViewMode::Portless);
+        assert!(r.classes_at(0).is_some());
+        assert!(r.classes_at(r.stabilization_depth()).is_some());
+        assert!(r.classes_at(r.stabilization_depth() + 1).is_none());
+        assert_eq!(r.classes_at_clamped(999), r.classes());
+    }
+}

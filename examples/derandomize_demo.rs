@@ -1,0 +1,65 @@
+//! The full Theorem-1 machinery with its internals on display: run the
+//! two-stage pipeline on a *product* graph (a 6-fold lift of C4) and
+//! watch the deterministic stage collapse the network to its finite view
+//! graph, search the canonical simulation, and lift the answer back.
+//!
+//! ```text
+//! cargo run --example derandomize_demo
+//! ```
+
+use anonet::algorithms::mis::RandomizedMis;
+use anonet::algorithms::problems::MisProblem;
+use anonet::core::derandomizer::Derandomizer;
+use anonet::core::SearchStrategy;
+use anonet::factor::prime::prime_factor;
+use anonet::graph::{coloring, generators, lift};
+use anonet::runtime::Problem;
+use anonet::views::ViewMode;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 24-node product: a random connected 6-lift of C4, with the base's
+    // 2-hop coloring lifted along the projection. Every fiber is a set of
+    // 6 mutually indistinguishable nodes.
+    let base = generators::cycle(4)?;
+    let base_colored = coloring::greedy_two_hop_coloring(&base);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let l = lift::random_connected_lift(&base, 6, 300, &mut rng)?;
+    let instance = l
+        .lift_labels(
+            &base_colored.labels().iter().map(|&c| ((), c)).collect::<Vec<_>>(),
+        )?;
+    println!("instance: {} nodes (a 6-lift of C4), 2-hop colored", instance.node_count());
+
+    // What the theory says the nodes will jointly reconstruct:
+    let p = prime_factor(&instance, ViewMode::Portless)?;
+    println!(
+        "prime factor: {} nodes (multiplicity {}) — Lemma 3's unique prime factor",
+        p.graph().node_count(),
+        p.map().multiplicity()
+    );
+
+    // The deterministic stage, with both canonical-search strategies.
+    for (name, strategy) in [
+        ("exhaustive-minimal (paper rule)", SearchStrategy::Exhaustive { max_total_bits: 24 }),
+        ("seeded-replay (engineering rule)", SearchStrategy::Seeded { max_attempts: 64 }),
+    ] {
+        let run = Derandomizer::new(RandomizedMis::new()).with_strategy(strategy).run(&instance)?;
+        let plain = instance.map_labels(|_| ());
+        assert!(MisProblem.is_valid_output(&plain, &run.outputs));
+        println!(
+            "{name}: simulated {} quotient nodes for {} rounds ({} attempts), \
+             lifted to a valid MIS of size {}",
+            run.quotient_nodes,
+            run.simulation_rounds,
+            run.attempts,
+            run.outputs.iter().filter(|&&b| b).count()
+        );
+    }
+
+    println!(
+        "the network never ran MIS at full size — it solved a {}-node quotient and lifted.",
+        p.graph().node_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! A self-organizing anonymous mesh, end to end: one randomized
+//! preprocessing pass (2-hop coloring — Theorem 1's only coin flips),
+//! then three *deterministic* services built on the colors:
+//!
+//! 1. interference-free frequencies (the colors themselves);
+//! 2. local coordinators (2-hop local minima — unique per 2-ball);
+//! 3. a pairing backbone (maximal matching via color-addressed proposals;
+//!    the matching itself is Las-Vegas, seeded here for reproducibility).
+//!
+//! ```text
+//! cargo run --example self_organizing_mesh
+//! ```
+
+use anonet::algorithms::local_election::{KLocalElection, KLocalMinimaProblem};
+use anonet::algorithms::matching::{MatchingProblem, RandomizedMatching};
+use anonet::algorithms::two_hop_coloring::TwoHopColoring;
+use anonet::graph::{coloring, BitString};
+use anonet::runtime::{run, ExecConfig, Oblivious, Problem, RngSource, ZeroSource};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+    let g = anonet::graph::generators::gnp_connected(18, 0.18, &mut rng)?;
+    println!("mesh: {g}, Δ = {}", g.max_degree());
+
+    // Pass 1 (randomized): 2-hop coloring.
+    let net = g.with_uniform_label(());
+    let exec = run(
+        &Oblivious(TwoHopColoring::new()),
+        &net,
+        &mut RngSource::seeded(4),
+        &ExecConfig::default(),
+    )?;
+    let tokens: Vec<BitString> = exec.outputs_unwrapped();
+    let colored = g.with_labels(tokens)?;
+    assert!(coloring::is_two_hop_coloring(&colored));
+    println!(
+        "pass 1: {} channels in {} rounds ({} random bits)",
+        colored.distinct_label_count(),
+        exec.rounds(),
+        exec.bits_consumed()
+    );
+
+    // Renumber tokens into compact u32 frequencies for the services below
+    // (order-preserving, so local minima are unchanged).
+    let mut sorted = colored.labels().to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let freqs: Vec<u32> = colored
+        .labels()
+        .iter()
+        .map(|t| sorted.binary_search(t).expect("token present") as u32)
+        .collect();
+    let freq_net = g.with_labels(freqs)?;
+
+    // Pass 2 (deterministic): 2-local coordinators.
+    let leaders = run(
+        &Oblivious(KLocalElection::<u32>::new(2)),
+        &freq_net,
+        &mut ZeroSource,
+        &ExecConfig::default(),
+    )?;
+    let coordinator = leaders.outputs_unwrapped();
+    assert!(KLocalMinimaProblem { k: 2 }.is_valid_output(&freq_net, &coordinator));
+    println!(
+        "pass 2: {} coordinators elected in {} rounds (0 random bits)",
+        coordinator.iter().filter(|&&b| b).count(),
+        leaders.rounds()
+    );
+
+    // Pass 3: pairing backbone (maximal matching).
+    let pairing = run(
+        &Oblivious(RandomizedMatching::<u32>::new()),
+        &freq_net,
+        &mut RngSource::seeded(9),
+        &ExecConfig::default(),
+    )?;
+    let matching = pairing.outputs_unwrapped();
+    assert!(MatchingProblem.is_valid_output(&freq_net, &matching));
+    println!(
+        "pass 3: {} nodes paired in {} rounds",
+        matching.iter().filter(|o| o.is_some()).count(),
+        pairing.rounds()
+    );
+
+    println!("\nnode: channel  role        partner-channel");
+    for v in g.nodes() {
+        println!(
+            "{:>4}: ch{:<5} {:<11} {}",
+            v.index(),
+            freq_net.label(v),
+            if coordinator[v.index()] { "coordinator" } else { "member" },
+            match &matching[v.index()] {
+                Some(c) => format!("paired with ch{c}"),
+                None => "unpaired".into(),
+            }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # anonet — Anonymous Networks: Randomization = 2-Hop Coloring
+//!
+//! Facade crate re-exporting the `anonet` workspace: a full reproduction of
+//! Emek, Pfister, Seidel, Wattenhofer, *"Anonymous Networks: Randomization
+//! = 2-Hop Coloring"*, PODC 2014.
+//!
+//! See the individual crates for details:
+//!
+//! * [`graph`] — labeled graphs, ports, colorings, generators, lifts, isomorphism
+//! * [`runtime`] — the synchronous anonymous message-passing model
+//! * [`views`] — local views `L_d(v)`, refinement, the finite view graph `G_*`
+//! * [`factor`] — factor/product machinery, the lifting lemma, fibrations
+//! * [`algorithms`] — randomized anonymous algorithms (2-hop coloring, MIS, …)
+//! * [`core`] — the paper's derandomization: `A_∞`, `A_*`, and the Theorem-1 pipeline
+
+#![forbid(unsafe_code)]
+
+pub use anonet_algorithms as algorithms;
+pub use anonet_core as core;
+pub use anonet_factor as factor;
+pub use anonet_graph as graph;
+pub use anonet_runtime as runtime;
+pub use anonet_views as views;

@@ -1,0 +1,110 @@
+//! Cross-crate integration: the full Theorem-1 pipeline over problems ×
+//! families × seeds, verified both centrally (problem specifications) and
+//! distributively (anonymous verifiers).
+
+use anonet::algorithms::coloring::RandomizedColoring;
+use anonet::algorithms::mis::RandomizedMis;
+use anonet::algorithms::problems::{GreedyColoringProblem, MisProblem};
+use anonet::algorithms::verify::{accepted, ColoringVerifier, MisVerifier};
+use anonet::core::pipeline::run_pipeline;
+use anonet::core::SearchStrategy;
+use anonet::graph::{coloring, generators, Graph};
+use anonet::runtime::{run, ExecConfig, Oblivious, Problem, ZeroSource};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn families(seed: u64) -> Vec<(String, Graph)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    vec![
+        ("cycle-9".into(), generators::cycle(9).unwrap()),
+        ("path-8".into(), generators::path(8).unwrap()),
+        ("star-7".into(), generators::star(7).unwrap()),
+        ("petersen".into(), generators::petersen()),
+        ("torus-3x3".into(), generators::grid(3, 3, true).unwrap()),
+        ("tree-10".into(), generators::random_tree(10, &mut rng).unwrap()),
+        ("gnp-10".into(), generators::gnp_connected(10, 0.3, &mut rng).unwrap()),
+        ("complete-5".into(), generators::complete(5).unwrap()),
+    ]
+}
+
+#[test]
+fn pipeline_mis_verified_centrally_and_distributively() {
+    for (name, g) in families(1) {
+        let net = g.with_uniform_label(());
+        for seed in 0..2 {
+            let run_result =
+                run_pipeline(&RandomizedMis::new(), &net, seed, SearchStrategy::default())
+                    .unwrap_or_else(|e| panic!("{name} seed {seed}: pipeline failed: {e}"));
+            assert!(
+                MisProblem.is_valid_output(&net, &run_result.outputs),
+                "{name} seed {seed}: central verification failed"
+            );
+            // Distributed verification of the same output.
+            let labeled = g.with_labels(run_result.outputs.clone()).unwrap();
+            let verdicts =
+                run(&Oblivious(MisVerifier), &labeled, &mut ZeroSource, &ExecConfig::default())
+                    .unwrap();
+            assert!(
+                accepted(&verdicts.outputs_unwrapped()),
+                "{name} seed {seed}: distributed verification failed"
+            );
+            // Stage 1 really produced a 2-hop coloring.
+            let colored = g.with_labels(run_result.coloring.clone()).unwrap();
+            assert!(coloring::is_two_hop_coloring(&colored));
+        }
+    }
+}
+
+#[test]
+fn pipeline_coloring_verified_centrally_and_distributively() {
+    for (name, g) in families(2) {
+        let net = g.with_uniform_label(());
+        let run_result =
+            run_pipeline(&RandomizedColoring::new(), &net, 3, SearchStrategy::default())
+                .unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"));
+        assert!(
+            GreedyColoringProblem.is_valid_output(&net, &run_result.outputs),
+            "{name}: central verification failed"
+        );
+        let labeled = g.with_labels(run_result.outputs.clone()).unwrap();
+        let verdicts = run(
+            &Oblivious(ColoringVerifier::<u32>::new()),
+            &labeled,
+            &mut ZeroSource,
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        assert!(accepted(&verdicts.outputs_unwrapped()), "{name}: distributed check failed");
+    }
+}
+
+#[test]
+fn pipeline_is_reproducible_end_to_end() {
+    let net = generators::petersen().with_uniform_label(());
+    let a = run_pipeline(&RandomizedMis::new(), &net, 9, SearchStrategy::default()).unwrap();
+    let b = run_pipeline(&RandomizedMis::new(), &net, 9, SearchStrategy::default()).unwrap();
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.coloring, b.coloring);
+    assert_eq!(a.deterministic.assignment, b.deterministic.assignment);
+}
+
+#[test]
+fn pipeline_outputs_respect_view_classes() {
+    // On a lifted instance, pipeline outputs must be constant on fibers of
+    // the quotient *of the colored instance stage 2 actually saw*.
+    use anonet::views::{quotient, ViewMode};
+    let net = generators::cycle(12).unwrap().with_uniform_label(());
+    let result = run_pipeline(&RandomizedMis::new(), &net, 4, SearchStrategy::default()).unwrap();
+    let colored = net
+        .graph()
+        .with_labels(result.coloring.iter().map(|c| ((), c.clone())).collect::<Vec<_>>())
+        .unwrap();
+    let q = quotient(&colored, ViewMode::Portless).unwrap();
+    for u in net.graph().nodes() {
+        for v in net.graph().nodes() {
+            if q.project(u) == q.project(v) {
+                assert_eq!(result.outputs[u.index()], result.outputs[v.index()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration: the theorem statements themselves, executed.
+
+use anonet::algorithms::mis::RandomizedMis;
+use anonet::algorithms::problems::MisProblem;
+use anonet::core::astar::{run_astar, AStarConfig};
+use anonet::core::infinity::solve_infinity;
+use anonet::core::{Derandomizer, SearchStrategy};
+use anonet::factor::lifting::{pull_back_assignment, run_lifted_oblivious};
+use anonet::factor::prime::{prime_factor, verify_unique_prime_factor};
+use anonet::factor::FactorizingMap;
+use anonet::graph::{coloring, generators, lift, BitString, LabeledGraph};
+use anonet::runtime::{BitAssignment, ExecConfig, Problem};
+use anonet::views::{quotient, ViewMode};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn colored_cycle_instance(n: usize) -> LabeledGraph<((), u32)> {
+    let labels: Vec<((), u32)> = (0..n).map(|i| ((), (i % 3) as u32 + 1)).collect();
+    generators::cycle(n).unwrap().with_labels(labels).unwrap()
+}
+
+#[test]
+fn theorem1_faithful_astar_and_converged_derandomizer_are_both_valid() {
+    let inst = colored_cycle_instance(3);
+    let plain = inst.map_labels(|_| ());
+
+    let astar =
+        run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default()).unwrap();
+    assert!(MisProblem.is_valid_output(&plain, &astar.outputs));
+
+    let derand = Derandomizer::new(RandomizedMis::new())
+        .with_strategy(SearchStrategy::Exhaustive { max_total_bits: 24 })
+        .run(&inst)
+        .unwrap();
+    assert!(MisProblem.is_valid_output(&plain, &derand.outputs));
+}
+
+#[test]
+fn theorem2_quotient_simulation_lifts_to_valid_outputs_on_products() {
+    for n in [3usize, 6, 12] {
+        let inst = colored_cycle_instance(n);
+        let run = solve_infinity(&RandomizedMis::new(), &inst, 24, &ExecConfig::default())
+            .unwrap();
+        assert_eq!(run.quotient_nodes, 3);
+        let plain = inst.map_labels(|_| ());
+        assert!(MisProblem.is_valid_output(&plain, &run.outputs), "n = {n}");
+    }
+}
+
+#[test]
+fn theorem3_refinement_depth_never_exceeds_n() {
+    use anonet::views::norris::norris_report;
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    for _ in 0..10 {
+        let g = generators::gnp_connected(14, 0.2, &mut rng).unwrap();
+        let report = norris_report(&g.with_uniform_label(0u32), ViewMode::Portless);
+        assert!(report.holds(), "Norris bound violated: {report:?}");
+    }
+}
+
+#[test]
+fn lemma3_unique_prime_factor_through_lift_towers() {
+    // base -> lift(base, 2) -> lift(lift, 2): all three share one prime factor.
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let base = generators::cycle(5).unwrap();
+    let colored = coloring::greedy_two_hop_coloring(&base);
+    let l1 = lift::random_connected_lift(&base, 2, 300, &mut rng).unwrap();
+    let p1 = l1.lift_labels(colored.labels()).unwrap();
+    let l2 = lift::random_connected_lift(l1.graph(), 2, 300, &mut rng).unwrap();
+    let p2 = l2.lift_labels(p1.labels()).unwrap();
+
+    assert!(verify_unique_prime_factor(&p1, &colored, ViewMode::Portless).is_ok());
+    assert!(verify_unique_prime_factor(&p2, &colored, ViewMode::Portless).is_ok());
+    assert!(verify_unique_prime_factor(&p2, &p1, ViewMode::Portless).is_ok());
+    assert_eq!(prime_factor(&p2, ViewMode::Portless).unwrap().map().multiplicity(), 4);
+}
+
+#[test]
+fn lifting_lemma_holds_for_random_assignments() {
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let base = generators::petersen();
+    let colored = coloring::greedy_two_hop_coloring(&base).map_labels(|_| ());
+    let l = lift::random_connected_lift(&base, 3, 300, &mut rng).unwrap();
+    let product = l.lift_labels(colored.labels()).unwrap();
+    let images: Vec<usize> = l.projection().iter().map(|v| v.index()).collect();
+    let map = FactorizingMap::new(&product, &colored, images).unwrap();
+
+    for _ in 0..3 {
+        let tapes: Vec<BitString> = (0..colored.node_count())
+            .map(|_| (0..40).map(|_| rng.gen::<bool>()).collect())
+            .collect();
+        let assignment = BitAssignment::new(tapes);
+        // Pull-back sanity.
+        let pulled = pull_back_assignment(&map, &assignment);
+        assert_eq!(pulled.len(), product.node_count());
+        // Node-by-node agreement, verified internally.
+        run_lifted_oblivious(
+            &RandomizedMis::new(),
+            &product,
+            &colored,
+            &map,
+            &assignment,
+            &ExecConfig::default(),
+        )
+        .expect("lifting lemma must hold");
+    }
+}
+
+#[test]
+fn derandomizer_sees_through_arbitrary_lift_presentations() {
+    // Permuting how a lift is presented must not change the lifted answer
+    // along the projection (everything is view-derived).
+    let mut rng = ChaCha8Rng::seed_from_u64(33);
+    let base_inst = colored_cycle_instance(3);
+    let base_graph = generators::cycle(3).unwrap();
+    let d = Derandomizer::new(RandomizedMis::new());
+    let base_run = d.run(&base_inst).unwrap();
+    for m in [2usize, 3, 4] {
+        let l = lift::random_connected_lift(&base_graph, m, 300, &mut rng).unwrap();
+        let inst = l.lift_labels(base_inst.labels()).unwrap();
+        let run = d.run(&inst).unwrap();
+        assert_eq!(run.quotient_nodes, 3);
+        for (v, &img) in l.projection().iter().enumerate() {
+            assert_eq!(run.outputs[v], base_run.outputs[img.index()], "m={m}, node {v}");
+        }
+    }
+}
+
+#[test]
+fn derandomized_matching_lifts_edge_by_edge() {
+    // Maximal matching has *relational* outputs (partner colors); its
+    // derandomization exercises output lifting beyond per-node labels.
+    use anonet::algorithms::matching::{MatchingProblem, RandomizedMatching};
+    let mut rng = ChaCha8Rng::seed_from_u64(44);
+    for base in [generators::cycle(5).unwrap(), generators::petersen()] {
+        let colored = coloring::greedy_two_hop_coloring(&base);
+        for m in [2usize, 3] {
+            let l = lift::random_connected_lift(&base, m, 300, &mut rng).unwrap();
+            let product_colors = l.lift_labels(colored.labels()).unwrap();
+            let inst = product_colors.map_labels(|&c| (c, c));
+            let run = Derandomizer::new(RandomizedMatching::<u32>::new())
+                .run(&inst)
+                .unwrap();
+            assert!(
+                MatchingProblem.is_valid_output(&product_colors, &run.outputs),
+                "invalid lifted matching on a {m}-lift"
+            );
+            assert_eq!(run.quotient_nodes, base.node_count());
+        }
+    }
+}
+
+#[test]
+fn quotient_of_two_hop_colored_graph_is_always_simple_and_factor() {
+    // Lemma 2 as a sweep over families with greedy colorings.
+    let graphs = vec![
+        generators::cycle(10).unwrap(),
+        generators::path(9).unwrap(),
+        generators::petersen(),
+        generators::hypercube(3).unwrap(),
+        generators::grid(3, 4, true).unwrap(),
+    ];
+    for g in graphs {
+        let colored = coloring::greedy_two_hop_coloring(&g);
+        let q = quotient(&colored, ViewMode::Portless).expect("2-hop colored quotients are simple");
+        // prime_factor re-validates the three factor properties.
+        prime_factor(&colored, ViewMode::Portless).expect("projection is a factorizing map");
+        assert!(q.graph().graph().is_connected());
+    }
+}
