@@ -155,8 +155,7 @@ impl ObliviousAlgorithm for RandomizedColoring {
         // decided, neighbors). Checked outside commit rounds so proposals
         // don't mask decidedness.
         if phase != 0 && state.color.is_some() {
-            let all_decided =
-                received.iter().all(|m| matches!(m, ColoringMessage::Decided(_)));
+            let all_decided = received.iter().all(|m| matches!(m, ColoringMessage::Decided(_)));
             if all_decided {
                 actions.halt();
             }

@@ -82,13 +82,11 @@ impl<C: Label> ObliviousAlgorithm for DeterministicColoring<C> {
         }
 
         if state.output.is_none() {
-            let blocked = received
-                .iter()
-                .any(|(c, out)| out.is_none() && *c < state.input_color);
+            let blocked = received.iter().any(|(c, out)| out.is_none() && *c < state.input_color);
             if !blocked {
-                let color = (0u32..).find(|c| !state.neighbor_outputs.contains(c)).expect(
-                    "colors are unbounded",
-                );
+                let color = (0u32..)
+                    .find(|c| !state.neighbor_outputs.contains(c))
+                    .expect("colors are unbounded");
                 state.output = Some(color);
                 actions.output(color);
             }
@@ -178,8 +176,7 @@ mod tests {
     #[test]
     fn works_with_bitstring_inputs() {
         let g = generators::cycle(5).unwrap();
-        let labels: Vec<BitString> =
-            (0..5).map(|i| BitString::from_value(i as u64, 3)).collect();
+        let labels: Vec<BitString> = (0..5).map(|i| BitString::from_value(i as u64, 3)).collect();
         let net = g.with_labels(labels).unwrap();
         let exec = run(
             &Oblivious(DeterministicColoring::<BitString>::new()),

@@ -137,10 +137,8 @@ impl<C: Label> ObliviousAlgorithm for DeterministicMis<C> {
                         actions.halt();
                     }
                 }
-                state.outgoing = DetMisMessage::Color(
-                    state.color.clone(),
-                    state.status == DetMisStatus::Active,
-                );
+                state.outgoing =
+                    DetMisMessage::Color(state.color.clone(), state.status == DetMisStatus::Active);
             }
             _ => unreachable!("round % 3 is exhaustive"),
         }
@@ -210,8 +208,7 @@ mod tests {
         use anonet_graph::BitString;
         let g = generators::cycle(5).unwrap();
         // 5-cycle needs all-distinct 2-hop colors.
-        let labels: Vec<BitString> =
-            (0..5).map(|i| BitString::from_value(i as u64, 3)).collect();
+        let labels: Vec<BitString> = (0..5).map(|i| BitString::from_value(i as u64, 3)).collect();
         let net = g.with_labels(labels).unwrap();
         let exec = run(
             &Oblivious(DeterministicMis::<BitString>::new()),

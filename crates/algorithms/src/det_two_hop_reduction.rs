@@ -107,8 +107,7 @@ impl<C: Label> ObliviousAlgorithm for TwoHopReduction<C> {
         }
 
         if state.output.is_none() && !blocked {
-            let color =
-                (0u32..).find(|c| !state.taken.contains(c)).expect("colors are unbounded");
+            let color = (0u32..).find(|c| !state.taken.contains(c)).expect("colors are unbounded");
             state.output = Some(color);
             actions.output(color);
         }
@@ -119,9 +118,9 @@ impl<C: Label> ObliviousAlgorithm for TwoHopReduction<C> {
 
         // Halt once the whole (visible) 2-ball has committed.
         if state.output.is_some() {
-            let all_done = received.iter().all(|(peer, table)| {
-                peer.1.is_some() && table.iter().all(|(_, o)| o.is_some())
-            });
+            let all_done = received
+                .iter()
+                .all(|(peer, table)| peer.1.is_some() && table.iter().all(|(_, o)| o.is_some()));
             if all_done && round > 1 {
                 actions.halt();
             }
@@ -186,8 +185,7 @@ mod tests {
             generators::wheel(7).unwrap(),
         ] {
             // A valid but wasteful input: huge distinct colors.
-            let wide: Vec<u32> =
-                (0..g.node_count() as u32).map(|i| 1000 + 37 * i).collect();
+            let wide: Vec<u32> = (0..g.node_count() as u32).map(|i| 1000 + 37 * i).collect();
             let net = g.with_labels(wide).unwrap();
             let reduced = reduce(&net);
             assert!(
@@ -222,10 +220,8 @@ mod tests {
         let mut sorted = tokens.clone();
         sorted.sort();
         sorted.dedup();
-        let ranks: Vec<u32> = tokens
-            .iter()
-            .map(|t| sorted.binary_search(t).expect("present") as u32)
-            .collect();
+        let ranks: Vec<u32> =
+            tokens.iter().map(|t| sorted.binary_search(t).expect("present") as u32).collect();
         let net = g.with_labels(ranks).unwrap();
         let reduced = reduce(&net);
         assert!(TwoHopReductionProblem.is_valid_output(&net, &reduced));

@@ -219,13 +219,10 @@ mod tests {
             // Reference: PortProbe directly on the color-sorted graph.
             let reference_net = color_sorted_ports(&g, &colors).with_uniform_label(());
             let reference =
-                run(&PortProbe, &reference_net, &mut ZeroSource, &ExecConfig::default())
-                    .unwrap();
+                run(&PortProbe, &reference_net, &mut ZeroSource, &ExecConfig::default()).unwrap();
 
             // Emulated: VirtualPorts over the oblivious transport.
-            let net = g
-                .with_labels(colors.iter().map(|&c| ((), c)).collect::<Vec<_>>())
-                .unwrap();
+            let net = g.with_labels(colors.iter().map(|&c| ((), c)).collect::<Vec<_>>()).unwrap();
             let emulated = run(
                 &Oblivious(VirtualPorts::<_, u32>::new(PortProbe)),
                 &net,
@@ -284,8 +281,7 @@ mod tests {
         let reference =
             run(&Chain, &reference_net, &mut ZeroSource, &ExecConfig::default()).unwrap();
 
-        let net =
-            g.with_labels(colors.iter().map(|&c| ((), c)).collect::<Vec<_>>()).unwrap();
+        let net = g.with_labels(colors.iter().map(|&c| ((), c)).collect::<Vec<_>>()).unwrap();
         let emulated = run(
             &Oblivious(VirtualPorts::<_, u32>::new(Chain)),
             &net,

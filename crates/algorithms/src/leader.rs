@@ -99,10 +99,7 @@ mod tests {
     #[test]
     fn elects_on_prime_graphs() {
         // All-distinct colors ⇒ prime.
-        let g = generators::cycle(5)
-            .unwrap()
-            .with_labels((0..5u32).collect())
-            .unwrap();
+        let g = generators::cycle(5).unwrap().with_labels((0..5u32).collect()).unwrap();
         let outcome = elect_leader(&g).unwrap();
         assert_eq!(outcome.outputs.iter().filter(|&&b| b).count(), 1);
         assert!(outcome.outputs[outcome.leader.index()]);

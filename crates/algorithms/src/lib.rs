@@ -37,8 +37,8 @@ mod error;
 pub mod leader;
 pub mod local_election;
 pub mod matching;
-pub mod monte_carlo;
 pub mod mis;
+pub mod monte_carlo;
 pub mod problems;
 pub mod two_hop_coloring;
 pub mod verify;

@@ -206,10 +206,7 @@ mod tests {
     fn globally_minimal_color_always_leads() {
         let g = generators::cycle(7).unwrap();
         let net = coloring::greedy_two_hop_coloring(&g);
-        let min_node = g
-            .nodes()
-            .min_by_key(|&v| net.label(v))
-            .unwrap();
+        let min_node = g.nodes().min_by_key(|&v| net.label(v)).unwrap();
         for k in 1..=2 {
             assert!(solve(&net, k)[min_node.index()]);
         }

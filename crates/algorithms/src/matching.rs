@@ -158,10 +158,8 @@ impl<C: Label> ObliviousAlgorithm for RandomizedMatching<C> {
                 // A node whose neighbors are all decided can settle as
                 // unmatched in the next status phase; defer to phase 1 via
                 // the status exchange below.
-                state.outgoing = MatchingMessage::Status(
-                    state.color.clone(),
-                    state.outcome.is_none(),
-                );
+                state.outgoing =
+                    MatchingMessage::Status(state.color.clone(), state.outcome.is_none());
             }
             _ => unreachable!("round % 3 is exhaustive"),
         }
@@ -171,15 +169,13 @@ impl<C: Label> ObliviousAlgorithm for RandomizedMatching<C> {
         // neighbors becomes definitively unmatched; decided nodes with
         // all-decided neighborhoods halt.
         if round % 3 == 1 && round > 1 {
-            let any_active_neighbor = received
-                .iter()
-                .any(|m| matches!(m, MatchingMessage::Status(_, true)));
+            let any_active_neighbor =
+                received.iter().any(|m| matches!(m, MatchingMessage::Status(_, true)));
             if state.outcome.is_none() && !any_active_neighbor {
                 state.outcome = Some(None);
                 actions.output(None);
                 // Correct the outgoing message: we are no longer active.
-                state.outgoing =
-                    MatchingMessage::Propose(state.color.clone(), false, None);
+                state.outgoing = MatchingMessage::Propose(state.color.clone(), false, None);
             }
             if state.outcome.is_some() && !any_active_neighbor {
                 actions.halt();
@@ -217,10 +213,8 @@ impl Problem for MatchingProblem {
             match &output[v.index()] {
                 Some(partner_color) => {
                     // The partner must be an actual neighbor, matched back.
-                    let Some(&u) = g
-                        .neighbors(v)
-                        .iter()
-                        .find(|&&u| instance.label(u) == partner_color)
+                    let Some(&u) =
+                        g.neighbors(v).iter().find(|&&u| instance.label(u) == partner_color)
                     else {
                         return false;
                     };
@@ -258,10 +252,7 @@ mod tests {
         assert_eq!(exec.status(), Status::Completed, "did not complete on {g}");
         assert!(exec.is_successful());
         let out = exec.outputs_unwrapped();
-        assert!(
-            MatchingProblem.is_valid_output(&net, &out),
-            "invalid matching on {g}: {out:?}"
-        );
+        assert!(MatchingProblem.is_valid_output(&net, &out), "invalid matching on {g}: {out:?}");
         out
     }
 
@@ -315,8 +306,7 @@ mod tests {
         let g = generators::path(3).unwrap();
         let net = g.with_labels(vec![10u32, 20, 30]).unwrap();
         // 0 claims 20, but 1 claims 30: asymmetric.
-        assert!(!MatchingProblem
-            .is_valid_output(&net, &[Some(20), Some(30), Some(20)]));
+        assert!(!MatchingProblem.is_valid_output(&net, &[Some(20), Some(30), Some(20)]));
         // Valid: 0–1 matched, 2 unmatched but its neighbor is matched.
         assert!(MatchingProblem.is_valid_output(&net, &[Some(20), Some(10), None]));
         // Invalid: 1 and 2 both unmatched though adjacent.

@@ -139,9 +139,8 @@ impl ObliviousAlgorithm for RandomizedMis {
             2 => {
                 // Received the tosses; decide joining.
                 if state.status == MisStatus::Active {
-                    let someone_active_tossed_one = received
-                        .iter()
-                        .any(|m| matches!(m, MisMessage::Toss(true)));
+                    let someone_active_tossed_one =
+                        received.iter().any(|m| matches!(m, MisMessage::Toss(true)));
                     if state.coin && !someone_active_tossed_one {
                         state.status = MisStatus::Joined;
                         actions.output(true);
@@ -166,9 +165,9 @@ impl ObliviousAlgorithm for RandomizedMis {
         // once this node and all neighbors are settled.
         if round % 3 == 1 && round > 1 {
             // The messages received this round are Status reports.
-            state.neighbors_settled = received.iter().all(|m| {
-                matches!(m, MisMessage::Status(MisStatus::Joined | MisStatus::Retired))
-            });
+            state.neighbors_settled = received
+                .iter()
+                .all(|m| matches!(m, MisMessage::Status(MisStatus::Joined | MisStatus::Retired)));
             if state.status != MisStatus::Active && state.neighbors_settled {
                 actions.halt();
             }

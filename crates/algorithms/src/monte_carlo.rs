@@ -56,14 +56,7 @@ impl ObliviousAlgorithm for MonteCarloLeader {
     type State = (McLeaderState, usize);
 
     fn init(&self, input: &usize, _degree: usize) -> Self::State {
-        (
-            McLeaderState {
-                id: BitString::new(),
-                max_seen: BitString::new(),
-                bits_drawn: 0,
-            },
-            *input,
-        )
+        (McLeaderState { id: BitString::new(), max_seen: BitString::new(), bits_drawn: 0 }, *input)
     }
 
     fn broadcast(&self, state: &Self::State) -> Option<BitString> {

@@ -116,7 +116,7 @@ mod tests {
         let net = generators::path(3).unwrap().with_uniform_label(());
         assert!(GreedyColoringProblem.is_valid_output(&net, &[0, 1, 0]));
         assert!(!GreedyColoringProblem.is_valid_output(&net, &[0, 0, 1])); // improper
-        // Color 2 > degree 1 of an endpoint: violates the greedy bound.
+                                                                           // Color 2 > degree 1 of an endpoint: violates the greedy bound.
         assert!(!GreedyColoringProblem.is_valid_output(&net, &[2, 1, 0]));
     }
 
@@ -126,10 +126,8 @@ mod tests {
         let colors = |vals: &[u64]| -> Vec<BitString> {
             vals.iter().map(|&v| BitString::from_value(v, 4)).collect()
         };
-        assert!(TwoHopColoringProblem
-            .is_valid_output(&net, &colors(&[1, 2, 3, 1, 2, 3])));
+        assert!(TwoHopColoringProblem.is_valid_output(&net, &colors(&[1, 2, 3, 1, 2, 3])));
         // Distance-2 clash: nodes 0 and 2.
-        assert!(!TwoHopColoringProblem
-            .is_valid_output(&net, &colors(&[1, 2, 1, 3, 2, 3])));
+        assert!(!TwoHopColoringProblem.is_valid_output(&net, &colors(&[1, 2, 1, 3, 2, 3])));
     }
 }

@@ -208,9 +208,9 @@ impl ObliviousAlgorithm for TwoHopColoring {
         // fully decided 1-hop and 2-hop picture. Silent (halted) neighbors
         // only halt after observing the same, so they are decided too.
         if state.decided {
-            let all_done = received.iter().all(|(peer, table)| {
-                peer.1 && !table.is_empty() && table.iter().all(|(_, d)| *d)
-            });
+            let all_done = received
+                .iter()
+                .all(|(peer, table)| peer.1 && !table.is_empty() && table.iter().all(|(_, d)| *d));
             if all_done {
                 actions.halt();
             }
@@ -240,8 +240,7 @@ mod tests {
     fn assert_valid_two_hop(g: &Graph, exec: &Execution<Oblivious<TwoHopColoring>>) {
         assert_eq!(exec.status(), Status::Completed);
         assert!(exec.is_successful());
-        let colored: LabeledGraph<BitString> =
-            g.with_labels(exec.outputs_unwrapped()).unwrap();
+        let colored: LabeledGraph<BitString> = g.with_labels(exec.outputs_unwrapped()).unwrap();
         assert!(is_two_hop_coloring(&colored), "invalid 2-hop coloring on {g}");
     }
 

@@ -262,9 +262,13 @@ mod tests {
         assert!(accepted(&exec.outputs_unwrapped()));
 
         let bad = g.with_uniform_label(1u32);
-        let exec =
-            run(&Oblivious(ColoringVerifier::<u32>::new()), &bad, &mut ZeroSource, &ExecConfig::default())
-                .unwrap();
+        let exec = run(
+            &Oblivious(ColoringVerifier::<u32>::new()),
+            &bad,
+            &mut ZeroSource,
+            &ExecConfig::default(),
+        )
+        .unwrap();
         assert!(!accepted(&exec.outputs_unwrapped()));
     }
 

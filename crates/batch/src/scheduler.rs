@@ -1,0 +1,347 @@
+//! The batch scheduler: a work-queue driver over [`std::thread::scope`].
+//!
+//! Jobs are claimed from an atomic cursor by a fixed pool of scoped worker
+//! threads; results land in submission-order slots, so the output order is
+//! deterministic no matter how the OS schedules workers. A panicking job is
+//! isolated by [`std::panic::catch_unwind`]: it fails *its* slot
+//! ([`JobResult::Panicked`]) and the rest of the batch proceeds.
+//!
+//! The simulator itself stays single-threaded: a job runs its synchronous
+//! rounds sequentially; only *instances* run concurrently. This is the
+//! reconciliation of the batch engine with the DESIGN decision that
+//! parallelism inside an execution "would buy noise, not fidelity" —
+//! across independent executions it buys throughput and changes nothing.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheStats;
+
+/// The outcome of one job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobResult<O> {
+    /// The job completed.
+    Ok(O),
+    /// The job returned an error (rendered).
+    Failed(String),
+    /// The job panicked; the batch survived (payload: panic message).
+    Panicked(String),
+}
+
+impl<O> JobResult<O> {
+    /// The success value, if any.
+    pub fn ok(&self) -> Option<&O> {
+        match self {
+            JobResult::Ok(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`JobResult::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobResult::Ok(_))
+    }
+
+    /// Unwraps the success value.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the failure description if the job did not succeed.
+    pub fn unwrap(self) -> O {
+        match self {
+            JobResult::Ok(o) => o,
+            JobResult::Failed(e) => panic!("job failed: {e}"),
+            JobResult::Panicked(e) => panic!("job panicked: {e}"),
+        }
+    }
+}
+
+/// Aggregate statistics for one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchStats {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that returned a value.
+    pub succeeded: usize,
+    /// Jobs that returned an error.
+    pub failed: usize,
+    /// Jobs that panicked (isolated).
+    pub panicked: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Sum of per-job execution times (= wall on one thread; up to
+    /// `threads ×` wall when saturated).
+    pub busy: Duration,
+    /// Per-job execution times, in submission order.
+    pub job_times: Vec<Duration>,
+    /// Aggregate per-stage wall times, filled in by drivers that know the
+    /// internal structure of their jobs (e.g. `coloring` / `quotient` /
+    /// `simulate` for pipeline batches).
+    pub stages: Vec<(String, Duration)>,
+    /// Cache accounting for the batch window, when a cache was attached:
+    /// the difference between the post- and pre-batch snapshots.
+    pub cache: Option<CacheStats>,
+}
+
+impl BatchStats {
+    /// Completed jobs per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.jobs as f64 / secs
+        }
+    }
+
+    /// Multi-line human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "batch: {} job(s) on {} thread(s): {} ok, {} failed, {} panicked\n\
+             wall {:.3?}, busy {:.3?} (parallel speedup {:.2}x), {:.1} jobs/sec",
+            self.jobs,
+            self.threads,
+            self.succeeded,
+            self.failed,
+            self.panicked,
+            self.wall,
+            self.busy,
+            self.busy.as_secs_f64() / self.wall.as_secs_f64().max(f64::EPSILON),
+            self.jobs_per_sec(),
+        );
+        for (name, time) in &self.stages {
+            out.push_str(&format!("\nstage {name:<20} {time:.3?}"));
+        }
+        if let Some(cache) = &self.cache {
+            out.push('\n');
+            out.push_str(&cache.render());
+        }
+        out
+    }
+}
+
+/// A finished batch: submission-ordered results plus statistics.
+#[derive(Debug)]
+pub struct BatchOutcome<O> {
+    /// One result per submitted job, in submission order.
+    pub results: Vec<JobResult<O>>,
+    /// Aggregate statistics.
+    pub stats: BatchStats,
+}
+
+impl<O> BatchOutcome<O> {
+    /// Unwraps every result into a `Vec`, in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failed or panicked job.
+    pub fn unwrap_all(self) -> Vec<O> {
+        self.results.into_iter().map(JobResult::unwrap).collect()
+    }
+}
+
+/// Runs closures over many inputs on a scoped thread pool.
+///
+/// # Example
+///
+/// ```
+/// use anonet_batch::BatchScheduler;
+///
+/// let outcome = BatchScheduler::new()
+///     .run(&[1u64, 2, 3, 4], |_idx, &x| Ok::<u64, String>(x * x));
+/// assert_eq!(outcome.unwrap_all(), vec![1, 4, 9, 16]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchScheduler {
+    threads: usize,
+}
+
+impl Default for BatchScheduler {
+    fn default() -> Self {
+        BatchScheduler::new()
+    }
+}
+
+impl BatchScheduler {
+    /// A scheduler sized to the machine (`available_parallelism`).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+        BatchScheduler { threads }
+    }
+
+    /// A scheduler with an explicit worker count (≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        BatchScheduler { threads: threads.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job` over every input concurrently. Results come back in
+    /// submission order; a panic in one job fails only that job's slot.
+    ///
+    /// The job closure is wrapped in [`AssertUnwindSafe`]: a panicking job
+    /// must leave any state it shares with other jobs consistent (the
+    /// [`DerandCache`](crate::DerandCache) does — every update is atomic
+    /// under its lock).
+    pub fn run<I, O, E, F>(&self, inputs: &[I], job: F) -> BatchOutcome<O>
+    where
+        I: Sync,
+        O: Send,
+        E: std::fmt::Display,
+        F: Fn(usize, &I) -> Result<O, E> + Sync,
+    {
+        type Slot<O> = Mutex<Option<(JobResult<O>, Duration)>>;
+        let started = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Slot<O>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(inputs.len()).max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= inputs.len() {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| job(i, &inputs[i])));
+                    let elapsed = t0.elapsed();
+                    let result = match outcome {
+                        Ok(Ok(o)) => JobResult::Ok(o),
+                        Ok(Err(e)) => JobResult::Failed(e.to_string()),
+                        Err(payload) => JobResult::Panicked(panic_message(payload)),
+                    };
+                    *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some((result, elapsed));
+                });
+            }
+        });
+
+        let wall = started.elapsed();
+        let mut results = Vec::with_capacity(inputs.len());
+        let mut job_times = Vec::with_capacity(inputs.len());
+        for slot in slots {
+            let (result, elapsed) = slot
+                .into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .expect("every slot is filled before the scope ends");
+            results.push(result);
+            job_times.push(elapsed);
+        }
+        let succeeded = results.iter().filter(|r| r.is_ok()).count();
+        let failed = results.iter().filter(|r| matches!(r, JobResult::Failed(_))).count();
+        let panicked = results.iter().filter(|r| matches!(r, JobResult::Panicked(_))).count();
+        let busy = job_times.iter().sum();
+        let stats = BatchStats {
+            jobs: inputs.len(),
+            succeeded,
+            failed,
+            panicked,
+            threads: workers,
+            wall,
+            busy,
+            job_times,
+            stages: Vec::new(),
+            cache: None,
+        };
+        BatchOutcome { results, stats }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_submission_ordered() {
+        let inputs: Vec<usize> = (0..64).collect();
+        let outcome = BatchScheduler::with_threads(8).run(&inputs, |idx, &x| {
+            assert_eq!(idx, x);
+            // Vary the work so completion order scrambles.
+            std::thread::sleep(Duration::from_micros(((x * 37) % 5) as u64 * 100));
+            Ok::<usize, String>(x * 2)
+        });
+        assert_eq!(outcome.unwrap_all(), (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let outcome = BatchScheduler::new().run(&[] as &[u8], |_, _| Ok::<u8, String>(0));
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.stats.jobs, 0);
+    }
+
+    #[test]
+    fn panics_are_isolated() {
+        let inputs: Vec<usize> = (0..10).collect();
+        let outcome = BatchScheduler::with_threads(4).run(&inputs, |_, &x| {
+            if x == 3 {
+                panic!("poisoned instance {x}");
+            }
+            Ok::<usize, String>(x)
+        });
+        assert_eq!(outcome.stats.succeeded, 9);
+        assert_eq!(outcome.stats.panicked, 1);
+        match &outcome.results[3] {
+            JobResult::Panicked(msg) => assert!(msg.contains("poisoned instance 3")),
+            other => panic!("expected a panic slot, got {other:?}"),
+        }
+        // Every other slot holds its own value.
+        for (i, r) in outcome.results.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(r.ok(), Some(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_per_job() {
+        let inputs = [1i32, -1, 2, -2];
+        let outcome = BatchScheduler::with_threads(2).run(&inputs, |_, &x| {
+            if x < 0 {
+                Err(format!("negative: {x}"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(outcome.stats.succeeded, 2);
+        assert_eq!(outcome.stats.failed, 2);
+        assert_eq!(outcome.results[1], JobResult::Failed("negative: -1".into()));
+    }
+
+    #[test]
+    fn stats_account_every_job() {
+        let inputs: Vec<u32> = (0..17).collect();
+        let outcome = BatchScheduler::with_threads(3).run(&inputs, |_, &x| Ok::<u32, String>(x));
+        let s = &outcome.stats;
+        assert_eq!(s.jobs, 17);
+        assert_eq!(s.succeeded, 17);
+        assert_eq!(s.job_times.len(), 17);
+        assert_eq!(s.threads, 3);
+        assert!(s.busy <= s.wall * 3 + Duration::from_millis(50));
+        assert!(s.jobs_per_sec() > 0.0);
+        assert!(s.render().contains("17 job(s)"));
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_capped() {
+        let outcome = BatchScheduler::with_threads(64).run(&[1u8, 2], |_, &x| Ok::<u8, String>(x));
+        assert_eq!(outcome.stats.threads, 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the content-addressed cache key: `instance_key`
+//! must be a function of the instance's *isomorphism class of quotients*
+//! and nothing else — invariant under node renumbering (isomorphic
+//! presentations address the same entry) and under lifting (every lift of
+//! a base addresses the base's entry), and injective enough that equal
+//! keys certify isomorphic quotients.
+
+use anonet_batch::instance_key;
+use anonet_graph::lift::cyclic_cycle_lift;
+use anonet_graph::{coloring, generators, iso, Graph, LabeledGraph};
+use anonet_views::{quotient, ViewMode};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A random connected graph from a seed: mixes families for diversity.
+fn arbitrary_graph(seed: u64, n: usize, flavor: u8) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    match flavor % 4 {
+        0 => generators::gnp_connected(n, 0.3, &mut rng).expect("valid"),
+        1 => generators::random_tree(n, &mut rng).expect("valid"),
+        2 => generators::cycle(n.max(3)).expect("valid"),
+        _ => generators::gnp_connected(n, 0.6, &mut rng).expect("valid"),
+    }
+}
+
+/// Rebuilds `g` with node `v` renumbered to `perm[v]` — an isomorphic
+/// presentation of the same labeled graph.
+fn permuted(g: &LabeledGraph<u32>, perm: &[usize]) -> LabeledGraph<u32> {
+    let n = g.node_count();
+    let edges: Vec<(usize, usize)> =
+        g.graph().edges().map(|e| (perm[e.u.index()], perm[e.v.index()])).collect();
+    let mut labels = vec![0u32; n];
+    for (v, label) in g.labels().iter().enumerate() {
+        labels[perm[v]] = *label;
+    }
+    Graph::from_edges(n, &edges)
+        .expect("permutation preserves simplicity")
+        .with_labels(labels)
+        .expect("label count preserved")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Renumbering the nodes of a 2-hop colored instance does not change
+    /// its content address: isomorphic presentations share cache entries.
+    #[test]
+    fn key_is_invariant_under_node_renumbering(
+        seed in 0u64..5000, n in 2usize..14, flavor in 0u8..4
+    ) {
+        let g = arbitrary_graph(seed, n, flavor);
+        let colored = coloring::greedy_two_hop_coloring(&g);
+        let mut perm: Vec<usize> = (0..colored.node_count()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+        perm.shuffle(&mut rng);
+        let shuffled = permuted(&colored, &perm);
+        prop_assert!(iso::are_isomorphic(&colored, &shuffled));
+        prop_assert_eq!(
+            instance_key(&colored).expect("2-hop colored"),
+            instance_key(&shuffled).expect("2-hop colored")
+        );
+    }
+
+    /// Every cyclic lift of a colored cycle addresses the base's entry
+    /// (Lemma 3: lifts of a common base have isomorphic quotients).
+    #[test]
+    fn key_is_invariant_under_lifting(base_n in 3usize..7, m in 1usize..7) {
+        let labels: Vec<u32> = (0..base_n).map(|i| i as u32 + 1).collect();
+        let base = generators::cycle(base_n).expect("valid")
+            .with_labels(labels.clone()).expect("sized");
+        let lifted = cyclic_cycle_lift(base_n, m).expect("valid")
+            .lift_labels(&labels).expect("sized");
+        prop_assert_eq!(
+            instance_key(&base).expect("all-distinct colors"),
+            instance_key(&lifted).expect("lifted 2-hop coloring")
+        );
+    }
+
+    /// Soundness of the address: two instances share a key only if their
+    /// quotients really are isomorphic labeled graphs — the cache never
+    /// conflates distinct derandomization problems.
+    #[test]
+    fn equal_keys_certify_isomorphic_quotients(
+        seed_a in 0u64..2500, seed_b in 2500u64..5000,
+        n_a in 2usize..12, n_b in 2usize..12,
+        flavor in 0u8..4
+    ) {
+        let a = coloring::greedy_two_hop_coloring(&arbitrary_graph(seed_a, n_a, flavor));
+        let b = coloring::greedy_two_hop_coloring(&arbitrary_graph(seed_b, n_b, (flavor + 1) % 4));
+        let key_a = instance_key(&a).expect("colored");
+        let key_b = instance_key(&b).expect("colored");
+        let qa = quotient(&a, ViewMode::Portless).expect("colored");
+        let qb = quotient(&b, ViewMode::Portless).expect("colored");
+        prop_assert_eq!(
+            key_a == key_b,
+            iso::are_isomorphic(qa.graph(), qb.graph())
+        );
+    }
+}

@@ -59,5 +59,10 @@ fn bench_view_representations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search_strategies, bench_refinement_modes, bench_view_representations);
+criterion_group!(
+    benches,
+    bench_search_strategies,
+    bench_refinement_modes,
+    bench_view_representations
+);
 criterion_main!(benches);

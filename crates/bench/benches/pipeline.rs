@@ -28,9 +28,7 @@ fn bench_deterministic_stage_on_lifts(c: &mut Criterion) {
     let mut group = c.benchmark_group("derandomizer/mis_c3_lift");
     for m in [2usize, 8, 32] {
         let l = anonet_graph::lift::cyclic_cycle_lift(3, m).expect("valid");
-        let inst = l
-            .lift_labels(&[((), 1u32), ((), 2), ((), 3)])
-            .expect("labels fit");
+        let inst = l.lift_labels(&[((), 1u32), ((), 2), ((), 3)]).expect("labels fit");
         group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
             let d = Derandomizer::new(RandomizedMis::new());
             b.iter(|| d.run(inst).expect("derandomization completes"));

@@ -37,9 +37,8 @@ pub fn rows() -> ExpResult<Vec<(String, bool, bool, bool, bool, bool)>> {
 
         // All three must be constant on view classes.
         let q = quotient(&inst, ViewMode::Portless)?;
-        let class_constant = [&astar.outputs, &exhaustive.outputs, &seeded.outputs]
-            .iter()
-            .all(|outs| {
+        let class_constant =
+            [&astar.outputs, &exhaustive.outputs, &seeded.outputs].iter().all(|outs| {
                 inst.graph().nodes().all(|u| {
                     inst.graph()
                         .nodes()
@@ -60,7 +59,14 @@ pub fn rows() -> ExpResult<Vec<(String, bool, bool, bool, bool, bool)>> {
 pub fn report() -> ExpResult<String> {
     let mut t = Table::new(
         "E9 — faithful A* vs practical derandomizer (MIS)",
-        &["instance", "A* valid", "exhaustive valid", "seeded valid", "A* == exhaustive", "class-constant"],
+        &[
+            "instance",
+            "A* valid",
+            "exhaustive valid",
+            "seeded valid",
+            "A* == exhaustive",
+            "class-constant",
+        ],
     );
     for (name, v1, v2, v3, eq, cc) in rows()? {
         t.row(vec![name, tick(v1), tick(v2), tick(v3), tick(eq), tick(cc)]);

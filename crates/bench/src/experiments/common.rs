@@ -55,7 +55,11 @@ impl Family {
 
 /// Marks a boolean as a table cell.
 pub fn tick(b: bool) -> String {
-    if b { "yes".into() } else { "NO".into() }
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }
 
 #[cfg(test)]

@@ -35,14 +35,13 @@ pub fn rows() -> ExpResult<Vec<(String, usize, usize, bool, bool, usize, u128)>>
         let with_bound = inst.map_labels(|l| (*l, n));
         let alg = BoundedDerandomizer::<RandomizedMis, u32>::new(RandomizedMis::new())
             .with_strategy(strategy);
-        let exec =
-            run(&Oblivious(alg), &with_bound, &mut ZeroSource, &ExecConfig::default())?;
+        let exec = run(&Oblivious(alg), &with_bound, &mut ZeroSource, &ExecConfig::default())?;
         let white = Derandomizer::new(RandomizedMis::new()).with_strategy(strategy).run(&inst)?;
 
         let agrees = exec.is_successful() && exec.outputs_unwrapped() == white.outputs;
         let plain = inst.map_labels(|_| ());
-        let valid = exec.is_successful()
-            && MisProblem.is_valid_output(&plain, &exec.outputs_unwrapped());
+        let valid =
+            exec.is_successful() && MisProblem.is_valid_output(&plain, &exec.outputs_unwrapped());
 
         // Compression: the final gathered view, centrally recomputed.
         let folded = FoldedView::build_closed(&inst, NodeId::new(0), 2 * n + 2)?;
@@ -67,7 +66,15 @@ pub fn rows() -> ExpResult<Vec<(String, usize, usize, bool, bool, usize, u128)>>
 pub fn report() -> ExpResult<String> {
     let mut t = Table::new(
         "E13 — message-level derandomizer (folded views, bound N = n): MIS",
-        &["instance", "n", "rounds", "== white-box", "valid", "folded entries", "unfolded tree size"],
+        &[
+            "instance",
+            "n",
+            "rounds",
+            "== white-box",
+            "valid",
+            "folded entries",
+            "unfolded tree size",
+        ],
     );
     for (name, n, rounds, agrees, valid, entries, unfolded) in rows()? {
         t.row(vec![

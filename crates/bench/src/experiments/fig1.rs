@@ -59,7 +59,10 @@ pub fn report() -> ExpResult<String> {
         view.depth()
     ));
 
-    let mut t = Table::new("E1 — explicit view size vs depth (2^d growth)", &["graph", "depth", "vertices"]);
+    let mut t = Table::new(
+        "E1 — explicit view size vs depth (2^d growth)",
+        &["graph", "depth", "vertices"],
+    );
     for (g, d, s) in size_sweep()? {
         t.row(vec![g, d.to_string(), s.to_string()]);
     }

@@ -3,8 +3,8 @@
 //! leader election, with the prime / non-prime dichotomy.
 
 use anonet_algorithms::coloring::RandomizedColoring;
-use anonet_algorithms::matching::{MatchingProblem, RandomizedMatching};
 use anonet_algorithms::leader::{elect_leader, leader_election_solvable};
+use anonet_algorithms::matching::{MatchingProblem, RandomizedMatching};
 use anonet_algorithms::mis::RandomizedMis;
 use anonet_algorithms::verify::{accepted, MisVerifier};
 use anonet_graph::generators;
@@ -41,7 +41,14 @@ pub fn member_rows(seed: u64) -> ExpResult<Vec<(String, usize, usize, bool, usiz
         )?;
         let palette = f.graph.with_labels(col.outputs_unwrapped())?.distinct_label_count();
 
-        out.push((f.name.to_string(), net.node_count(), mis.rounds(), verified, col.rounds(), palette));
+        out.push((
+            f.name.to_string(),
+            net.node_count(),
+            mis.rounds(),
+            verified,
+            col.rounds(),
+            palette,
+        ));
     }
     Ok(out)
 }
@@ -71,14 +78,8 @@ pub fn matching_rows(seed: u64) -> ExpResult<Vec<(String, usize, usize, usize, b
 pub fn leader_rows() -> ExpResult<Vec<(String, bool, String)>> {
     let mut out = Vec::new();
     let cases: Vec<(String, anonet_graph::LabeledGraph<u32>)> = vec![
-        (
-            "C5, all-distinct colors".into(),
-            generators::cycle(5)?.with_labels((0..5).collect())?,
-        ),
-        (
-            "P5 colored 1,2,3,1,2".into(),
-            generators::path(5)?.with_labels(vec![1, 2, 3, 1, 2])?,
-        ),
+        ("C5, all-distinct colors".into(), generators::cycle(5)?.with_labels((0..5).collect())?),
+        ("P5 colored 1,2,3,1,2".into(), generators::path(5)?.with_labels(vec![1, 2, 3, 1, 2])?),
         (
             "C6 colored 1,2,3,1,2,3 (product!)".into(),
             generators::cycle(6)?.with_labels(vec![1, 2, 3, 1, 2, 3])?,

@@ -52,8 +52,7 @@ pub fn rows(seed: u64) -> ExpResult<Vec<LemmaRow>> {
             // properties of the projection.
             let lemma2 = prime_factor(&product, ViewMode::Portless).is_ok();
             // Lemma 3: unique prime factor across the product/base pair.
-            let lemma3 =
-                verify_unique_prime_factor(&product, &colored, ViewMode::Portless).is_ok();
+            let lemma3 = verify_unique_prime_factor(&product, &colored, ViewMode::Portless).is_ok();
             // Lemma 4: on the prime factor itself, views are aliases.
             let p = prime_factor(&product, ViewMode::Portless)?;
             let r = Refinement::compute(p.graph(), ViewMode::Portless);

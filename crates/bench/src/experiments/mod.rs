@@ -1,6 +1,7 @@
 //! One module per experiment; see the crate docs for the index.
 
 pub mod agreement;
+pub mod batch;
 mod common;
 pub mod distributed;
 pub mod fig1;
@@ -8,8 +9,8 @@ pub mod fig2;
 pub mod gran;
 pub mod khop;
 pub mod lemmas;
-pub mod montecarlo;
 pub mod lifting;
+pub mod montecarlo;
 pub mod norris;
 pub mod thm1_faithful;
 pub mod thm1_pipeline;

@@ -78,8 +78,7 @@ pub fn rows(seed: u64) -> ExpResult<Vec<PipelineRow>> {
             &mut RngSource::seeded(seed),
             &ExecConfig::default(),
         )?;
-        let pipe =
-            run_pipeline(&RandomizedColoring::new(), &net, seed, SearchStrategy::default())?;
+        let pipe = run_pipeline(&RandomizedColoring::new(), &net, seed, SearchStrategy::default())?;
         let valid = GreedyColoringProblem.is_valid_output(&net, &direct.outputs_unwrapped())
             && GreedyColoringProblem.is_valid_output(&net, &pipe.outputs);
         rows.push(PipelineRow {

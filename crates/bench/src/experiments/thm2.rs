@@ -23,8 +23,7 @@ pub fn rows() -> ExpResult<Vec<(usize, usize, usize, usize, bool, bool)>> {
     for (n, colored) in Family::figure2_tower() {
         let inst = colored.map_labels(|&c| ((), c));
         let run = solve_infinity(&RandomizedMis::new(), &inst, 24, &ExecConfig::default())?;
-        let fibers_agree =
-            (0..n).all(|v| run.outputs[v] == run.outputs[(v + 3) % n]);
+        let fibers_agree = (0..n).all(|v| run.outputs[v] == run.outputs[(v + 3) % n]);
         let plain = inst.map_labels(|_| ());
         let valid = MisProblem.is_valid_output(&plain, &run.outputs);
         out.push((

@@ -112,12 +112,7 @@ mod tests {
     fn always_valid_and_rounds_scale_gently() {
         for r in rows(3).unwrap() {
             assert!(r.all_valid, "{} produced an invalid coloring", r.name);
-            assert!(
-                r.mean_rounds < 120.0,
-                "{} took {} mean rounds",
-                r.name,
-                r.mean_rounds
-            );
+            assert!(r.mean_rounds < 120.0, "{} took {} mean rounds", r.name, r.mean_rounds);
             // The palette can't beat the 2-hop clique bound (Δ + 1 colors
             // are needed at minimum around a max-degree node).
             assert!(r.mean_colors >= (r.max_degree + 1) as f64);

@@ -24,6 +24,7 @@
 //! | E12 | [`experiments::khop`] | k-hop coloring for k > 2 ∉ GRAN |
 //! | E13 | [`experiments::distributed`] | message-level derandomizer (extension) |
 //! | E14 | [`experiments::montecarlo`] | the Monte-Carlo / Las-Vegas gap |
+//! | E15 | [`experiments::batch`] | batch engine + s(G_*) cache (Lemma 3 operationalized) |
 //!
 //! Run them with `cargo run -p anonet-bench --bin report -- <id>|all`.
 //! Timing benchmarks live in `benches/` (Criterion).
@@ -38,8 +39,21 @@ pub use table::Table;
 
 /// All experiment ids, in presentation order.
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "fig1", "fig2", "thm1-faithful", "thm1-pipeline", "thm2", "norris", "lemmas", "lifting",
-    "agreement", "twohop", "gran", "khop", "message-level", "montecarlo",
+    "fig1",
+    "fig2",
+    "thm1-faithful",
+    "thm1-pipeline",
+    "thm2",
+    "norris",
+    "lemmas",
+    "lifting",
+    "agreement",
+    "twohop",
+    "gran",
+    "khop",
+    "message-level",
+    "montecarlo",
+    "batch",
 ];
 
 /// Runs one experiment by id, returning its rendered report.
@@ -64,6 +78,7 @@ pub fn run_experiment(id: &str) -> Result<String, Box<dyn std::error::Error>> {
         "khop" => experiments::khop::report(),
         "message-level" => experiments::distributed::report(),
         "montecarlo" => experiments::montecarlo::report(),
+        "batch" => experiments::batch::report(),
         other => Err(format!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}").into()),
     }
 }

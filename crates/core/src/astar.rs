@@ -109,10 +109,8 @@ where
     for p in 1..=cfg.max_phases {
         equivalent_rounds += p;
         // I^p: the instance augmented with the current bitstring labels.
-        let full_labels: Vec<((A::Input, C), BitString)> = g
-            .nodes()
-            .map(|v| (instance.label(v).clone(), bits[v.index()].clone()))
-            .collect();
+        let full_labels: Vec<((A::Input, C), BitString)> =
+            g.nodes().map(|v| (instance.label(v).clone(), bits[v.index()].clone())).collect();
         let ip = g.with_labels(full_labels)?;
 
         // Candidate views are per-candidate, shared across nodes; node
@@ -123,10 +121,8 @@ where
 
             // The label universe: marks occurring in L_p(v, I^p), i.e.
             // labels within p-1 hops (complete for candidates ≤ p nodes).
-            let mut universe: Vec<((A::Input, C), BitString)> = distance::ball(g, v, p - 1)
-                .into_iter()
-                .map(|u| ip.label(u).clone())
-                .collect();
+            let mut universe: Vec<((A::Input, C), BitString)> =
+                distance::ball(g, v, p - 1).into_iter().map(|u| ip.label(u).clone()).collect();
             universe.sort();
             universe.dedup();
 
@@ -272,17 +268,14 @@ mod tests {
     use anonet_graph::generators;
 
     fn triangle_instance() -> LabeledGraph<((), u32)> {
-        generators::cycle(3)
-            .unwrap()
-            .with_labels(vec![((), 1u32), ((), 2), ((), 3)])
-            .unwrap()
+        generators::cycle(3).unwrap().with_labels(vec![((), 1u32), ((), 2), ((), 3)]).unwrap()
     }
 
     #[test]
     fn astar_solves_mis_on_the_colored_triangle() {
         let inst = triangle_instance();
-        let run = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default())
-            .unwrap();
+        let run =
+            run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default()).unwrap();
         let plain = inst.map_labels(|_| ());
         assert!(MisProblem.is_valid_output(&plain, &run.outputs), "outputs: {:?}", run.outputs);
         assert!(run.phases_used <= 12);
@@ -295,10 +288,10 @@ mod tests {
     #[test]
     fn astar_is_deterministic() {
         let inst = triangle_instance();
-        let a = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default())
-            .unwrap();
-        let b = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default())
-            .unwrap();
+        let a =
+            run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default()).unwrap();
+        let b =
+            run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default()).unwrap();
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.phases_used, b.phases_used);
         assert_eq!(a.final_bits, b.final_bits);
@@ -307,12 +300,9 @@ mod tests {
     #[test]
     fn astar_solves_mis_on_the_colored_path() {
         // P2 with distinct colors: the smallest nontrivial instance.
-        let inst = generators::path(2)
-            .unwrap()
-            .with_labels(vec![((), 1u32), ((), 2)])
-            .unwrap();
-        let run = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default())
-            .unwrap();
+        let inst = generators::path(2).unwrap().with_labels(vec![((), 1u32), ((), 2)]).unwrap();
+        let run =
+            run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default()).unwrap();
         let plain = inst.map_labels(|_| ());
         assert!(MisProblem.is_valid_output(&plain, &run.outputs));
         assert_eq!(run.outputs.iter().filter(|&&b| b).count(), 1);
@@ -322,10 +312,8 @@ mod tests {
     fn astar_handles_a_second_problem_maximal_matching() {
         use anonet_algorithms::matching::{MatchingProblem, RandomizedMatching};
         // P2 colored 10, 20; matching inputs are the colors themselves.
-        let inst = generators::path(2)
-            .unwrap()
-            .with_labels(vec![(10u32, 10u32), (20, 20)])
-            .unwrap();
+        let inst =
+            generators::path(2).unwrap().with_labels(vec![(10u32, 10u32), (20, 20)]).unwrap();
         let run = run_astar(
             &RandomizedMatching::<u32>::new(),
             &MatchingProblem,

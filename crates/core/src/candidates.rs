@@ -89,17 +89,12 @@ pub fn labelings<L: Label>(universe: &[L], n: usize) -> Result<Vec<Vec<L>>> {
 /// # Errors
 ///
 /// Enumeration-size errors from [`connected_graphs`] / [`labelings`].
-pub fn candidate_pool<L: Label>(
-    max_nodes: usize,
-    universe: &[L],
-) -> Result<Vec<LabeledGraph<L>>> {
+pub fn candidate_pool<L: Label>(max_nodes: usize, universe: &[L]) -> Result<Vec<LabeledGraph<L>>> {
     let mut pool = Vec::new();
     for n in 1..=max_nodes {
         for g in connected_graphs(n)? {
             for labels in labelings(universe, n)? {
-                pool.push(
-                    g.with_labels(labels).expect("labeling length matches by construction"),
-                );
+                pool.push(g.with_labels(labels).expect("labeling length matches by construction"));
             }
         }
     }

@@ -17,8 +17,12 @@
 //! literal phase-by-phase algorithm, and experiment E9 checks the two
 //! agree where both are feasible.
 
-use anonet_graph::{Label, LabeledGraph};
-use anonet_runtime::{BitAssignment, ExecConfig, ObliviousAlgorithm};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use anonet_batch::{CachedAssignment, DerandCache};
+use anonet_graph::{BitString, Label, LabeledGraph};
+use anonet_runtime::{run, BitAssignment, ExecConfig, Oblivious, ObliviousAlgorithm, TapeSource};
 use anonet_views::{canonical_order, quotient, ViewMode};
 
 use crate::search::{canonical_successful_simulation, SearchStrategy};
@@ -37,8 +41,17 @@ pub struct DerandomizedRun<O> {
     pub assignment: BitAssignment,
     /// Rounds the quotient simulation ran.
     pub simulation_rounds: usize,
-    /// Simulations attempted before the canonical one succeeded.
+    /// Simulations attempted before the canonical one succeeded. On a cache
+    /// hit this reports the attempts of the *original* search, so the run is
+    /// indistinguishable from an uncached one.
     pub attempts: usize,
+    /// `true` if the canonical assignment came out of a [`DerandCache`].
+    pub cache_hit: bool,
+    /// Wall time of stage 1 (quotient construction + canonical order).
+    pub quotient_time: Duration,
+    /// Wall time of stage 2 (canonical-simulation search, or the single
+    /// replay on a cache hit) plus the output lift.
+    pub search_time: Duration,
 }
 
 /// Derandomizes a port-oblivious Las-Vegas algorithm on 2-hop colored
@@ -68,6 +81,7 @@ pub struct Derandomizer<A> {
     alg: A,
     strategy: SearchStrategy,
     config: ExecConfig,
+    cache: Option<Arc<DerandCache>>,
 }
 
 impl<A> Derandomizer<A>
@@ -77,7 +91,12 @@ where
 {
     /// Creates a derandomizer with the default (seeded) search strategy.
     pub fn new(alg: A) -> Self {
-        Derandomizer { alg, strategy: SearchStrategy::default(), config: ExecConfig::default() }
+        Derandomizer {
+            alg,
+            strategy: SearchStrategy::default(),
+            config: ExecConfig::default(),
+            cache: None,
+        }
     }
 
     /// Overrides the canonical-simulation search strategy.
@@ -90,6 +109,26 @@ where
     pub fn with_config(mut self, config: ExecConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Attaches a content-addressed [`DerandCache`]. Runs then check the
+    /// cache before searching: on a hit the whole canonical-assignment
+    /// search collapses into a single tape replay on the quotient, and on a
+    /// miss the found assignment is stored under `(problem-id, s(G_*))` for
+    /// every later instance with an isomorphic quotient (by Lemma 3, every
+    /// lift of the same base). The cache never changes outputs — only how
+    /// much work it takes to reach them.
+    pub fn with_cache(mut self, cache: Arc<DerandCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The assignment-table namespace: the algorithm type, the search
+    /// strategy, and the round cap all shape which canonical assignment is
+    /// selected, so they are all part of the problem id. Keeps, e.g.,
+    /// `Exhaustive` and `Seeded` entries for the same algorithm apart.
+    fn problem_id(&self) -> String {
+        format!("{}|{:?}|r{}", std::any::type_name::<A>(), self.strategy, self.config.max_rounds)
     }
 
     /// Runs the deterministic stage on a 2-hop colored instance: labels
@@ -107,23 +146,84 @@ where
         instance: &LabeledGraph<(A::Input, C)>,
     ) -> Result<DerandomizedRun<A::Output>> {
         // Step 1: the finite view graph of the full (i, c)-labeled instance.
+        let t0 = Instant::now();
         let q = quotient(instance, ViewMode::Portless)?;
         let order = canonical_order(q.graph(), ViewMode::Portless)?;
+        let j = q.graph().map_labels(|(i, _c)| i.clone());
+        let quotient_time = t0.elapsed();
+
+        // Step 1½: the content address s(G_*) — free, the canonical order
+        // is already in hand. A hit turns the search into one replay.
+        let t1 = Instant::now();
+        let mut address: Option<(String, Vec<u8>)> = None;
+        if let Some(cache) = &self.cache {
+            let key = anonet_graph::canonical::encode_with_order(q.graph(), &order);
+            cache.record_quotient(&key, q.graph().node_count(), q.multiplicity().unwrap_or(0));
+            let problem = self.problem_id();
+            if let Some(hit) = cache.lookup_assignment(&problem, &key) {
+                if hit.tapes.len() == order.len() {
+                    // Cached tapes are by canonical position; reindex them
+                    // to this presentation's node ids before replaying.
+                    let mut tapes = vec![BitString::new(); order.len()];
+                    for (pos, &v) in order.iter().enumerate() {
+                        tapes[v.index()] = hit.tapes[pos].clone();
+                    }
+                    let assignment = BitAssignment::new(tapes);
+                    let mut src = TapeSource::new(assignment.clone());
+                    let exec = run(&Oblivious(self.alg.clone()), &j, &mut src, &self.config)?;
+                    if exec.is_successful() {
+                        let qouts = exec.outputs_unwrapped();
+                        let outputs = q
+                            .class_of()
+                            .iter()
+                            .map(|&c| qouts[c.index()].clone())
+                            .collect::<Vec<_>>();
+                        return Ok(DerandomizedRun {
+                            outputs,
+                            quotient_nodes: q.graph().node_count(),
+                            multiplicity: q.multiplicity().unwrap_or(0),
+                            assignment,
+                            simulation_rounds: hit.simulation_rounds,
+                            attempts: hit.attempts,
+                            cache_hit: true,
+                            quotient_time,
+                            search_time: t1.elapsed(),
+                        });
+                    }
+                    // The replay failed: a foreign entry (e.g. a key
+                    // collision is impossible, but an incompatible config
+                    // is not) — fall through to the real search.
+                }
+            }
+            address = Some((problem, key));
+        }
 
         // Step 2: canonical successful simulation of A_R on J = (V_*, E_*, i_*).
-        let j = q.graph().map_labels(|(i, _c)| i.clone());
-        let sim = canonical_successful_simulation(
-            &self.alg,
-            &j,
-            &order,
-            self.strategy,
-            &self.config,
-        )?;
+        let sim =
+            canonical_successful_simulation(&self.alg, &j, &order, self.strategy, &self.config)?;
+
+        // Publish the found assignment under its content address, tapes
+        // keyed by canonical position so any isomorphic presentation can
+        // replay them.
+        if let (Some(cache), Some((problem, key))) = (&self.cache, address) {
+            let tapes = order
+                .iter()
+                .map(|&v| sim.assignment.tape(v).cloned().unwrap_or_default())
+                .collect();
+            cache.insert_assignment(
+                &problem,
+                &key,
+                CachedAssignment {
+                    tapes,
+                    attempts: sim.attempts,
+                    simulation_rounds: sim.execution.rounds(),
+                },
+            );
+        }
 
         // Step 3: lift outputs along the projection.
         let qouts = sim.execution.outputs_unwrapped();
-        let outputs =
-            q.class_of().iter().map(|&c| qouts[c.index()].clone()).collect::<Vec<_>>();
+        let outputs = q.class_of().iter().map(|&c| qouts[c.index()].clone()).collect::<Vec<_>>();
 
         Ok(DerandomizedRun {
             outputs,
@@ -132,6 +232,9 @@ where
             assignment: sim.assignment,
             simulation_rounds: sim.execution.rounds(),
             attempts: sim.attempts,
+            cache_hit: false,
+            quotient_time,
+            search_time: t1.elapsed(),
         })
     }
 }
@@ -183,9 +286,7 @@ mod tests {
 
     fn lifted_instance(m: usize) -> (LabeledGraph<((), u32)>, Vec<anonet_graph::NodeId>) {
         let l = anonet_graph::lift::cyclic_cycle_lift(3, m).unwrap();
-        let inst = l
-            .lift_labels(&[((), 1u32), ((), 2), ((), 3)])
-            .unwrap();
+        let inst = l.lift_labels(&[((), 1u32), ((), 2), ((), 3)]).unwrap();
         (inst, l.projection().to_vec())
     }
 
@@ -251,10 +352,8 @@ mod tests {
     fn derandomization_commutes_with_lifting() {
         // derandomize(base) lifted along the projection == derandomize(lift):
         // the whole computation is a function of views.
-        let base = generators::cycle(3)
-            .unwrap()
-            .with_labels(vec![((), 1u32), ((), 2), ((), 3)])
-            .unwrap();
+        let base =
+            generators::cycle(3).unwrap().with_labels(vec![((), 1u32), ((), 2), ((), 3)]).unwrap();
         let (lifted, projection) = lifted_instance(5);
         let d = Derandomizer::new(RandomizedMis::new());
         let base_run = d.run(&base).unwrap();
@@ -267,9 +366,7 @@ mod tests {
     #[test]
     fn rejects_non_two_hop_colored_instances() {
         let g = generators::cycle(4).unwrap();
-        let inst = g
-            .with_labels(vec![((), 1u32), ((), 2), ((), 1), ((), 2)])
-            .unwrap();
+        let inst = g.with_labels(vec![((), 1u32), ((), 2), ((), 1), ((), 2)]).unwrap();
         let err = Derandomizer::new(RandomizedMis::new()).run(&inst).unwrap_err();
         assert_eq!(err, crate::CoreError::NotTwoHopColored);
     }
@@ -312,24 +409,14 @@ mod tests {
 
         // Base and lift: the derandomized port-sensitive outputs must
         // commute with lifting (everything is view-derived).
-        let base_colors = generators::cycle(3)
-            .unwrap()
-            .with_labels(vec![1u32, 2, 3])
-            .unwrap();
-        let base_run = derandomize_port_sensitive(
-            PortProbe,
-            &base_colors,
-            SearchStrategy::default(),
-        )
-        .unwrap();
+        let base_colors = generators::cycle(3).unwrap().with_labels(vec![1u32, 2, 3]).unwrap();
+        let base_run =
+            derandomize_port_sensitive(PortProbe, &base_colors, SearchStrategy::default()).unwrap();
         let l = anonet_graph::lift::cyclic_cycle_lift(3, 4).unwrap();
         let lifted_colors = l.lift_labels(base_colors.labels()).unwrap();
-        let lift_run = derandomize_port_sensitive(
-            PortProbe,
-            &lifted_colors,
-            SearchStrategy::default(),
-        )
-        .unwrap();
+        let lift_run =
+            derandomize_port_sensitive(PortProbe, &lifted_colors, SearchStrategy::default())
+                .unwrap();
         assert_eq!(lift_run.quotient_nodes, 3);
         for (v, &img) in l.projection().iter().enumerate() {
             assert_eq!(lift_run.outputs[v], base_run.outputs[img.index()]);

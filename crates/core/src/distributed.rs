@@ -107,14 +107,9 @@ where
         let (quotient, own) = state.view.quotient_at_level(level).ok()?;
         let order = canonical_order(&quotient, ViewMode::Portless).ok()?;
         let j = quotient.map_labels(|(i, _c)| i.clone());
-        let sim = canonical_successful_simulation(
-            &self.alg,
-            &j,
-            &order,
-            self.strategy,
-            &self.sim_config,
-        )
-        .ok()?;
+        let sim =
+            canonical_successful_simulation(&self.alg, &j, &order, self.strategy, &self.sim_config)
+                .ok()?;
         sim.execution.output(own).cloned()
     }
 }
@@ -201,10 +196,8 @@ mod tests {
             let exec = run_bounded(&inst, n, strategy);
             assert_eq!(exec.status(), Status::Completed, "n = {n}");
             assert!(exec.is_successful());
-            let white_box = Derandomizer::new(RandomizedMis::new())
-                .with_strategy(strategy)
-                .run(&inst)
-                .unwrap();
+            let white_box =
+                Derandomizer::new(RandomizedMis::new()).with_strategy(strategy).run(&inst).unwrap();
             assert_eq!(exec.outputs_unwrapped(), white_box.outputs, "n = {n}");
         }
     }

@@ -87,19 +87,13 @@ where
     let order: Vec<NodeId> = g.graph().nodes().collect();
     for t in 1.. {
         if n * t > max_total_bits {
-            return Err(CoreError::SearchBudgetExceeded {
-                quotient_nodes: n,
-                max_total_bits,
-            });
+            return Err(CoreError::SearchBudgetExceeded { quotient_nodes: n, max_total_bits });
         }
         for assignment in BitAssignment::empty(n).extensions(t, &order) {
             let mut src = TapeSource::new(assignment);
             let exec = run(&Oblivious(decider.clone()), g, &mut src, config)?;
             if exec.is_successful() {
-                let verdict = exec
-                    .outputs_unwrapped()
-                    .iter()
-                    .all(|o| *o == DecisionOutput::Yes);
+                let verdict = exec.outputs_unwrapped().iter().all(|o| *o == DecisionOutput::Yes);
                 return Ok(verdict);
             }
         }
@@ -325,9 +319,7 @@ mod tests {
         // decider's verdict must agree with the problem's predicate.
         use anonet_runtime::Problem;
         let w = matching_witness();
-        let colored = anonet_graph::coloring::greedy_two_hop_coloring(
-            &generators::petersen(),
-        );
+        let colored = anonet_graph::coloring::greedy_two_hop_coloring(&generators::petersen());
         assert!(w.decide(&colored, 40, &cfg).unwrap());
         assert!(w.problem.is_instance(&colored));
         let bad = generators::cycle(4).unwrap().with_labels(vec![1u32, 2, 1, 2]).unwrap();

@@ -66,13 +66,9 @@ mod tests {
     fn theorem2_on_figure2_products() {
         // The same minimal simulation solves C3, C6, and C12: the outputs
         // on the products are the lifts of the C3 outputs.
-        let base = solve_infinity(
-            &RandomizedMis::new(),
-            &figure2_instance(3),
-            24,
-            &ExecConfig::default(),
-        )
-        .unwrap();
+        let base =
+            solve_infinity(&RandomizedMis::new(), &figure2_instance(3), 24, &ExecConfig::default())
+                .unwrap();
         for n in [6usize, 12] {
             let run = solve_infinity(
                 &RandomizedMis::new(),
@@ -105,13 +101,9 @@ mod tests {
 
     #[test]
     fn budget_is_enforced() {
-        let err = solve_infinity(
-            &RandomizedMis::new(),
-            &figure2_instance(6),
-            4,
-            &ExecConfig::default(),
-        )
-        .unwrap_err();
+        let err =
+            solve_infinity(&RandomizedMis::new(), &figure2_instance(6), 4, &ExecConfig::default())
+                .unwrap_err();
         assert!(matches!(err, crate::CoreError::SearchBudgetExceeded { .. }));
     }
 }

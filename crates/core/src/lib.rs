@@ -26,21 +26,28 @@
 //!   matching view);
 //! * [`gran`] — the GRAN bundle: a problem together with its Las-Vegas
 //!   solver and decider, including deciding instance membership *by
-//!   simulation* of the decider.
+//!   simulation* of the decider;
+//! * [`batch`] — concurrent drivers running many instances through the
+//!   derandomizer or pipeline on an `anonet-batch` scheduler, sharing one
+//!   content-addressed derandomization cache (Lemma 3: lifts of a common
+//!   base have isomorphic quotients, so the canonical search is paid once
+//!   per quotient class).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod astar;
+pub mod batch;
 pub mod candidates;
+pub mod derandomizer;
+pub mod distributed;
 mod error;
 pub mod gran;
 pub mod infinity;
-pub mod derandomizer;
-pub mod distributed;
 pub mod pipeline;
 mod search;
 
+pub use batch::{derandomize_batch, pipeline_batch};
 pub use derandomizer::{derandomize_port_sensitive, DerandomizedRun, Derandomizer};
 pub use error::CoreError;
 pub use search::SearchStrategy;

@@ -10,6 +10,10 @@
 //! consumed); stage 2 hands the colored instance to the deterministic
 //! [`Derandomizer`] for the actual problem.
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use anonet_batch::DerandCache;
 use anonet_graph::{BitString, Label, LabeledGraph};
 use anonet_runtime::{run, ExecConfig, Oblivious, ObliviousAlgorithm, RngSource};
 
@@ -32,6 +36,10 @@ pub struct PipelineRun<O> {
     pub random_bits: usize,
     /// Stage-2 details (quotient size, canonical assignment, …).
     pub deterministic: DerandomizedRun<O>,
+    /// Wall time of the randomized coloring stage.
+    pub coloring_time: Duration,
+    /// Wall time of the deterministic stage.
+    pub deterministic_time: Duration,
 }
 
 /// Runs the two-stage pipeline for a randomized algorithm `alg` on `net`.
@@ -95,30 +103,58 @@ where
     A: ObliviousAlgorithm + Clone,
     A::Input: Label,
 {
+    run_pipeline_cached(alg, net, seed, strategy, config, None)
+}
+
+/// [`run_pipeline_with_config`] with an optional content-addressed
+/// [`DerandCache`] handle for the deterministic stage. Stage 1 (the
+/// randomized coloring) is never cached — it is seed-dependent by design —
+/// but two different seeds frequently color a graph into the *same*
+/// quotient up to isomorphism, so stage-2 sharing kicks in even within a
+/// single network.
+///
+/// # Errors
+///
+/// See [`run_pipeline`].
+pub fn run_pipeline_cached<A>(
+    alg: &A,
+    net: &LabeledGraph<A::Input>,
+    seed: u64,
+    strategy: SearchStrategy,
+    config: &ExecConfig,
+    cache: Option<&Arc<DerandCache>>,
+) -> Result<PipelineRun<A::Output>>
+where
+    A: ObliviousAlgorithm + Clone,
+    A::Input: Label,
+{
     // Stage 1: randomized 2-hop coloring.
+    let t0 = Instant::now();
     let unit = net.map_labels(|_| ());
-    let stage1 = run(
-        &Oblivious(TwoHopColoring::new()),
-        &unit,
-        &mut RngSource::seeded(seed),
-        config,
-    )?;
+    let stage1 =
+        run(&Oblivious(TwoHopColoring::new()), &unit, &mut RngSource::seeded(seed), config)?;
     let coloring = stage1.outputs_unwrapped();
+    let coloring_time = t0.elapsed();
 
     // Stage 2: deterministic derandomization on the colored instance.
+    let t1 = Instant::now();
     let colored = net.graph().with_labels(coloring.clone())?;
     let instance = net.zip(&colored)?;
-    let deterministic = Derandomizer::new(alg.clone())
-        .with_strategy(strategy)
-        .with_config(*config)
-        .run(&instance)?;
+    let mut derandomizer =
+        Derandomizer::new(alg.clone()).with_strategy(strategy).with_config(*config);
+    if let Some(cache) = cache {
+        derandomizer = derandomizer.with_cache(Arc::clone(cache));
+    }
+    let deterministic = derandomizer.run(&instance)?;
 
     Ok(PipelineRun {
         outputs: deterministic.outputs.clone(),
         coloring,
         coloring_rounds: stage1.rounds(),
         random_bits: stage1.bits_consumed(),
+        deterministic_time: t1.elapsed(),
         deterministic,
+        coloring_time,
     })
 }
 
@@ -161,8 +197,7 @@ mod tests {
     fn pipeline_solves_coloring() {
         let net = generators::grid(3, 4, false).unwrap().with_uniform_label(());
         let run =
-            run_pipeline(&RandomizedColoring::new(), &net, 11, SearchStrategy::default())
-                .unwrap();
+            run_pipeline(&RandomizedColoring::new(), &net, 11, SearchStrategy::default()).unwrap();
         assert!(GreedyColoringProblem.is_valid_output(&net, &run.outputs));
     }
 

@@ -103,10 +103,7 @@ where
     let mut attempts = 0usize;
     for t in 1.. {
         if n * t > max_total_bits {
-            return Err(CoreError::SearchBudgetExceeded {
-                quotient_nodes: n,
-                max_total_bits,
-            });
+            return Err(CoreError::SearchBudgetExceeded { quotient_nodes: n, max_total_bits });
         }
         // All assignments of uniform length t, in canonical order.
         for assignment in BitAssignment::empty(n).extensions(t, order) {
@@ -310,8 +307,8 @@ mod tests {
         assert_eq!(a.attempts, b.attempts);
         // Replayed tapes really induce the same successful execution.
         let mut src = TapeSource::new(a.assignment.clone());
-        let replay = run(&Oblivious(RandomizedMis::new()), &j, &mut src, &ExecConfig::default())
-            .unwrap();
+        let replay =
+            run(&Oblivious(RandomizedMis::new()), &j, &mut src, &ExecConfig::default()).unwrap();
         assert_eq!(replay.outputs(), a.execution.outputs());
     }
 

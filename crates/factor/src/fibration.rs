@@ -67,8 +67,7 @@ impl<L: Label> DirectedRepresentation<L> {
     /// *symmetric* property (holds by construction; exposed for tests and
     /// for representations built by other means).
     pub fn is_symmetric(&self) -> bool {
-        let set: HashSet<(NodeId, NodeId)> =
-            self.arcs.iter().map(|a| (a.tail, a.head)).collect();
+        let set: HashSet<(NodeId, NodeId)> = self.arcs.iter().map(|a| (a.tail, a.head)).collect();
         set.iter().all(|&(t, h)| set.contains(&(h, t)))
     }
 
@@ -100,9 +99,7 @@ impl<L: Label> DirectedRepresentation<L> {
             .iter()
             .map(|a| (a.tail, a.head, a.color.0.encoded(), a.color.1.encoded()))
             .collect();
-        colored
-            .iter()
-            .all(|(t, h, c1, c2)| colored.contains(&(*h, *t, c2.clone(), c1.clone())))
+        colored.iter().all(|(t, h, c1, c2)| colored.contains(&(*h, *t, c2.clone(), c1.clone())))
     }
 
     /// Checks that `map` (a candidate fibration) preserves arcs and arc

@@ -20,8 +20,7 @@
 
 use anonet_graph::{Label, LabeledGraph, NodeId};
 use anonet_runtime::{
-    run, Algorithm, BitAssignment, ExecConfig, Execution, Oblivious, ObliviousAlgorithm,
-    TapeSource,
+    run, Algorithm, BitAssignment, ExecConfig, Execution, Oblivious, ObliviousAlgorithm, TapeSource,
 };
 use anonet_views::ViewTree;
 
@@ -32,11 +31,7 @@ use crate::Result;
 /// Pulls a bit assignment on the factor back along `f`: product node `v`
 /// receives the tape of `f(v)`.
 pub fn pull_back_assignment(map: &FactorizingMap, b: &BitAssignment) -> BitAssignment {
-    let tapes = map
-        .images()
-        .iter()
-        .map(|&c| b.tape(c).cloned().unwrap_or_default())
-        .collect();
+    let tapes = map.images().iter().map(|&c| b.tape(c).cloned().unwrap_or_default()).collect();
     BitAssignment::new(tapes)
 }
 
@@ -312,7 +307,14 @@ mod tests {
             fn compose(&self, _: &(), _: anonet_graph::Port) -> Option<()> {
                 None
             }
-            fn step(&self, _: (), _: usize, _: &anonet_runtime::Inbox<()>, _: bool, a: &mut Actions<()>) {
+            fn step(
+                &self,
+                _: (),
+                _: usize,
+                _: &anonet_runtime::Inbox<()>,
+                _: bool,
+                a: &mut Actions<()>,
+            ) {
                 a.output(());
                 a.halt();
             }

@@ -76,12 +76,8 @@ impl FactorizingMap {
 
         // (3) local isomorphism: f|Γ(v) is a bijection onto Γ(f(v)).
         for v in product.graph().nodes() {
-            let mut image_nbrs: Vec<NodeId> = product
-                .graph()
-                .neighbors(v)
-                .iter()
-                .map(|&u| images[u.index()])
-                .collect();
+            let mut image_nbrs: Vec<NodeId> =
+                product.graph().neighbors(v).iter().map(|&u| images[u.index()]).collect();
             image_nbrs.sort();
             let has_dup = image_nbrs.windows(2).any(|w| w[0] == w[1]);
             let mut expect: Vec<NodeId> = factor.graph().neighbors(images[v.index()]).to_vec();

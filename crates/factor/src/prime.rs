@@ -143,11 +143,9 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(33);
         let base = generators::cycle(5).unwrap();
         let colored = anonet_graph::coloring::greedy_two_hop_coloring(&base);
-        let lift =
-            anonet_graph::lift::random_connected_lift(&base, 3, 100, &mut rng).unwrap();
+        let lift = anonet_graph::lift::random_connected_lift(&base, 3, 100, &mut rng).unwrap();
         let product = lift.lift_labels(colored.labels()).unwrap();
-        let witness =
-            verify_unique_prime_factor(&product, &colored, ViewMode::Portless).unwrap();
+        let witness = verify_unique_prime_factor(&product, &colored, ViewMode::Portless).unwrap();
         assert!(!witness.is_empty());
         let p = prime_factor(&product, ViewMode::Portless).unwrap();
         assert_eq!(p.map().multiplicity(), 3);

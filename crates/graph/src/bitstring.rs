@@ -130,10 +130,7 @@ impl PartialOrd for BitString {
 impl Ord for BitString {
     /// Shortlex: length first, then lexicographic (`false < true`).
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.bits
-            .len()
-            .cmp(&other.bits.len())
-            .then_with(|| self.bits.cmp(&other.bits))
+        self.bits.len().cmp(&other.bits.len()).then_with(|| self.bits.cmp(&other.bits))
     }
 }
 

@@ -67,10 +67,8 @@ pub fn greedy_k_hop_coloring(g: &Graph, k: usize) -> LabeledGraph<u32> {
     let n = g.node_count();
     let mut colors: Vec<Option<u32>> = vec![None; n];
     for v in g.nodes() {
-        let taken: std::collections::HashSet<u32> = crate::distance::ball(g, v, k)
-            .into_iter()
-            .filter_map(|u| colors[u.index()])
-            .collect();
+        let taken: std::collections::HashSet<u32> =
+            crate::distance::ball(g, v, k).into_iter().filter_map(|u| colors[u.index()]).collect();
         let c = (0u32..).find(|c| !taken.contains(c)).expect("colors are unbounded");
         colors[v.index()] = Some(c);
     }

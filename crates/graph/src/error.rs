@@ -110,7 +110,9 @@ mod tests {
         for e in errors {
             let msg = e.to_string();
             assert!(!msg.is_empty());
-            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with(char::is_numeric));
+            assert!(
+                msg.chars().next().unwrap().is_lowercase() || msg.starts_with(char::is_numeric)
+            );
         }
     }
 

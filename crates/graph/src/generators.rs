@@ -19,7 +19,9 @@ use crate::Result;
 /// Returns [`GraphError::InvalidParameter`] for `n < 3`.
 pub fn cycle(n: usize) -> Result<Graph> {
     if n < 3 {
-        return Err(GraphError::InvalidParameter { reason: format!("cycle requires n >= 3, got {n}") });
+        return Err(GraphError::InvalidParameter {
+            reason: format!("cycle requires n >= 3, got {n}"),
+        });
     }
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
@@ -125,7 +127,9 @@ pub fn grid(w: usize, h: usize, wrap: bool) -> Result<Graph> {
 /// Returns [`GraphError::InvalidParameter`] for `d = 0` or `d > 20`.
 pub fn hypercube(d: usize) -> Result<Graph> {
     if d == 0 || d > 20 {
-        return Err(GraphError::InvalidParameter { reason: format!("hypercube requires 1 <= d <= 20, got {d}") });
+        return Err(GraphError::InvalidParameter {
+            reason: format!("hypercube requires 1 <= d <= 20, got {d}"),
+        });
     }
     let n = 1usize << d;
     let mut b = GraphBuilder::new(n);
@@ -148,7 +152,9 @@ pub fn hypercube(d: usize) -> Result<Graph> {
 /// Returns [`GraphError::InvalidParameter`] for `n < 4`.
 pub fn wheel(n: usize) -> Result<Graph> {
     if n < 4 {
-        return Err(GraphError::InvalidParameter { reason: format!("wheel requires n >= 4, got {n}") });
+        return Err(GraphError::InvalidParameter {
+            reason: format!("wheel requires n >= 4, got {n}"),
+        });
     }
     let rim = n - 1;
     let mut b = GraphBuilder::new(n);
@@ -274,7 +280,9 @@ pub fn gnp_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<G
         return Err(GraphError::InvalidParameter { reason: "gnp requires n >= 1".into() });
     }
     if !(0.0..=1.0).contains(&p) {
-        return Err(GraphError::InvalidParameter { reason: format!("p must lie in [0, 1], got {p}") });
+        return Err(GraphError::InvalidParameter {
+            reason: format!("p must lie in [0, 1], got {p}"),
+        });
     }
     let mut adj = vec![std::collections::BTreeSet::new(); n];
     for u in 0..n {
@@ -343,14 +351,18 @@ pub fn random_regular<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Graph> {
     if n == 0 {
-        return Err(GraphError::InvalidParameter { reason: "random_regular requires n >= 1".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "random_regular requires n >= 1".into(),
+        });
     }
     if n == 1 && d == 0 {
         return GraphBuilder::new(1).build();
     }
     if d == 0 || d >= n || !(n * d).is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
-            reason: format!("no simple {d}-regular graph on {n} nodes (need d < n, n*d even, d >= 1)"),
+            reason: format!(
+                "no simple {d}-regular graph on {n} nodes (need d < n, n*d even, d >= 1)"
+            ),
         });
     }
     for _ in 0..max_tries {

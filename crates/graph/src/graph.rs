@@ -152,8 +152,7 @@ impl Graph {
     /// Panics if `v` or `port` is out of range.
     pub fn reverse_port(&self, v: NodeId, port: Port) -> Port {
         let u = self.endpoint(v, port);
-        self.port_to(u, v)
-            .expect("adjacency lists are symmetric by construction")
+        self.port_to(u, v).expect("adjacency lists are symmetric by construction")
     }
 
     /// `true` if `(u, v)` is an edge.
@@ -165,9 +164,7 @@ impl Graph {
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
             let u = NodeId::new(u);
-            nbrs.iter()
-                .filter(move |&&v| u < v)
-                .map(move |&v| Edge { u, v })
+            nbrs.iter().filter(move |&&v| u < v).map(move |&v| Edge { u, v })
         })
     }
 
@@ -265,7 +262,9 @@ impl Graph {
                 }
                 if !adj[u.index()].contains(&NodeId::new(v)) {
                     return Err(GraphError::InvalidParameter {
-                        reason: format!("adjacency not symmetric: {v} lists {u} but not vice versa"),
+                        reason: format!(
+                            "adjacency not symmetric: {v} lists {u} but not vice versa"
+                        ),
                     });
                 }
             }

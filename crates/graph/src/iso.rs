@@ -22,10 +22,7 @@ use crate::node::NodeId;
 ///
 /// Returns `Some(mapping)` with `mapping[v]` the image of node `v` of `a`
 /// in `b`, or `None` if the graphs are not isomorphic.
-pub fn find_isomorphism<L: Label>(
-    a: &LabeledGraph<L>,
-    b: &LabeledGraph<L>,
-) -> Option<Vec<NodeId>> {
+pub fn find_isomorphism<L: Label>(a: &LabeledGraph<L>, b: &LabeledGraph<L>) -> Option<Vec<NodeId>> {
     let n = a.node_count();
     if n != b.node_count() || a.graph().edge_count() != b.graph().edge_count() {
         return None;
@@ -294,7 +291,8 @@ mod tests {
         // edge set... actually check a genuinely broken map: constant.
         let bad = vec![NodeId::new(0); 4];
         assert!(!is_isomorphism(&g, &g, &bad));
-        let not_edge_preserving = vec![NodeId::new(0), NodeId::new(2), NodeId::new(1), NodeId::new(3)];
+        let not_edge_preserving =
+            vec![NodeId::new(0), NodeId::new(2), NodeId::new(1), NodeId::new(3)];
         assert!(!is_isomorphism(&g, &g, &not_edge_preserving));
     }
 }

@@ -82,10 +82,7 @@ impl<L: Label> LabeledGraph<L> {
 
     /// Applies `f` to every label, keeping the topology.
     pub fn map_labels<M: Label>(&self, f: impl FnMut(&L) -> M) -> LabeledGraph<M> {
-        LabeledGraph {
-            graph: self.graph.clone(),
-            labels: self.labels.iter().map(f).collect(),
-        }
+        LabeledGraph { graph: self.graph.clone(), labels: self.labels.iter().map(f).collect() }
     }
 
     /// Combines two labelings of the *same* graph into a tuple labeling.
@@ -100,12 +97,7 @@ impl<L: Label> LabeledGraph<L> {
                 reason: "zip requires identical topologies and port numberings".into(),
             });
         }
-        let labels = self
-            .labels
-            .iter()
-            .cloned()
-            .zip(other.labels.iter().cloned())
-            .collect();
+        let labels = self.labels.iter().cloned().zip(other.labels.iter().cloned()).collect();
         Ok(LabeledGraph { graph: self.graph.clone(), labels })
     }
 

@@ -162,7 +162,9 @@ impl Lift {
 /// degree other than `m`.
 pub fn lift(base: &Graph, m: usize, voltages: &[Perm]) -> Result<Lift> {
     if m == 0 {
-        return Err(GraphError::InvalidParameter { reason: "lift multiplicity must be >= 1".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "lift multiplicity must be >= 1".into(),
+        });
     }
     let edges: Vec<_> = base.edges().collect();
     if voltages.len() != edges.len() {
@@ -307,8 +309,7 @@ mod tests {
         let g = l.graph();
         let f = l.projection();
         for x in g.nodes() {
-            let mut images: Vec<NodeId> =
-                g.neighbors(x).iter().map(|y| f[y.index()]).collect();
+            let mut images: Vec<NodeId> = g.neighbors(x).iter().map(|y| f[y.index()]).collect();
             images.sort();
             let mut expect: Vec<NodeId> = base.neighbors(f[x.index()]).to_vec();
             expect.sort();

@@ -1,6 +1,8 @@
 //! Property-based tests for the graph substrate.
 
-use anonet_graph::{canonical, coloring, distance, generators, iso, lift, BitString, Graph, NodeId};
+use anonet_graph::{
+    canonical, coloring, distance, generators, iso, lift, BitString, Graph, NodeId,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -16,10 +18,8 @@ fn random_graph(seed: u64, n: usize, flavor: u8) -> Graph {
 
 /// Applies a node permutation to a graph, producing an isomorphic copy.
 fn permuted(g: &Graph, perm: &[usize]) -> Graph {
-    let edges: Vec<(usize, usize)> = g
-        .edges()
-        .map(|e| (perm[e.u.index()], perm[e.v.index()]))
-        .collect();
+    let edges: Vec<(usize, usize)> =
+        g.edges().map(|e| (perm[e.u.index()], perm[e.v.index()])).collect();
     Graph::from_edges(g.node_count(), &edges).expect("permutation preserves simplicity")
 }
 

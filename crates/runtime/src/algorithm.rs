@@ -109,10 +109,7 @@ impl<M> Inbox<M> {
 
     /// Iterates over `(port, message)` pairs for ports that received one.
     pub fn iter(&self) -> impl Iterator<Item = (Port, &M)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(p, m)| m.as_ref().map(|m| (Port::new(p), m)))
+        self.slots.iter().enumerate().filter_map(|(p, m)| m.as_ref().map(|m| (Port::new(p), m)))
     }
 
     /// `true` if every port received a message.

@@ -100,10 +100,7 @@ impl<A: Algorithm> Execution<A> {
     /// Panics if some node produced no output; check
     /// [`Execution::is_successful`] first.
     pub fn outputs_unwrapped(&self) -> Vec<A::Output> {
-        self.outputs
-            .iter()
-            .map(|o| o.clone().expect("execution was not successful"))
-            .collect()
+        self.outputs.iter().map(|o| o.clone().expect("execution was not successful")).collect()
     }
 
     /// The round in which each node wrote its output.
@@ -416,11 +413,8 @@ mod tests {
     fn prescribed_tapes_replay_exactly() {
         let g = generators::cycle(3).unwrap();
         let net = g.with_uniform_label(0u32);
-        let tapes = vec![
-            "1".parse::<BitString>().unwrap(),
-            "0".parse().unwrap(),
-            "1".parse().unwrap(),
-        ];
+        let tapes =
+            vec!["1".parse::<BitString>().unwrap(), "0".parse().unwrap(), "1".parse().unwrap()];
         let mut src = TapeSource::new(BitAssignment::new(tapes));
         let exec = run(&FirstBit, &net, &mut src, &ExecConfig::default()).unwrap();
         assert!(exec.is_successful());
@@ -453,8 +447,7 @@ mod tests {
             fn step(&self, _: (), _: usize, _: &Inbox<()>, _: bool, _: &mut Actions<()>) {}
         }
         let net = generators::cycle(3).unwrap().with_uniform_label(0u32);
-        let exec =
-            run(&Forever, &net, &mut ZeroSource, &ExecConfig::with_max_rounds(17)).unwrap();
+        let exec = run(&Forever, &net, &mut ZeroSource, &ExecConfig::with_max_rounds(17)).unwrap();
         assert_eq!(exec.status(), Status::MaxRounds);
         assert_eq!(exec.rounds(), 17);
     }
@@ -520,22 +513,15 @@ mod tests {
         let cfg = ExecConfig::default().tracing();
         let exec = run(&FloodMax { k: 2 }, &net, &mut ZeroSource, &cfg).unwrap();
         let events = exec.events().unwrap();
-        let sends = events
-            .iter()
-            .filter(|e| matches!(e, crate::Event::MessageSent { .. }))
-            .count();
+        let sends = events.iter().filter(|e| matches!(e, crate::Event::MessageSent { .. })).count();
         assert_eq!(sends, exec.messages_sent());
-        let outputs = events
-            .iter()
-            .filter(|e| matches!(e, crate::Event::OutputSet { .. }))
-            .count();
+        let outputs = events.iter().filter(|e| matches!(e, crate::Event::OutputSet { .. })).count();
         assert_eq!(outputs, 3);
         let timeline = exec.timeline();
         assert!(timeline.contains("round   1:"));
         assert!(timeline.contains("halt:"));
         // Without tracing there is no log and the timeline is empty.
-        let plain = run(&FloodMax { k: 2 }, &net, &mut ZeroSource, &ExecConfig::default())
-            .unwrap();
+        let plain = run(&FloodMax { k: 2 }, &net, &mut ZeroSource, &ExecConfig::default()).unwrap();
         assert!(plain.events().is_none());
         assert!(plain.timeline().is_empty());
     }

@@ -180,10 +180,10 @@ mod tests {
         let g2 = Graph::from_edges(4, &[(0, 3), (0, 1), (0, 2)]).unwrap();
         let l1 = g1.with_labels(vec![0u32, 30, 10, 20]).unwrap();
         let l2 = g2.with_labels(vec![0u32, 30, 10, 20]).unwrap();
-        let e1 = run(&Oblivious(NeighborLabels), &l1, &mut ZeroSource, &ExecConfig::default())
-            .unwrap();
-        let e2 = run(&Oblivious(NeighborLabels), &l2, &mut ZeroSource, &ExecConfig::default())
-            .unwrap();
+        let e1 =
+            run(&Oblivious(NeighborLabels), &l1, &mut ZeroSource, &ExecConfig::default()).unwrap();
+        let e2 =
+            run(&Oblivious(NeighborLabels), &l2, &mut ZeroSource, &ExecConfig::default()).unwrap();
         assert_eq!(e1.output(anonet_graph::NodeId::new(0)), Some(&vec![10, 20, 30]));
         assert_eq!(e1.outputs(), e2.outputs());
     }
@@ -191,8 +191,8 @@ mod tests {
     #[test]
     fn multiset_keeps_duplicates() {
         let net = generators::star(4).unwrap().with_labels(vec![1u32, 5, 5, 5]).unwrap();
-        let e = run(&Oblivious(NeighborLabels), &net, &mut ZeroSource, &ExecConfig::default())
-            .unwrap();
+        let e =
+            run(&Oblivious(NeighborLabels), &net, &mut ZeroSource, &ExecConfig::default()).unwrap();
         assert_eq!(e.output(anonet_graph::NodeId::new(0)), Some(&vec![5, 5, 5]));
     }
 

@@ -107,7 +107,8 @@ mod tests {
     #[test]
     fn decision_problem_semantics() {
         // Y = graphs where every node is labeled 7.
-        let delta = DecisionProblem::new(|g: &LabeledGraph<u32>| g.labels().iter().all(|&l| l == 7));
+        let delta =
+            DecisionProblem::new(|g: &LabeledGraph<u32>| g.labels().iter().all(|&l| l == 7));
         let yes = generators::cycle(3).unwrap().with_uniform_label(7u32);
         let no = generators::cycle(3).unwrap().with_labels(vec![7u32, 7, 8]).unwrap();
 

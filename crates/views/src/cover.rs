@@ -24,11 +24,7 @@ use crate::Result;
 /// # Errors
 ///
 /// Returns a view error for `d = 0`.
-pub fn cover_fragment<L: Label>(
-    g: &LabeledGraph<L>,
-    v: NodeId,
-    d: usize,
-) -> Result<ViewTree<L>> {
+pub fn cover_fragment<L: Label>(g: &LabeledGraph<L>, v: NodeId, d: usize) -> Result<ViewTree<L>> {
     if d == 0 {
         return Err(crate::error::ViewError::ViewTooLarge { depth: 0, budget: 0 });
     }

@@ -49,7 +49,10 @@ impl fmt::Display for ViewError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ViewError::QuotientSelfLoop { node } => {
-                write!(f, "view quotient is not simple: node {node} is view-equivalent to a neighbor")
+                write!(
+                    f,
+                    "view quotient is not simple: node {node} is view-equivalent to a neighbor"
+                )
             }
             ViewError::QuotientParallelEdge { node } => {
                 write!(

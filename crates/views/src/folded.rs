@@ -132,10 +132,8 @@ impl<L: Label> FoldedView<L> {
         let mut remap: Vec<Vec<Option<u32>>> = Vec::with_capacity(d);
         for k in 0..d {
             let walk_len = d - 1 - k;
-            let mut keep: Vec<u32> = (0..n)
-                .filter(|&u| walk_sets[walk_len][u])
-                .map(|u| view_of[k][u])
-                .collect();
+            let mut keep: Vec<u32> =
+                (0..n).filter(|&u| walk_sets[walk_len][u]).map(|u| view_of[k][u]).collect();
             keep.sort_unstable();
             keep.dedup();
             let mut map = vec![None; levels[k].len()];
@@ -211,10 +209,7 @@ impl<L: Label> FoldedView<L> {
             return FoldedView::leaf(mark);
         }
         let d = neighbors[0].depth();
-        assert!(
-            neighbors.iter().all(|f| f.depth() == d),
-            "neighbor views must have equal depth"
-        );
+        assert!(neighbors.iter().all(|f| f.depth() == d), "neighbor views must have equal depth");
         // Merge levels 0..d across neighbors.
         let mut merged: Vec<Vec<Entry<L>>> = Vec::with_capacity(d + 1);
         // per neighbor, per level: remap old index -> merged index
@@ -226,10 +221,8 @@ impl<L: Label> FoldedView<L> {
                     let children: Vec<u32> = if k == 0 {
                         children.clone()
                     } else {
-                        let mut cs: Vec<u32> = children
-                            .iter()
-                            .map(|&c| remaps[ni][k - 1][c as usize])
-                            .collect();
+                        let mut cs: Vec<u32> =
+                            children.iter().map(|&c| remaps[ni][k - 1][c as usize]).collect();
                         cs.sort_unstable();
                         cs
                     };
@@ -244,10 +237,8 @@ impl<L: Label> FoldedView<L> {
                     let children: Vec<u32> = if k == 0 {
                         children.clone()
                     } else {
-                        let mut cs: Vec<u32> = children
-                            .iter()
-                            .map(|&c| remaps[ni][k - 1][c as usize])
-                            .collect();
+                        let mut cs: Vec<u32> =
+                            children.iter().map(|&c| remaps[ni][k - 1][c as usize]).collect();
                         cs.sort_unstable();
                         cs
                     };
@@ -302,10 +293,8 @@ impl<L: Label> FoldedView<L> {
 
     fn unfold_entry(&self, level: usize, idx: usize) -> ViewTree<L> {
         let (mark, children) = &self.levels[level][idx];
-        let kids: Vec<ViewTree<L>> = children
-            .iter()
-            .map(|&c| self.unfold_entry(level - 1, c as usize))
-            .collect();
+        let kids: Vec<ViewTree<L>> =
+            children.iter().map(|&c| self.unfold_entry(level - 1, c as usize)).collect();
         ViewTree::from_parts(mark.clone(), kids)
     }
 
@@ -387,11 +376,8 @@ impl<L: Label> FoldedView<L> {
         }
         let mut view = FoldedView::leaf(g.label(v).clone());
         // Iteratively extend: requires all nodes' views per step.
-        let mut all: Vec<FoldedView<L>> = g
-            .graph()
-            .nodes()
-            .map(|u| FoldedView::leaf(g.label(u).clone()))
-            .collect();
+        let mut all: Vec<FoldedView<L>> =
+            g.graph().nodes().map(|u| FoldedView::leaf(g.label(u).clone())).collect();
         for _ in 1..d {
             let next: Vec<FoldedView<L>> = g
                 .graph()
@@ -469,7 +455,9 @@ impl<L: Label> FoldedView<L> {
                 })?;
                 if mapped as usize == i {
                     return Err(ViewError::Reconstruction {
-                        reason: format!("class {i} would be self-adjacent (labels are not a coloring)"),
+                        reason: format!(
+                            "class {i} would be self-adjacent (labels are not a coloring)"
+                        ),
                     });
                 }
                 nbrs.push(NodeId::new(mapped as usize));
@@ -490,10 +478,9 @@ impl<L: Label> FoldedView<L> {
         let graph = anonet_graph::Graph::from_adjacency(adj).map_err(|e| {
             ViewError::Reconstruction { reason: format!("quotient adjacency invalid: {e}") }
         })?;
-        let labels: Vec<L> =
-            self.levels[level].iter().map(|(mark, _)| mark.clone()).collect();
-        let labeled = LabeledGraph::new(graph, labels)
-            .expect("one label per class by construction");
+        let labels: Vec<L> = self.levels[level].iter().map(|(mark, _)| mark.clone()).collect();
+        let labeled =
+            LabeledGraph::new(graph, labels).expect("one label per class by construction");
 
         // The own class: truncate the root down to `level`.
         let mut idx = self.root;
@@ -509,28 +496,19 @@ fn canonicalize_level<L: Label>(keys: Vec<Entry<L>>) -> (Vec<Entry<L>>, Vec<u32>
     let mut entries = keys.clone();
     entries.sort();
     entries.dedup();
-    let idx = keys
-        .iter()
-        .map(|k| entries.binary_search(k).expect("key is present") as u32)
-        .collect();
+    let idx =
+        keys.iter().map(|k| entries.binary_search(k).expect("key is present") as u32).collect();
     (entries, idx)
 }
 
-fn fold_rec<L: Label>(
-    tree: &ViewTree<L>,
-    total_depth: usize,
-    levels: &mut [Vec<Entry<L>>],
-) -> u32 {
+fn fold_rec<L: Label>(tree: &ViewTree<L>, total_depth: usize, levels: &mut [Vec<Entry<L>>]) -> u32 {
     // A vertex at remaining-depth r lives at level r-1. View trees are
     // "complete" (all leaves at the bottom), so remaining depth is the
     // subtree's own depth.
     let level = tree.depth() - 1;
     debug_assert!(level < total_depth);
-    let mut children: Vec<u32> = tree
-        .children()
-        .iter()
-        .map(|c| fold_rec(c, total_depth, levels))
-        .collect();
+    let mut children: Vec<u32> =
+        tree.children().iter().map(|c| fold_rec(c, total_depth, levels)).collect();
     children.sort_unstable();
     let key = (tree.mark().clone(), children);
     if let Some(pos) = levels[level].iter().position(|e| *e == key) {
@@ -685,11 +663,8 @@ mod tests {
             let d = 9;
             let open: Vec<_> =
                 g.graph().nodes().map(|v| FoldedView::build(&g, v, d).unwrap()).collect();
-            let closed: Vec<_> = g
-                .graph()
-                .nodes()
-                .map(|v| FoldedView::build_closed(&g, v, d).unwrap())
-                .collect();
+            let closed: Vec<_> =
+                g.graph().nodes().map(|v| FoldedView::build_closed(&g, v, d).unwrap()).collect();
             let n = g.node_count();
             for u in 0..n {
                 for v in 0..n {

@@ -29,10 +29,7 @@ use crate::Result;
 pub fn canonical_order<L: Label>(g: &LabeledGraph<L>, mode: ViewMode) -> Result<Vec<NodeId>> {
     let r = Refinement::compute(g, mode);
     if !r.is_discrete() {
-        return Err(ViewError::NotDiscrete {
-            nodes: g.node_count(),
-            classes: r.class_count(),
-        });
+        return Err(ViewError::NotDiscrete { nodes: g.node_count(), classes: r.class_count() });
     }
     let mut nodes: Vec<NodeId> = g.graph().nodes().collect();
     nodes.sort_by_key(|&v| r.history_key(v));
@@ -139,10 +136,7 @@ mod tests {
     #[test]
     fn update_graph_cmp_orders_by_size_first() {
         let small = colored_cycle(3);
-        let big = generators::cycle(4)
-            .unwrap()
-            .with_labels(vec![1u32, 2, 3, 4])
-            .unwrap();
+        let big = generators::cycle(4).unwrap().with_labels(vec![1u32, 2, 3, 4]).unwrap();
         assert_eq!(
             update_graph_cmp(&small, &big, ViewMode::PortAware).unwrap(),
             std::cmp::Ordering::Less

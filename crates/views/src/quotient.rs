@@ -71,11 +71,7 @@ impl<L: Label> ViewQuotient<L> {
     /// 2.3.1), `None` otherwise.
     pub fn multiplicity(&self) -> Option<usize> {
         let first = self.fiber_size(NodeId::new(0));
-        self.graph
-            .graph()
-            .nodes()
-            .all(|c| self.fiber_size(c) == first)
-            .then_some(first)
+        self.graph.graph().nodes().all(|c| self.fiber_size(c) == first).then_some(first)
     }
 
     /// `true` iff the quotient is trivial: the original graph already had
@@ -166,11 +162,10 @@ pub fn quotient<L: Label>(g: &LabeledGraph<L>, mode: ViewMode) -> Result<ViewQuo
     })?;
 
     let labels: Vec<L> = representatives.iter().map(|&r| g.label(r).clone()).collect();
-    let qlabeled = LabeledGraph::new(qgraph, labels)
-        .expect("one label per quotient node by construction");
+    let qlabeled =
+        LabeledGraph::new(qgraph, labels).expect("one label per quotient node by construction");
 
-    let class_of: Vec<NodeId> =
-        classes.iter().map(|&c| NodeId::new(c as usize)).collect();
+    let class_of: Vec<NodeId> = classes.iter().map(|&c| NodeId::new(c as usize)).collect();
 
     Ok(ViewQuotient { graph: qlabeled, class_of, representatives, mode })
 }

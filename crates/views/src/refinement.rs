@@ -260,18 +260,13 @@ mod tests {
             let n = g.node_count();
             for k in 0..=r.stabilization_depth() {
                 let views: Vec<ViewTree<u32>> = (0..n)
-                    .map(|v| {
-                        ViewTree::build(&g, NodeId::new(v), k + 1).unwrap().canonicalize()
-                    })
+                    .map(|v| ViewTree::build(&g, NodeId::new(v), k + 1).unwrap().canonicalize())
                     .collect();
                 for u in 0..n {
                     for v in 0..n {
                         let by_view = views[u].encoded() == views[v].encoded();
                         let by_ref = r.view_equal_at(NodeId::new(u), NodeId::new(v), k);
-                        assert_eq!(
-                            by_view, by_ref,
-                            "mismatch at depth {k} for nodes {u},{v}"
-                        );
+                        assert_eq!(by_view, by_ref, "mismatch at depth {k} for nodes {u},{v}");
                     }
                 }
             }
@@ -321,8 +316,7 @@ mod tests {
         let ids = generators::petersen().with_labels((0..10u32).collect()).unwrap();
         let r = Refinement::compute(&ids, ViewMode::Portless);
         assert!(r.is_discrete());
-        let mut keys: Vec<Vec<u32>> =
-            (0..10).map(|v| r.history_key(NodeId::new(v))).collect();
+        let mut keys: Vec<Vec<u32>> = (0..10).map(|v| r.history_key(NodeId::new(v))).collect();
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), 10);
@@ -353,9 +347,7 @@ mod tests {
         assert_eq!(groups.len(), 3);
         assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 5);
         // Mirror pairs share a group.
-        let find = |v: usize| {
-            groups.iter().position(|grp| grp.contains(&NodeId::new(v))).unwrap()
-        };
+        let find = |v: usize| groups.iter().position(|grp| grp.contains(&NodeId::new(v))).unwrap();
         assert_eq!(find(0), find(4));
         assert_eq!(find(1), find(3));
         assert_ne!(find(0), find(2));

@@ -58,12 +58,7 @@ impl<L: Label> ViewTree<L> {
         Ok(tree)
     }
 
-    fn build_rec(
-        g: &LabeledGraph<L>,
-        v: NodeId,
-        d: usize,
-        budget: &mut usize,
-    ) -> Result<Self> {
+    fn build_rec(g: &LabeledGraph<L>, v: NodeId, d: usize, budget: &mut usize) -> Result<Self> {
         if *budget == 0 {
             return Err(ViewError::ViewTooLarge { depth: d, budget: SIZE_BUDGET });
         }

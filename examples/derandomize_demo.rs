@@ -25,10 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base_colored = coloring::greedy_two_hop_coloring(&base);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
     let l = lift::random_connected_lift(&base, 6, 300, &mut rng)?;
-    let instance = l
-        .lift_labels(
-            &base_colored.labels().iter().map(|&c| ((), c)).collect::<Vec<_>>(),
-        )?;
+    let instance =
+        l.lift_labels(&base_colored.labels().iter().map(|&c| ((), c)).collect::<Vec<_>>())?;
     println!("instance: {} nodes (a 6-lift of C4), 2-hop colored", instance.node_count());
 
     // What the theory says the nodes will jointly reconstruct:

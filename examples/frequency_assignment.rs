@@ -57,16 +57,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let freqs: Vec<u32> = reduction.outputs_unwrapped();
     let compressed = g.with_labels(freqs.clone())?;
     assert!(coloring::is_two_hop_coloring(&compressed));
-    println!(
-        "distributed reduction finished in {} rounds (0 random bits)",
-        reduction.rounds()
-    );
+    println!("distributed reduction finished in {} rounds (0 random bits)", reduction.rounds());
 
     let mut histogram: BTreeMap<u32, usize> = BTreeMap::new();
     for &f in &freqs {
         *histogram.entry(f).or_insert(0) += 1;
     }
-    println!("compressed to {} frequencies (Δ² + 1 bound: {}):", histogram.len(), g.max_degree().pow(2) + 1);
+    println!(
+        "compressed to {} frequencies (Δ² + 1 bound: {}):",
+        histogram.len(),
+        g.max_degree().pow(2) + 1
+    );
     for (f, count) in histogram {
         println!("  channel {f}: {count} towers");
     }

@@ -54,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for y in 0..4 {
-        let row: String =
-            (0..4).map(|x| if mis[y * 4 + x] { '#' } else { '.' }).collect();
+        let row: String = (0..4).map(|x| if mis[y * 4 + x] { '#' } else { '.' }).collect();
         println!("  {row}");
     }
     println!("randomization = 2-hop coloring — everything after stage 1 is deterministic.");

@@ -12,10 +12,12 @@
 //! * [`factor`] — factor/product machinery, the lifting lemma, fibrations
 //! * [`algorithms`] — randomized anonymous algorithms (2-hop coloring, MIS, …)
 //! * [`core`] — the paper's derandomization: `A_∞`, `A_*`, and the Theorem-1 pipeline
+//! * [`batch`] — concurrent batch execution with a content-addressed derandomization cache
 
 #![forbid(unsafe_code)]
 
 pub use anonet_algorithms as algorithms;
+pub use anonet_batch as batch;
 pub use anonet_core as core;
 pub use anonet_factor as factor;
 pub use anonet_graph as graph;

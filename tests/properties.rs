@@ -6,9 +6,7 @@ use anonet::algorithms::problems::{MisProblem, TwoHopColoringProblem};
 use anonet::algorithms::two_hop_coloring::TwoHopColoring;
 use anonet::core::{Derandomizer, SearchStrategy};
 use anonet::graph::{coloring, generators, BitString, Graph};
-use anonet::runtime::{
-    run, BitAssignment, ExecConfig, Oblivious, Problem, RngSource, TapeSource,
-};
+use anonet::runtime::{run, BitAssignment, ExecConfig, Oblivious, Problem, RngSource, TapeSource};
 use anonet::views::{norris::norris_report, quotient, Refinement, ViewMode};
 use proptest::prelude::*;
 use rand::SeedableRng;

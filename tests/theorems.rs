@@ -39,8 +39,7 @@ fn theorem1_faithful_astar_and_converged_derandomizer_are_both_valid() {
 fn theorem2_quotient_simulation_lifts_to_valid_outputs_on_products() {
     for n in [3usize, 6, 12] {
         let inst = colored_cycle_instance(n);
-        let run = solve_infinity(&RandomizedMis::new(), &inst, 24, &ExecConfig::default())
-            .unwrap();
+        let run = solve_infinity(&RandomizedMis::new(), &inst, 24, &ExecConfig::default()).unwrap();
         assert_eq!(run.quotient_nodes, 3);
         let plain = inst.map_labels(|_| ());
         assert!(MisProblem.is_valid_output(&plain, &run.outputs), "n = {n}");
@@ -138,9 +137,7 @@ fn derandomized_matching_lifts_edge_by_edge() {
             let l = lift::random_connected_lift(&base, m, 300, &mut rng).unwrap();
             let product_colors = l.lift_labels(colored.labels()).unwrap();
             let inst = product_colors.map_labels(|&c| (c, c));
-            let run = Derandomizer::new(RandomizedMatching::<u32>::new())
-                .run(&inst)
-                .unwrap();
+            let run = Derandomizer::new(RandomizedMatching::<u32>::new()).run(&inst).unwrap();
             assert!(
                 MatchingProblem.is_valid_output(&product_colors, &run.outputs),
                 "invalid lifted matching on a {m}-lift"

@@ -1,0 +1,214 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` header, `#[test]` functions whose
+//! arguments are drawn from integer range strategies (`lo..hi`), and the
+//! `prop_assert!` / `prop_assert_eq!` assertion macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//! * cases are a **deterministic sweep** (seeded from the test name and case
+//!   index), not adaptively generated — reruns explore identical inputs;
+//! * there is **no shrinking**: a failing case reports the sampled
+//!   arguments verbatim, which for pure-range strategies is just as
+//!   actionable.
+//!
+//! Any `*.proptest-regressions` files are ignored.
+
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use test_runner::ProptestConfig;
+
+/// Per-case RNG: deterministic from (test name, case index).
+#[doc(hidden)]
+pub fn case_rng(test_name: &str, case: u32) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// The body of a proptest case: `Err` carries a `prop_assert!` message.
+#[doc(hidden)]
+pub type CaseResult = Result<(), String>;
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn my_prop(x in 0u64..100, n in 2usize..10) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::__run_cases!(config, $name, ($($arg in $strategy),+) $body);
+            }
+        )*
+    };
+    // Without a config header: default number of cases.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $crate::ProptestConfig::default();
+                $crate::__run_cases!(config, $name, ($($arg in $strategy),+) $body);
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __run_cases {
+    ($config:expr, $name:ident, ($($arg:ident in $strategy:expr),+) $body:block) => {
+        for __case in 0..$config.cases {
+            let mut __rng = $crate::case_rng(stringify!($name), __case);
+            $(
+                let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);
+            )+
+            let __result: $crate::CaseResult = (|| {
+                $body
+                Ok(())
+            })();
+            if let Err(msg) = __result {
+                panic!(
+                    "proptest case {}/{} of `{}` failed: {}\n  inputs: {}",
+                    __case + 1,
+                    $config.cases,
+                    stringify!($name),
+                    msg,
+                    [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", "),
+                );
+            }
+        }
+    };
+}
+
+/// Asserts a condition inside a proptest case, reporting sampled inputs on
+/// failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3u64..10, n in 2usize..20, f in 0u8..3) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((2..20).contains(&n));
+            prop_assert!(f < 3);
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn sweeps_are_deterministic() {
+        use crate::strategy::Strategy;
+        let a: Vec<u64> =
+            (0..8).map(|c| (0u64..1000).sample(&mut crate::case_rng("t", c))).collect();
+        let b: Vec<u64> =
+            (0..8).map(|c| (0u64..1000).sample(&mut crate::case_rng("t", c))).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,6 @@
+//! The `proptest::prelude` re-exports tests import with `use
+//! proptest::prelude::*`.
+
+pub use crate::strategy::Strategy;
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

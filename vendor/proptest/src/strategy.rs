@@ -1,0 +1,44 @@
+//! Value strategies. Only integer ranges are supported — the forms the
+//! workspace's property tests actually use.
+
+use rand::{Rng, RngCore};
+
+/// Something that can produce a sample value from an RNG.
+pub trait Strategy {
+    type Value: core::fmt::Debug + Clone;
+
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                (&mut *rng).gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                (&mut *rng).gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A fixed value (the `Just` strategy).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + core::fmt::Debug>(pub T);
+
+impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample<R: RngCore + ?Sized>(&self, _rng: &mut R) -> T {
+        self.0.clone()
+    }
+}

@@ -1,0 +1,37 @@
+//! Named generators (`StdRng` stand-in).
+
+use crate::{RngCore, SeedableRng, Xoshiro256};
+
+/// Stand-in for `rand::rngs::StdRng`: deterministic from its seed, but the
+/// stream is xoshiro256++, not ChaCha12 — adequate for every seeded use in
+/// this workspace.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    core: Xoshiro256,
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng { core: Xoshiro256::from_seed_bytes(seed) }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.core.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.core.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.core.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
