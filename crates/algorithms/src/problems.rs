@@ -96,6 +96,31 @@ impl Problem for TwoHopColoringProblem {
     }
 }
 
+/// Leader election as a labeling problem: outputs are `bool`
+/// ("I am the leader"); valid iff **exactly one** node outputs `true`.
+///
+/// Unlike the problems above this one is *not* solvable on every
+/// instance — on a non-prime network (nontrivial view quotient) every
+/// fiber behaves identically, so no anonymous algorithm can break the
+/// tie. The specification itself still accepts every connected graph;
+/// solvability is what [`leader_election_solvable`](crate::leader)
+/// decides.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeaderOrNotProblem;
+
+impl Problem for LeaderOrNotProblem {
+    type Input = ();
+    type Output = bool;
+
+    fn is_instance(&self, _instance: &LabeledGraph<()>) -> bool {
+        true
+    }
+
+    fn is_valid_output(&self, instance: &LabeledGraph<()>, output: &[bool]) -> bool {
+        output.len() == instance.node_count() && output.iter().filter(|&&b| b).count() == 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +143,16 @@ mod tests {
         assert!(!GreedyColoringProblem.is_valid_output(&net, &[0, 0, 1])); // improper
                                                                            // Color 2 > degree 1 of an endpoint: violates the greedy bound.
         assert!(!GreedyColoringProblem.is_valid_output(&net, &[2, 1, 0]));
+    }
+
+    #[test]
+    fn leader_or_not_requires_exactly_one() {
+        let net = generators::cycle(4).unwrap().with_uniform_label(());
+        assert!(LeaderOrNotProblem.is_instance(&net));
+        assert!(LeaderOrNotProblem.is_valid_output(&net, &[false, true, false, false]));
+        assert!(!LeaderOrNotProblem.is_valid_output(&net, &[false; 4]));
+        assert!(!LeaderOrNotProblem.is_valid_output(&net, &[true, true, false, false]));
+        assert!(!LeaderOrNotProblem.is_valid_output(&net, &[true])); // wrong length
     }
 
     #[test]

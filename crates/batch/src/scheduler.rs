@@ -340,6 +340,41 @@ mod tests {
     }
 
     #[test]
+    fn ordering_and_isolation_hold_across_thread_counts() {
+        // The same mixed batch — successes, errors, panics — must produce
+        // the *identical* submission-ordered outcome on 1, 2, and 8
+        // workers: thread count is a throughput knob, never a semantics
+        // knob.
+        let inputs: Vec<usize> = (0..32).collect();
+        let job = |idx: usize, &x: &usize| {
+            assert_eq!(idx, x);
+            // Scramble completion order so slot order is actually tested.
+            std::thread::sleep(Duration::from_micros(((x * 13) % 7) as u64 * 50));
+            match x % 5 {
+                3 => panic!("boom at {x}"),
+                4 => Err(format!("error at {x}")),
+                _ => Ok(x * x),
+            }
+        };
+        let reference: Vec<JobResult<usize>> = inputs
+            .iter()
+            .map(|&x| match x % 5 {
+                3 => JobResult::Panicked(format!("boom at {x}")),
+                4 => JobResult::Failed(format!("error at {x}")),
+                _ => JobResult::Ok(x * x),
+            })
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let outcome = BatchScheduler::with_threads(threads).run(&inputs, job);
+            assert_eq!(outcome.results, reference, "divergence at {threads} thread(s)");
+            assert_eq!(outcome.stats.threads, threads.min(inputs.len()));
+            assert_eq!(outcome.stats.succeeded, 20);
+            assert_eq!(outcome.stats.failed, 6);
+            assert_eq!(outcome.stats.panicked, 6);
+        }
+    }
+
+    #[test]
     fn more_threads_than_jobs_is_capped() {
         let outcome = BatchScheduler::with_threads(64).run(&[1u8, 2], |_, &x| Ok::<u8, String>(x));
         assert_eq!(outcome.stats.threads, 2);

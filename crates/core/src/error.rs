@@ -50,6 +50,15 @@ pub enum CoreError {
     },
     /// The problem rejected the instance (condition C3 can never hold).
     NotAnInstance,
+    /// A differential oracle of [`conformance`](crate::conformance) caught
+    /// two supposedly-equivalent computations disagreeing — an
+    /// implementation bug in one of them, surfaced loudly.
+    ConformanceMismatch {
+        /// Which oracle fired (e.g. `view-graph-agreement`).
+        oracle: String,
+        /// Human-readable witness of the disagreement.
+        detail: String,
+    },
     /// An underlying views error.
     Views(anonet_views::ViewError),
     /// An underlying runtime error.
@@ -84,6 +93,9 @@ impl fmt::Display for CoreError {
             ),
             CoreError::NotAnInstance => {
                 write!(f, "the labeled graph is not an input instance of the problem")
+            }
+            CoreError::ConformanceMismatch { oracle, detail } => {
+                write!(f, "conformance oracle {oracle} failed: {detail}")
             }
             CoreError::Views(e) => write!(f, "views error: {e}"),
             CoreError::Runtime(e) => write!(f, "runtime error: {e}"),

@@ -24,6 +24,9 @@
 //!   most `p` nodes over a finite label universe (complete for `A_*` by
 //!   the connectivity argument: every node of a candidate appears in the
 //!   matching view);
+//! * [`conformance`] — differential oracles tying the three faces
+//!   together (`A_*` ≡ `A_∞` ≡ the derandomizer ≡ a replayed randomized
+//!   run), the core of `anonet-testkit`;
 //! * [`gran`] — the GRAN bundle: a problem together with its Las-Vegas
 //!   solver and decider, including deciding instance membership *by
 //!   simulation* of the decider;
@@ -39,6 +42,7 @@
 pub mod astar;
 pub mod batch;
 pub mod candidates;
+pub mod conformance;
 pub mod derandomizer;
 pub mod distributed;
 mod error;

@@ -393,11 +393,184 @@ pub fn random_regular<R: Rng + ?Sized>(
     })
 }
 
+/// The generator families, reified for structured instance generation
+/// (the testkit's seeded DSL iterates over these).
+///
+/// Each family knows how to [`sample`](Family::sample) a **connected**
+/// graph of roughly `n` nodes from an explicit RNG, clamping `n` into the
+/// family's feasible range — a total function on `n ≥ 1`, so sweeps never
+/// have to special-case parameter validity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Family {
+    /// [`cycle`] (`n` clamped to ≥ 3).
+    Cycle,
+    /// [`path`].
+    Path,
+    /// [`complete`] (`n` clamped to ≤ 8 to keep instances small).
+    Complete,
+    /// [`star`] (`n` clamped to ≥ 2).
+    Star,
+    /// [`grid`] without wrapping, sides near `√n`.
+    Grid,
+    /// [`grid`] with wrapping (torus), sides clamped to ≥ 3.
+    Torus,
+    /// [`hypercube`] with `d = ⌈log₂ n⌉` clamped to `1..=4`.
+    Hypercube,
+    /// [`wheel`] (`n` clamped to ≥ 4).
+    Wheel,
+    /// [`complete_bipartite`] with sides `⌈n/2⌉` and `⌊n/2⌋`.
+    Bipartite,
+    /// [`circulant`] with offsets `{1, 2}` (`n` clamped to ≥ 5).
+    Circulant,
+    /// [`petersen`] (ignores `n`).
+    Petersen,
+    /// [`random_tree`].
+    Tree,
+    /// [`gnp_connected`] with `p = 0.4` (`n` clamped to ≥ 2).
+    Gnp,
+    /// [`random_regular`] with `d = 3` (`n` clamped to an even value ≥ 4).
+    Regular,
+}
+
+impl Family {
+    /// Every family, in the order sweeps iterate them.
+    pub const ALL: [Family; 14] = [
+        Family::Cycle,
+        Family::Path,
+        Family::Complete,
+        Family::Star,
+        Family::Grid,
+        Family::Torus,
+        Family::Hypercube,
+        Family::Wheel,
+        Family::Bipartite,
+        Family::Circulant,
+        Family::Petersen,
+        Family::Tree,
+        Family::Gnp,
+        Family::Regular,
+    ];
+
+    /// The family's stable lowercase name (used by replay encodings).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Cycle => "cycle",
+            Family::Path => "path",
+            Family::Complete => "complete",
+            Family::Star => "star",
+            Family::Grid => "grid",
+            Family::Torus => "torus",
+            Family::Hypercube => "hypercube",
+            Family::Wheel => "wheel",
+            Family::Bipartite => "bipartite",
+            Family::Circulant => "circulant",
+            Family::Petersen => "petersen",
+            Family::Tree => "tree",
+            Family::Gnp => "gnp",
+            Family::Regular => "regular",
+        }
+    }
+
+    /// Samples a connected graph of roughly `n` nodes (`n ≥ 1`; each
+    /// family clamps into its feasible range, so the exact node count may
+    /// differ — read it off the result).
+    ///
+    /// Deterministic given the RNG state; deterministic families ignore
+    /// the RNG entirely.
+    ///
+    /// # Errors
+    ///
+    /// Only the propagated generator errors that the clamps cannot rule
+    /// out (e.g. [`GraphError::RetriesExhausted`] from
+    /// [`random_regular`], which is practically unreachable at `d = 3`).
+    pub fn sample<R: Rng + ?Sized>(self, n: usize, rng: &mut R) -> Result<Graph> {
+        let n = n.max(1);
+        match self {
+            Family::Cycle => cycle(n.max(3)),
+            Family::Path => path(n),
+            Family::Complete => complete(n.min(8)),
+            Family::Star => star(n.max(2)),
+            Family::Grid => {
+                let w = (1..).find(|w| w * w >= n).expect("squares are unbounded");
+                grid(w, n.div_ceil(w).max(1), false)
+            }
+            Family::Torus => {
+                let w = 3usize;
+                grid(w, (n.div_ceil(w)).max(3), true)
+            }
+            Family::Hypercube => {
+                let d = (1..).find(|d| 1usize << d >= n).expect("powers are unbounded");
+                hypercube(d.clamp(1, 4))
+            }
+            Family::Wheel => wheel(n.max(4)),
+            Family::Bipartite => complete_bipartite(n.div_ceil(2), (n / 2).max(1)),
+            Family::Circulant => circulant(n.max(5), &[1, 2]),
+            Family::Petersen => Ok(petersen()),
+            Family::Tree => random_tree(n, rng),
+            Family::Gnp => gnp_connected(n.max(2), 0.4, rng),
+            Family::Regular => {
+                let n = if n < 4 {
+                    4
+                } else {
+                    n + n % 2 // 3-regular needs n·d even
+                };
+                random_regular(n, 3, 200, rng)
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Family {
+    type Err = GraphError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        Family::ALL
+            .into_iter()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| GraphError::InvalidParameter { reason: format!("unknown family {s:?}") })
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn families_sample_connected_graphs_for_all_small_n() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for family in Family::ALL {
+            for n in 1..=13 {
+                let g = family
+                    .sample(n, &mut rng)
+                    .unwrap_or_else(|e| panic!("{family} failed at n={n}: {e}"));
+                assert!(g.is_connected(), "{family} produced a disconnected graph at n={n}");
+                assert!(g.node_count() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_roundtrip() {
+        for family in Family::ALL {
+            assert_eq!(family.name().parse::<Family>().unwrap(), family);
+        }
+        assert!("triangle".parse::<Family>().is_err());
+    }
+
+    #[test]
+    fn family_sampling_is_deterministic_per_rng_state() {
+        let a = Family::Gnp.sample(9, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        let b = Family::Gnp.sample(9, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+    }
 
     #[test]
     fn cycle_shape() {

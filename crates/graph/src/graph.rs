@@ -230,6 +230,63 @@ impl Graph {
         LabeledGraph::new(self.clone(), labels).expect("label count matches by construction")
     }
 
+    /// Renames the nodes by a permutation (`v` becomes `perm.apply(v)`),
+    /// preserving every node's port order — the renamed graph is the same
+    /// anonymous network in a different presentation, which is exactly what
+    /// anonymous algorithms must be blind to (the testkit's renumbering
+    /// metamorphic oracle rests on this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidPermutation`] if `perm` is not a
+    /// permutation of the node set.
+    pub fn renumber(&self, perm: &crate::lift::Perm) -> Result<Graph> {
+        let n = self.node_count();
+        if perm.len() != n {
+            return Err(GraphError::InvalidPermutation { len: perm.len() });
+        }
+        let mut adj = vec![Vec::new(); n];
+        for v in self.nodes() {
+            adj[perm.apply(v.index())] =
+                self.adj[v.index()].iter().map(|u| NodeId::new(perm.apply(u.index()))).collect();
+        }
+        Ok(Graph { adj })
+    }
+
+    /// Re-permutes the port numbering of every node: new port `p` of `v`
+    /// leads to the neighbor behind old port `perms[v].apply(p)`. The
+    /// topology and node names are untouched — only the local edge order
+    /// each node observes changes (the paper's "worst-case port orderings"
+    /// are a choice of these permutations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidPermutation`] if `perms` does not hold
+    /// one permutation per node with degree-matching length.
+    pub fn with_ports_permuted(&self, perms: &[crate::lift::Perm]) -> Result<Graph> {
+        if perms.len() != self.node_count() {
+            return Err(GraphError::InvalidPermutation { len: perms.len() });
+        }
+        let mut adj = Vec::with_capacity(self.node_count());
+        for v in self.nodes() {
+            let d = self.degree(v);
+            let perm = &perms[v.index()];
+            if perm.len() != d {
+                return Err(GraphError::InvalidPermutation { len: perm.len() });
+            }
+            adj.push((0..d).map(|p| self.adj[v.index()][perm.apply(p)]).collect());
+        }
+        Ok(Graph { adj })
+    }
+
+    /// Re-permutes every node's ports uniformly at random — a seeded
+    /// source of adversarial port numberings.
+    pub fn with_shuffled_ports<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        let perms: Vec<crate::lift::Perm> =
+            self.nodes().map(|v| crate::lift::Perm::random(self.degree(v), rng)).collect();
+        self.with_ports_permuted(&perms).expect("per-node permutations match degrees")
+    }
+
     /// Internal constructor from validated adjacency lists.
     pub(crate) fn from_adjacency_unchecked(adj: Vec<Vec<NodeId>>) -> Self {
         Graph { adj }
@@ -446,5 +503,83 @@ mod tests {
     #[test]
     fn display_mentions_sizes() {
         assert_eq!(path3().to_string(), "Graph(n=3, m=2)");
+    }
+
+    #[test]
+    fn renumber_preserves_structure_and_port_order() {
+        use crate::lift::Perm;
+        let g = path3();
+        let perm = Perm::new(vec![2, 0, 1]).unwrap(); // v ↦ (v+2) mod 3
+        let h = g.renumber(&perm).unwrap();
+        assert_eq!(h.node_count(), 3);
+        assert_eq!(h.edge_count(), 2);
+        for v in g.nodes() {
+            let w = NodeId::new(perm.apply(v.index()));
+            assert_eq!(g.degree(v), h.degree(w));
+            for p in 0..g.degree(v) {
+                let p = Port::new(p);
+                assert_eq!(h.endpoint(w, p).index(), perm.apply(g.endpoint(v, p).index()));
+            }
+        }
+        // Wrong-size permutation is rejected.
+        assert!(g.renumber(&Perm::identity(2)).is_err());
+    }
+
+    #[test]
+    fn port_permutation_keeps_topology_but_not_ports() {
+        use crate::lift::Perm;
+        let g = path3();
+        let perms = vec![Perm::identity(1), Perm::new(vec![1, 0]).unwrap(), Perm::identity(1)];
+        let h = g.with_ports_permuted(&perms).unwrap();
+        // Same edges...
+        let mut a: Vec<Edge> = g.edges().collect();
+        let mut b: Vec<Edge> = h.edges().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // ... but node 1's ports swapped.
+        let v1 = NodeId::new(1);
+        assert_eq!(h.endpoint(v1, Port::new(0)), g.endpoint(v1, Port::new(1)));
+        assert_eq!(h.endpoint(v1, Port::new(1)), g.endpoint(v1, Port::new(0)));
+        // Degree-mismatched and count-mismatched permutations are rejected.
+        assert!(g.with_ports_permuted(&[Perm::identity(1), Perm::identity(1)]).is_err());
+        assert!(g
+            .with_ports_permuted(&[Perm::identity(2), Perm::identity(2), Perm::identity(1)])
+            .is_err());
+    }
+
+    #[test]
+    fn shuffled_ports_stay_valid() {
+        use rand::SeedableRng;
+        let g = crate::generators::petersen();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        let h = g.with_shuffled_ports(&mut rng);
+        assert_eq!(g.node_count(), h.node_count());
+        assert_eq!(g.edge_count(), h.edge_count());
+        for v in h.nodes() {
+            for p in 0..h.degree(v) {
+                let p = Port::new(p);
+                // reverse_port still works: adjacency stayed symmetric.
+                assert_eq!(h.reverse_port(h.endpoint(v, p), h.reverse_port(v, p)), p);
+            }
+        }
+    }
+
+    #[test]
+    fn from_adjacency_rejects_malformed_port_numberings() {
+        let node = |i: usize| NodeId::new(i);
+        // Asymmetric: 0 lists 1 but 1 does not list 0.
+        let err = Graph::from_adjacency(vec![vec![node(1)], vec![]]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameter { .. }));
+        // Duplicate neighbor = two ports to the same edge.
+        let err = Graph::from_adjacency(vec![vec![node(1), node(1)], vec![node(0), node(0)]])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::ParallelEdge { .. }));
+        // Self-loop port.
+        let err = Graph::from_adjacency(vec![vec![node(0)]]).unwrap_err();
+        assert!(matches!(err, GraphError::LoopEdge { node: 0 }));
+        // Out-of-range port target.
+        let err = Graph::from_adjacency(vec![vec![node(7)]]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 7, .. }));
     }
 }

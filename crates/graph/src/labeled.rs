@@ -119,6 +119,32 @@ impl<L: Label> LabeledGraph<L> {
         labels[v.index()] = label;
         LabeledGraph { graph: self.graph.clone(), labels }
     }
+
+    /// Renumbers the nodes so that `v` becomes `perm.apply(v)`, carrying
+    /// each label along with its node. Port orderings move with the nodes,
+    /// so the result is the same labeled port-numbered network presented
+    /// under different (invisible) node indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidPermutation`] if `perm` is not over
+    /// `node_count()` elements.
+    pub fn renumber(&self, perm: &crate::lift::Perm) -> Result<Self> {
+        let graph = self.graph.renumber(perm)?;
+        let mut labels = self.labels.clone();
+        for (v, l) in self.labels.iter().enumerate() {
+            labels[perm.apply(v)] = l.clone();
+        }
+        Ok(LabeledGraph { graph, labels })
+    }
+
+    /// Re-draws every node's local port numbering uniformly at random,
+    /// keeping topology and labels. Anonymous algorithms' *outputs* must be
+    /// invariant under this transformation whenever they are invariant
+    /// under the adversarial port numbering of the model.
+    pub fn with_shuffled_ports<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        LabeledGraph { graph: self.graph.with_shuffled_ports(rng), labels: self.labels.clone() }
+    }
 }
 
 impl<L: Label> fmt::Display for LabeledGraph<L> {
@@ -175,6 +201,39 @@ mod tests {
         let g = generators::path(3).unwrap();
         let lg = g.with_uniform_label(0u8).with_label_at(NodeId::new(1), 9);
         assert_eq!(lg.labels(), &[0, 9, 0]);
+    }
+
+    #[test]
+    fn renumber_moves_labels_with_nodes() {
+        use crate::lift::Perm;
+        let g = generators::path(3).unwrap();
+        let lg = g.with_labels(vec![10u8, 20, 30]).unwrap();
+        let perm = Perm::new(vec![2, 0, 1]).unwrap();
+        let h = lg.renumber(&perm).unwrap();
+        // Node 0 (label 10) became node 2, etc.
+        assert_eq!(h.labels(), &[20, 30, 10]);
+        // Degrees follow the relabeling: old node 1 was the path center.
+        assert_eq!(h.graph().degree(NodeId::new(0)), 2);
+        assert!(lg.renumber(&Perm::identity(2)).is_err());
+    }
+
+    #[test]
+    fn zip_rejects_same_topology_with_different_port_numbering() {
+        use crate::lift::Perm;
+        use rand::SeedableRng;
+        let g = generators::cycle(5).unwrap();
+        let a = g.with_uniform_label(0u8);
+        // Same node set and edge set, but node 0's two ports are swapped:
+        // a *malformed* pairing for zip, which requires identical networks.
+        let mut perms = vec![Perm::new(vec![1, 0]).unwrap()];
+        perms.extend((1..5).map(|_| Perm::identity(2)));
+        let b = g.with_ports_permuted(&perms).unwrap().with_uniform_label(1u32);
+        assert!(a.zip(&b).is_err());
+        // And a randomly re-ported copy keeps labels but changes ports.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let c = a.with_shuffled_ports(&mut rng);
+        assert_eq!(c.labels(), a.labels());
+        assert_eq!(c.graph().edge_count(), a.graph().edge_count());
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Pluggable round adversaries for the synchronous engine.
+//!
+//! The model's rounds are simultaneous: every active node composes its
+//! messages against the *same* state snapshot, and every node steps on its
+//! own slot only. The engine's results are therefore independent of the
+//! order in which it happens to iterate nodes within a round — and that
+//! independence is exactly the synchronizer reduction the Las-Vegas claims
+//! lean on. A [`RoundAdversary`] turns the claim into a tripwire: it picks,
+//! per round, the order in which the engine sweeps nodes through the
+//! compose (delivery) phase and the step (wakeup) phase. Any dependence of
+//! outputs on these orders is an engine or algorithm bug, surfaced by
+//! running the same seed under different adversaries and comparing.
+//!
+//! Random bits are *not* under adversary control: the engine draws them in
+//! canonical node order at the start of the round, mirroring the paper's
+//! "one bit per node per round" normalization (and keeping call-order
+//! sensitive sources such as [`RngSource`](crate::RngSource) schedule
+//! independent by construction).
+//!
+//! Worst-case *port* orderings are a property of the network presentation,
+//! not the schedule; build them with
+//! `anonet_graph::Graph::with_shuffled_ports` and friends.
+
+/// A per-round schedule: in which order the engine visits nodes during the
+/// compose (message delivery) and step (state transition) phases.
+///
+/// Implementations must return a permutation of `0..n`; the engine
+/// validates this and fails the execution with
+/// [`RuntimeError::InvalidSchedule`](crate::RuntimeError::InvalidSchedule)
+/// otherwise. Halted nodes may appear in the order; the engine skips them.
+pub trait RoundAdversary {
+    /// The order in which nodes compose and deliver their messages in
+    /// `round` (1-indexed). Defaults to the fair (identity) order.
+    fn compose_order(&mut self, n: usize, round: usize) -> Vec<usize> {
+        let _ = round;
+        (0..n).collect()
+    }
+
+    /// The order in which nodes step (wake up) in `round` (1-indexed).
+    /// Defaults to the fair (identity) order.
+    fn step_order(&mut self, n: usize, round: usize) -> Vec<usize> {
+        let _ = round;
+        (0..n).collect()
+    }
+
+    /// A short human-readable name for reports and replay encodings.
+    fn name(&self) -> &'static str {
+        "adversary"
+    }
+}
+
+/// The fair scheduler: canonical node order in both phases. This is what
+/// [`run`](crate::run) uses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FairScheduler;
+
+impl RoundAdversary for FairScheduler {
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+}
+
+/// Sweeps nodes in reverse order in both phases — the cheapest
+/// non-identity delay-reordering.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReverseScheduler;
+
+impl RoundAdversary for ReverseScheduler {
+    fn compose_order(&mut self, n: usize, _round: usize) -> Vec<usize> {
+        (0..n).rev().collect()
+    }
+
+    fn step_order(&mut self, n: usize, _round: usize) -> Vec<usize> {
+        (0..n).rev().collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "reverse"
+    }
+}
+
+/// Skewed wakeups: each round starts its sweep at a different node
+/// (rotation by `round · stride`), so no node is consistently first or
+/// last. Models a synchronizer that releases nodes in drifting order.
+#[derive(Clone, Copy, Debug)]
+pub struct SkewedScheduler {
+    /// Rotation advance per round.
+    pub stride: usize,
+}
+
+impl Default for SkewedScheduler {
+    fn default() -> Self {
+        SkewedScheduler { stride: 1 }
+    }
+}
+
+impl RoundAdversary for SkewedScheduler {
+    fn compose_order(&mut self, n: usize, round: usize) -> Vec<usize> {
+        rotate(n, round.wrapping_mul(self.stride))
+    }
+
+    fn step_order(&mut self, n: usize, round: usize) -> Vec<usize> {
+        // Step in the opposite rotation, so the two phases disagree too.
+        rotate(n, n.wrapping_sub(round.wrapping_mul(self.stride) % n.max(1)))
+    }
+
+    fn name(&self) -> &'static str {
+        "skewed"
+    }
+}
+
+/// A deterministic seeded shuffle, different in every round and phase:
+/// the strongest delay-reordering short of exhaustive order enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct ShuffledScheduler {
+    key: u64,
+}
+
+impl ShuffledScheduler {
+    /// Creates a shuffler keyed by `key`; the same key replays the same
+    /// per-round orders.
+    pub fn new(key: u64) -> Self {
+        ShuffledScheduler { key }
+    }
+}
+
+impl RoundAdversary for ShuffledScheduler {
+    fn compose_order(&mut self, n: usize, round: usize) -> Vec<usize> {
+        keyed_shuffle(n, self.key ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    fn step_order(&mut self, n: usize, round: usize) -> Vec<usize> {
+        keyed_shuffle(n, self.key ^ (round as u64).wrapping_mul(0xD1B54A32D192ED03) ^ 0x5555)
+    }
+
+    fn name(&self) -> &'static str {
+        "shuffled"
+    }
+}
+
+fn rotate(n: usize, by: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n).map(|i| (i + by) % n).collect()
+}
+
+/// Fisher–Yates driven by SplitMix64 — self-contained so adversaries stay
+/// deterministic without threading an external RNG through the engine.
+fn keyed_shuffle(n: usize, mut state: u64) -> Vec<usize> {
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut x = state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    };
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(order: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        order.len() == n
+            && order.iter().all(|&v| {
+                if v < n && !seen[v] {
+                    seen[v] = true;
+                    true
+                } else {
+                    false
+                }
+            })
+    }
+
+    #[test]
+    fn all_schedulers_emit_permutations() {
+        let mut adversaries: Vec<Box<dyn RoundAdversary>> = vec![
+            Box::new(FairScheduler),
+            Box::new(ReverseScheduler),
+            Box::new(SkewedScheduler::default()),
+            Box::new(SkewedScheduler { stride: 3 }),
+            Box::new(ShuffledScheduler::new(7)),
+        ];
+        for adv in &mut adversaries {
+            for n in [0usize, 1, 2, 7, 16] {
+                for round in 1..=20 {
+                    assert!(is_permutation(&adv.compose_order(n, round), n), "{}", adv.name());
+                    assert!(is_permutation(&adv.step_order(n, round), n), "{}", adv.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shuffled_is_deterministic_and_round_dependent() {
+        let mut a = ShuffledScheduler::new(42);
+        let mut b = ShuffledScheduler::new(42);
+        assert_eq!(a.compose_order(9, 3), b.compose_order(9, 3));
+        assert_eq!(a.step_order(9, 3), b.step_order(9, 3));
+        let differs = (1..50).any(|r| {
+            ShuffledScheduler::new(42).compose_order(9, r)
+                != ShuffledScheduler::new(42).compose_order(9, r + 1)
+        });
+        assert!(differs, "shuffles must vary across rounds");
+    }
+
+    #[test]
+    fn skewed_rotates_the_start() {
+        let mut s = SkewedScheduler::default();
+        assert_eq!(s.compose_order(4, 1), vec![1, 2, 3, 0]);
+        assert_eq!(s.compose_order(4, 2), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            FairScheduler.name(),
+            ReverseScheduler.name(),
+            SkewedScheduler::default().name(),
+            ShuffledScheduler::new(0).name(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+}

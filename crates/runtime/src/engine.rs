@@ -2,6 +2,7 @@
 
 use anonet_graph::{Label, LabeledGraph, NodeId, Port};
 
+use crate::adversary::{FairScheduler, RoundAdversary};
 use crate::algorithm::{Actions, Algorithm, Inbox};
 use crate::error::RuntimeError;
 use crate::randomness::RandomSource;
@@ -184,6 +185,30 @@ where
     A::Input: Label,
     S: RandomSource + ?Sized,
 {
+    run_with_adversary(alg, net, source, config, &mut FairScheduler)
+}
+
+/// [`run`] under an explicit [`RoundAdversary`] controlling the within-round
+/// sweep orders (delivery and wakeup). Rounds are simultaneous in the
+/// model, so outputs must not depend on the adversary — divergence under
+/// different adversaries is an engine or algorithm bug.
+///
+/// # Errors
+///
+/// As [`run`], plus [`RuntimeError::InvalidSchedule`] if the adversary
+/// emits something that is not a permutation of the node set.
+pub fn run_with_adversary<A, S>(
+    alg: &A,
+    net: &LabeledGraph<A::Input>,
+    source: &mut S,
+    config: &ExecConfig,
+    adversary: &mut (impl RoundAdversary + ?Sized),
+) -> Result<Execution<A>>
+where
+    A: Algorithm,
+    A::Input: Label,
+    S: RandomSource + ?Sized,
+{
     let g = net.graph();
     if !g.is_connected() {
         return Err(RuntimeError::InvalidNetwork { reason: "graph is not connected".into() });
@@ -238,10 +263,14 @@ where
         active_per_round.push(halted.iter().filter(|&&h| !h).count());
         let round_message_base = messages_sent;
 
-        // Compose and deliver messages.
+        // Compose and deliver messages, in the adversary's delivery order.
+        // Every node composes against the same pre-round state snapshot and
+        // each inbox slot is written by exactly one (sender, port) pair, so
+        // the order cannot change the delivered messages — the adversary
+        // only gets to prove that.
         let mut inboxes: Vec<Vec<Option<A::Message>>> =
             g.nodes().map(|v| vec![None; g.degree(v)]).collect();
-        for v in g.nodes() {
+        for v in checked_order(adversary.compose_order(n, round), n, round, "compose")? {
             if halted[v.index()] {
                 continue;
             }
@@ -259,8 +288,9 @@ where
             }
         }
 
-        // Step states.
-        for v in g.nodes() {
+        // Step states, in the adversary's wakeup order. Each node writes
+        // only its own slots, so this order is equally inert.
+        for v in checked_order(adversary.step_order(n, round), n, round, "step")? {
             if halted[v.index()] {
                 continue;
             }
@@ -314,6 +344,18 @@ where
     })
 }
 
+/// Validates an adversary-supplied order as a permutation of `0..n`.
+fn checked_order(order: Vec<usize>, n: usize, round: usize, phase: &str) -> Result<Vec<NodeId>> {
+    let mut seen = vec![false; n];
+    if order.len() != n || order.iter().any(|&v| v >= n || std::mem::replace(&mut seen[v], true)) {
+        return Err(RuntimeError::InvalidSchedule {
+            round,
+            reason: format!("{phase} order is not a permutation of 0..{n}: {order:?}"),
+        });
+    }
+    Ok(order.into_iter().map(NodeId::new).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +365,7 @@ mod tests {
 
     /// Each node floods the maximum input label it has seen; after `k`
     /// rounds it outputs that maximum and halts.
+    #[derive(Debug)]
     struct FloodMax {
         k: usize,
     }
@@ -532,6 +575,131 @@ mod tests {
         let e1 = run(&FirstBit, &net, &mut RngSource::seeded(9), &ExecConfig::default()).unwrap();
         let e2 = run(&FirstBit, &net, &mut RngSource::seeded(9), &ExecConfig::default()).unwrap();
         assert_eq!(e1.outputs(), e2.outputs());
+    }
+
+    /// Las-Vegas coin: a node outputs (and halts) only in a round where
+    /// its bit comes up 1 — under an all-zeros source it stays active
+    /// forever.
+    #[derive(Clone, Copy, Debug)]
+    struct CoinHalt;
+
+    impl Algorithm for CoinHalt {
+        type Input = u32;
+        type Message = ();
+        type Output = usize;
+        type State = ();
+
+        fn init(&self, _: &u32, _: usize) {}
+        fn compose(&self, _: &(), _: Port) -> Option<()> {
+            None
+        }
+        fn step(
+            &self,
+            _: (),
+            round: usize,
+            _: &Inbox<()>,
+            bit: bool,
+            actions: &mut Actions<usize>,
+        ) {
+            if bit {
+                actions.output(round);
+                actions.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn round_cap_hits_with_active_las_vegas_nodes() {
+        // Negative path for ExecConfig::max_rounds: nodes are still active
+        // (not merely non-halted-but-done) when the cap strikes.
+        let net = generators::cycle(4).unwrap().with_uniform_label(0u32);
+        let exec = run(&CoinHalt, &net, &mut ZeroSource, &ExecConfig::with_max_rounds(23)).unwrap();
+        assert_eq!(exec.status(), Status::MaxRounds);
+        assert_eq!(exec.rounds(), 23);
+        assert!(!exec.is_successful());
+        assert!(exec.outputs().iter().all(Option::is_none));
+        assert!(exec.halt_rounds().iter().all(Option::is_none));
+        assert_eq!(exec.active_per_round().last(), Some(&4));
+        // The same algorithm under live randomness completes well within
+        // the default cap — the cap, not the algorithm, ended the run above.
+        let live = run(&CoinHalt, &net, &mut RngSource::seeded(3), &ExecConfig::default()).unwrap();
+        assert_eq!(live.status(), Status::Completed);
+    }
+
+    #[test]
+    fn outputs_are_invariant_under_adversaries() {
+        use crate::adversary::{ReverseScheduler, ShuffledScheduler, SkewedScheduler};
+        let g = generators::wheel(7).unwrap();
+        let net = g.with_labels((0..7u32).map(|i| i * 3 % 5).collect()).unwrap();
+        let tapes = BitAssignment::new(
+            (0..7).map(|i| BitString::from_value(i as u64, 8)).collect::<Vec<_>>(),
+        );
+        let fair = run(
+            &FloodMax { k: 4 },
+            &net,
+            &mut TapeSource::new(tapes.clone()),
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        let mut adversaries: Vec<Box<dyn crate::adversary::RoundAdversary>> = vec![
+            Box::new(ReverseScheduler),
+            Box::new(SkewedScheduler { stride: 2 }),
+            Box::new(ShuffledScheduler::new(99)),
+        ];
+        for adv in &mut adversaries {
+            let exec = run_with_adversary(
+                &FloodMax { k: 4 },
+                &net,
+                &mut TapeSource::new(tapes.clone()),
+                &ExecConfig::default(),
+                adv.as_mut(),
+            )
+            .unwrap();
+            assert_eq!(exec.outputs(), fair.outputs(), "{} diverged", adv.name());
+            assert_eq!(exec.rounds(), fair.rounds());
+            assert_eq!(exec.messages_sent(), fair.messages_sent());
+        }
+    }
+
+    #[test]
+    fn live_rng_draws_are_schedule_invariant() {
+        // RngSource bits depend on call order; the engine draws them in
+        // canonical node order regardless of the adversary, so outputs of
+        // bit-dependent algorithms stay schedule independent too.
+        use crate::adversary::ShuffledScheduler;
+        let net = generators::cycle(6).unwrap().with_uniform_label(0u32);
+        let fair =
+            run(&FirstBit, &net, &mut RngSource::seeded(11), &ExecConfig::default()).unwrap();
+        let shuffled = run_with_adversary(
+            &FirstBit,
+            &net,
+            &mut RngSource::seeded(11),
+            &ExecConfig::default(),
+            &mut ShuffledScheduler::new(5),
+        )
+        .unwrap();
+        assert_eq!(shuffled.outputs(), fair.outputs());
+    }
+
+    #[test]
+    fn malformed_schedules_are_rejected() {
+        struct Bad;
+        impl crate::adversary::RoundAdversary for Bad {
+            fn step_order(&mut self, n: usize, _round: usize) -> Vec<usize> {
+                vec![0; n] // not a permutation
+            }
+        }
+        let net = generators::cycle(3).unwrap().with_uniform_label(0u32);
+        let err = run_with_adversary(
+            &FloodMax { k: 2 },
+            &net,
+            &mut ZeroSource,
+            &ExecConfig::default(),
+            &mut Bad,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidSchedule { round: 1, .. }));
+        assert!(err.to_string().contains("permutation"));
     }
 
     #[test]

@@ -22,6 +22,14 @@ pub enum RuntimeError {
         /// Human-readable description.
         reason: String,
     },
+    /// A [`RoundAdversary`](crate::RoundAdversary) emitted a schedule that
+    /// is not a permutation of the node set.
+    InvalidSchedule {
+        /// The round whose schedule was malformed.
+        round: usize,
+        /// Human-readable description.
+        reason: String,
+    },
     /// A bit assignment did not cover every node of the graph it was
     /// used with.
     AssignmentMismatch {
@@ -40,6 +48,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::InvalidNetwork { reason } => {
                 write!(f, "invalid network: {reason}")
+            }
+            RuntimeError::InvalidSchedule { round, reason } => {
+                write!(f, "invalid adversary schedule in round {round}: {reason}")
             }
             RuntimeError::AssignmentMismatch { assignment_nodes, graph_nodes } => {
                 write!(

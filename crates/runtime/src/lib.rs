@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 mod algorithm;
 mod assignment;
 mod engine;
@@ -64,9 +65,12 @@ mod problem;
 mod randomness;
 pub mod trace;
 
+pub use adversary::{
+    FairScheduler, ReverseScheduler, RoundAdversary, ShuffledScheduler, SkewedScheduler,
+};
 pub use algorithm::{Actions, Algorithm, Inbox};
 pub use assignment::BitAssignment;
-pub use engine::{run, ExecConfig, Execution, Status};
+pub use engine::{run, run_with_adversary, ExecConfig, Execution, Status};
 pub use error::RuntimeError;
 pub use oblivious::{Oblivious, ObliviousAlgorithm};
 pub use problem::{DecisionOutput, DecisionProblem, Problem};

@@ -1,0 +1,232 @@
+//! Structured instance generation: [`TestCase`] → colored instance, with
+//! optional permutation-voltage lifts and their projections.
+
+use anonet_graph::coloring::{greedy_two_hop_coloring, is_two_hop_coloring};
+use anonet_graph::generators::Family;
+use anonet_graph::{generators, lift, BitString, Graph, LabeledGraph, NodeId};
+use anonet_runtime::{run_with_adversary, ExecConfig, Oblivious, RngSource};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use anonet_algorithms::two_hop_coloring::TwoHopColoring;
+
+use crate::testcase::{ColoringMode, TestCase};
+use crate::{Result, TestkitError};
+
+/// A generated 2-hop colored instance, plus lift provenance when the case
+/// was lifted **and** the base coloring survived the lift (same-fiber
+/// nodes can collide within two hops in a random lift; when they do, the
+/// lift is greedily recolored and the projection oracle is dropped).
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The instance's graph with its 2-hop coloring as labels.
+    pub colors: LabeledGraph<u32>,
+    /// `projection[v]` = the base node under `v`, when the instance is a
+    /// lift whose colors are lifted from `base_colors`.
+    pub projection: Option<Vec<NodeId>>,
+    /// The colored base of the lift, when `projection` is `Some`.
+    pub base_colors: Option<LabeledGraph<u32>>,
+}
+
+/// Samples the case's base graph (before any lift).
+///
+/// # Errors
+///
+/// Graph-generator errors, wrapped in [`TestkitError`].
+pub fn build_graph(case: &TestCase) -> Result<Graph> {
+    let mut rng = ChaCha8Rng::seed_from_u64(case.seed);
+    Ok(case.family.sample(case.n, &mut rng)?)
+}
+
+/// 2-hop colors `g` per the case's [`ColoringMode`]. Pipeline mode runs
+/// the randomized [`TwoHopColoring`] stage live under the case's
+/// adversary (bit draws are canonical, so the colors are a function of
+/// the seed alone — itself a metamorphic fact the suites lean on) and
+/// rank-compresses the [`BitString`] colors to `u32`. If the stage fails
+/// to complete within the round cap the greedy coloring is used instead.
+pub fn color_graph(g: &Graph, case: &TestCase) -> Result<LabeledGraph<u32>> {
+    match case.coloring {
+        ColoringMode::Greedy => Ok(greedy_two_hop_coloring(g)),
+        ColoringMode::Pipeline => {
+            let unit = g.with_uniform_label(());
+            let mut adversary = case.adversary.build(case.seed);
+            let exec = run_with_adversary(
+                &Oblivious(TwoHopColoring::new()),
+                &unit,
+                &mut RngSource::seeded(case.seed),
+                &ExecConfig::default(),
+                adversary.as_mut(),
+            )?;
+            if !exec.is_successful() {
+                return Ok(greedy_two_hop_coloring(g));
+            }
+            let bits = exec.outputs_unwrapped();
+            let mut palette: Vec<&BitString> = bits.iter().collect();
+            palette.sort();
+            palette.dedup();
+            let colors = bits
+                .iter()
+                .map(|b| palette.binary_search(&b).expect("color is in its own palette") as u32)
+                .collect();
+            Ok(g.with_labels(colors)?)
+        }
+    }
+}
+
+/// Builds the case's full instance: sample, color, and (for `lift ≥ 2`)
+/// lift. Cycle lifts use the guaranteed-2-hop-colorable cyclic voltage;
+/// other families draw a random connected lift and validate, falling back
+/// to recoloring the lifted graph when the base coloring does not lift.
+///
+/// # Errors
+///
+/// Generator and runtime errors, wrapped in [`TestkitError`].
+pub fn build_instance(case: &TestCase) -> Result<Instance> {
+    if case.lift < 2 {
+        let g = build_graph(case)?;
+        return Ok(Instance {
+            colors: color_graph(&g, case)?,
+            projection: None,
+            base_colors: None,
+        });
+    }
+
+    let (l, base) = if case.family == Family::Cycle {
+        let n = case.n.max(3);
+        (lift::cyclic_cycle_lift(n, case.lift)?, generators::cycle(n)?)
+    } else {
+        let base = build_graph(case)?;
+        let mut rng = ChaCha8Rng::seed_from_u64(case.seed ^ 0x11F7_0000_0000_0001);
+        match lift::random_connected_lift(&base, case.lift, 32, &mut rng) {
+            Ok(l) => (l, base),
+            // No connected lift found (rare, tiny bases): run unlifted.
+            Err(_) => {
+                let colors = color_graph(&base, case)?;
+                return Ok(Instance { colors, projection: None, base_colors: None });
+            }
+        }
+    };
+
+    let base_colors = color_graph(&base, case)?;
+    let lifted = l.lift_labels(base_colors.labels())?;
+    if is_two_hop_coloring(&lifted) {
+        Ok(Instance {
+            colors: lifted,
+            projection: Some(l.projection().to_vec()),
+            base_colors: Some(base_colors),
+        })
+    } else {
+        // Same-fiber nodes landed within two hops: the projection oracle
+        // is meaningless, but the lifted *graph* is still a fine instance.
+        Ok(Instance {
+            colors: greedy_two_hop_coloring(l.graph()),
+            projection: None,
+            base_colors: None,
+        })
+    }
+}
+
+/// The legacy flavored generator the root property tests were built on
+/// (`flavor % 4` → sparse G(n,p) / tree / cycle / dense G(n,p)), kept as
+/// a thin wrapper over [`Family`] sampling so old regression seeds remain
+/// addressable.
+///
+/// # Errors
+///
+/// Graph-generator errors, wrapped in [`TestkitError`].
+pub fn flavored_graph(seed: u64, n: usize, flavor: u8) -> Result<Graph> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = match flavor % 4 {
+        0 => generators::gnp_connected(n.max(2), 0.3, &mut rng)?,
+        1 => generators::random_tree(n.max(2), &mut rng)?,
+        2 => generators::cycle(n.max(3))?,
+        _ => generators::gnp_connected(n.max(2), 0.6, &mut rng)?,
+    };
+    Ok(g)
+}
+
+impl From<anonet_graph::GraphError> for TestkitError {
+    fn from(e: anonet_graph::GraphError) -> Self {
+        TestkitError::Graph(e)
+    }
+}
+
+impl From<anonet_runtime::RuntimeError> for TestkitError {
+    fn from(e: anonet_runtime::RuntimeError) -> Self {
+        TestkitError::Runtime(e)
+    }
+}
+
+impl From<anonet_core::CoreError> for TestkitError {
+    fn from(e: anonet_core::CoreError) -> Self {
+        TestkitError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcase::AdversaryKind;
+
+    fn case(s: &str) -> TestCase {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn every_indexed_case_builds_a_two_hop_colored_instance() {
+        for i in 0..40 {
+            let c = TestCase::from_index(0xBEEF, i);
+            let inst = build_instance(&c).unwrap_or_else(|e| panic!("case {c} failed: {e}"));
+            assert!(is_two_hop_coloring(&inst.colors), "invalid coloring for {c}");
+            if let Some(proj) = &inst.projection {
+                assert_eq!(proj.len(), inst.colors.node_count());
+                let base = inst.base_colors.as_ref().unwrap();
+                for (v, &img) in proj.iter().enumerate() {
+                    assert_eq!(
+                        inst.colors.label(NodeId::new(v)),
+                        base.label(img),
+                        "lifted color mismatch for {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = case("tc1:family=gnp,n=8,seed=77,color=pipeline,lift=2,adv=shuffled");
+        let a = build_instance(&c).unwrap();
+        let b = build_instance(&c).unwrap();
+        assert_eq!(a.colors, b.colors);
+        assert_eq!(a.projection, b.projection);
+    }
+
+    #[test]
+    fn pipeline_coloring_is_adversary_independent() {
+        // Bit draws are canonical, so the live coloring stage must produce
+        // identical colors under every scheduler.
+        let mut colorings = Vec::new();
+        for adv in AdversaryKind::ALL {
+            let mut c = case("tc1:family=wheel,n=7,seed=5,color=pipeline,lift=1,adv=fair");
+            c.adversary = adv;
+            colorings.push(build_instance(&c).unwrap().colors);
+        }
+        assert!(colorings.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn cycle_lifts_preserve_the_projection() {
+        let c = case("tc1:family=cycle,n=4,seed=3,color=greedy,lift=3,adv=fair");
+        let inst = build_instance(&c).unwrap();
+        assert_eq!(inst.colors.node_count(), 12);
+        assert!(inst.projection.is_some());
+    }
+
+    #[test]
+    fn flavored_graphs_cover_the_legacy_regression_seed() {
+        // tests/properties.proptest-regressions recorded (seed=0, n=2,
+        // flavor=2) — the minimal cycle.
+        let g = flavored_graph(0, 2, 2).unwrap();
+        assert_eq!(g.node_count(), 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! The leader-election conformance suite.
+//!
+//! Leader election is the paper's boundary case: solvable exactly on
+//! *prime* networks (trivial view quotient). The suite checks both sides
+//! of the dichotomy on generated instances — a unique leader with
+//! renumbering/port metamorphic invariance on prime instances, and a
+//! color-sharing duplicate-view witness on non-prime ones (every lift
+//! with an intact projection is non-prime by construction).
+
+use anonet_algorithms::leader::{elect_leader, leader_election_solvable};
+use anonet_algorithms::problems::LeaderOrNotProblem;
+use anonet_algorithms::AlgorithmError;
+use anonet_graph::lift::Perm;
+use anonet_graph::NodeId;
+use anonet_runtime::Problem;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::gen;
+use crate::oracles::Failure;
+use crate::suite::run_harness;
+use crate::testcase::TestCase;
+
+/// Runs every leader oracle on one case.
+///
+/// # Errors
+///
+/// The first oracle violation, as a [`Failure`].
+pub fn check_leader(case: &TestCase) -> Result<(), Failure> {
+    let inst = gen::build_instance(case).map_err(|e| Failure::new("generator", e.to_string()))?;
+    let colors = &inst.colors;
+    let n = colors.node_count();
+    let mut rng = ChaCha8Rng::seed_from_u64(case.seed ^ 0x1EAD_E137_1EAD_E137);
+
+    match elect_leader(colors) {
+        Ok(outcome) => {
+            if !leader_election_solvable(colors) {
+                return Err(Failure::new(
+                    "leader-dichotomy",
+                    "elect_leader succeeded on an instance reported unsolvable",
+                ));
+            }
+            if inst.projection.is_some() && case.lift >= 2 {
+                return Err(Failure::new(
+                    "leader-dichotomy",
+                    format!("a {}-fold lift with intact fibers cannot be prime", case.lift),
+                ));
+            }
+            // Exactly one leader, and the outcome is self-consistent.
+            let unit = colors.map_labels(|_| ());
+            if !LeaderOrNotProblem.is_valid_output(&unit, &outcome.outputs)
+                || !outcome.outputs[outcome.leader.index()]
+            {
+                return Err(Failure::new(
+                    "leader-uniqueness",
+                    format!("outputs {:?} with leader {}", outcome.outputs, outcome.leader),
+                ));
+            }
+            // Metamorphic: the elected leader follows a renumbering.
+            let perm = Perm::random(n, &mut rng);
+            let renumbered = colors
+                .renumber(&perm)
+                .map_err(|e| Failure::new("leader-renumbering", e.to_string()))?;
+            match elect_leader(&renumbered) {
+                Ok(ren) if ren.leader.index() == perm.apply(outcome.leader.index()) => {}
+                Ok(ren) => {
+                    return Err(Failure::new(
+                        "leader-renumbering",
+                        format!(
+                            "leader {} should map to {} but election picked {}",
+                            outcome.leader,
+                            perm.apply(outcome.leader.index()),
+                            ren.leader
+                        ),
+                    ));
+                }
+                Err(e) => {
+                    return Err(Failure::new(
+                        "leader-renumbering",
+                        format!("renumbered instance stopped being prime: {e}"),
+                    ));
+                }
+            }
+            // Metamorphic: the canonical-view election is portless.
+            let shuffled = colors.with_shuffled_ports(&mut rng);
+            match elect_leader(&shuffled) {
+                Ok(shuf) if shuf.leader == outcome.leader => Ok(()),
+                Ok(shuf) => Err(Failure::new(
+                    "leader-port-invariance",
+                    format!(
+                        "leader moved from {} to {} under a port shuffle",
+                        outcome.leader, shuf.leader
+                    ),
+                )),
+                Err(e) => Err(Failure::new(
+                    "leader-port-invariance",
+                    format!("port shuffle broke primality: {e}"),
+                )),
+            }
+        }
+        Err(AlgorithmError::NotPrime { duplicate_views: (u, v) }) => {
+            if leader_election_solvable(colors) {
+                return Err(Failure::new(
+                    "leader-dichotomy",
+                    "elect_leader refused an instance reported solvable",
+                ));
+            }
+            // The witness must be two distinct nodes; equal views force
+            // equal colors.
+            if u == v || colors.label(NodeId::new(u)) != colors.label(NodeId::new(v)) {
+                return Err(Failure::new(
+                    "leader-witness",
+                    format!("duplicate-view witness ({u}, {v}) is not a color-sharing pair"),
+                ));
+            }
+            Ok(())
+        }
+        Err(e) => Err(Failure::new("leader-error", format!("unexpected election error: {e}"))),
+    }
+}
+
+/// Walks the configured case stream through [`check_leader`], shrinking
+/// and reporting like any other suite.
+///
+/// # Panics
+///
+/// Panics with a replay string when any case fails an oracle.
+pub fn run_leader_suite(default_cases: usize) {
+    run_harness("leader", default_cases, &[], check_leader);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_and_non_prime_cases_both_pass() {
+        // A lifted case (non-prime) and a plain one (usually prime).
+        let lifted: TestCase =
+            "tc1:family=cycle,n=3,seed=1,color=greedy,lift=4,adv=reverse".parse().unwrap();
+        check_leader(&lifted).unwrap();
+        let plain: TestCase =
+            "tc1:family=wheel,n=6,seed=2,color=pipeline,lift=1,adv=skewed".parse().unwrap();
+        check_leader(&plain).unwrap();
+    }
+}

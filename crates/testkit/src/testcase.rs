@@ -1,0 +1,319 @@
+//! The deterministic test-case DSL: a [`TestCase`] is a compact, fully
+//! replayable description of one generated conformance scenario — graph
+//! family, size, seed, coloring mode, lift multiplicity, and adversarial
+//! scheduler. Failures print the `Display` form; setting
+//! `ANONET_TESTKIT_REPLAY` to that string re-runs exactly that case.
+
+use std::fmt;
+use std::str::FromStr;
+
+use anonet_graph::generators::Family;
+use anonet_runtime::{
+    FairScheduler, ReverseScheduler, RoundAdversary, ShuffledScheduler, SkewedScheduler,
+};
+
+/// SplitMix64 step — the testkit's only ambient randomness, fully
+/// determined by the seed it is given.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which [`RoundAdversary`] drives the engine's sweep orders for the case.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdversaryKind {
+    /// The identity schedule (the engine's default).
+    Fair,
+    /// Reverse node order in every phase.
+    Reverse,
+    /// Round-dependent rotations, opposite directions for compose/step.
+    Skewed,
+    /// Keyed per-round Fisher–Yates shuffles.
+    Shuffled,
+}
+
+impl AdversaryKind {
+    /// Every kind, in parse order.
+    pub const ALL: [AdversaryKind; 4] = [
+        AdversaryKind::Fair,
+        AdversaryKind::Reverse,
+        AdversaryKind::Skewed,
+        AdversaryKind::Shuffled,
+    ];
+
+    /// The lowercase name used in the `Display`/`FromStr` encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdversaryKind::Fair => "fair",
+            AdversaryKind::Reverse => "reverse",
+            AdversaryKind::Skewed => "skewed",
+            AdversaryKind::Shuffled => "shuffled",
+        }
+    }
+
+    /// Instantiates the scheduler, deriving its parameters from `seed`.
+    pub fn build(self, seed: u64) -> Box<dyn RoundAdversary> {
+        match self {
+            AdversaryKind::Fair => Box::new(FairScheduler),
+            AdversaryKind::Reverse => Box::new(ReverseScheduler),
+            AdversaryKind::Skewed => Box::new(SkewedScheduler { stride: (seed % 5) as usize + 1 }),
+            AdversaryKind::Shuffled => {
+                Box::new(ShuffledScheduler::new(seed ^ 0x5EED_AD5E_75A1_1CE5))
+            }
+        }
+    }
+}
+
+impl fmt::Display for AdversaryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for AdversaryKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        AdversaryKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| format!("unknown adversary {s:?}"))
+    }
+}
+
+/// How the instance's 2-hop coloring is produced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColoringMode {
+    /// Centralized greedy 2-hop coloring (always valid, no execution).
+    Greedy,
+    /// The randomized [`TwoHopColoring`](anonet_algorithms::two_hop_coloring::TwoHopColoring)
+    /// stage, run live under the case's adversary.
+    Pipeline,
+}
+
+impl ColoringMode {
+    /// The lowercase name used in the `Display`/`FromStr` encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColoringMode::Greedy => "greedy",
+            ColoringMode::Pipeline => "pipeline",
+        }
+    }
+}
+
+impl fmt::Display for ColoringMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ColoringMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "greedy" => Ok(ColoringMode::Greedy),
+            "pipeline" => Ok(ColoringMode::Pipeline),
+            other => Err(format!("unknown coloring mode {other:?}")),
+        }
+    }
+}
+
+/// One fully deterministic conformance scenario.
+///
+/// The `Display` encoding is the replay string printed on failure:
+///
+/// ```
+/// use anonet_testkit::TestCase;
+///
+/// let case: TestCase = "tc1:family=cycle,n=7,seed=42,color=greedy,lift=2,adv=skewed"
+///     .parse()
+///     .unwrap();
+/// assert_eq!(case.n, 7);
+/// assert_eq!(case.to_string().parse::<TestCase>().unwrap(), case);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TestCase {
+    /// Graph family to sample from.
+    pub family: Family,
+    /// Requested node count (families clamp to their feasible range).
+    pub n: usize,
+    /// Master seed: graph sampling, coloring, permutations, schedulers.
+    pub seed: u64,
+    /// Coloring mode.
+    pub coloring: ColoringMode,
+    /// Lift multiplicity; `1` means no lift, `m ≥ 2` runs the instance as
+    /// an `m`-fold permutation-voltage lift of the sampled base.
+    pub lift: usize,
+    /// Scheduler driving the engine in execution-backed oracles.
+    pub adversary: AdversaryKind,
+}
+
+impl TestCase {
+    /// The `i`-th case of the deterministic stream rooted at `base_seed` —
+    /// the enumeration the suites walk. Same `(base_seed, index)` ⇒ same
+    /// case, on every machine.
+    pub fn from_index(base_seed: u64, index: usize) -> TestCase {
+        let mut state = base_seed ^ (index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        let family = Family::ALL[(splitmix64(&mut state) % Family::ALL.len() as u64) as usize];
+        let n = 2 + (splitmix64(&mut state) % 9) as usize;
+        let seed = splitmix64(&mut state);
+        let coloring = if splitmix64(&mut state).is_multiple_of(2) {
+            ColoringMode::Greedy
+        } else {
+            ColoringMode::Pipeline
+        };
+        let lift = match splitmix64(&mut state) % 4 {
+            0 | 1 => 1,
+            2 => 2,
+            _ => 3,
+        };
+        let adversary =
+            AdversaryKind::ALL[(splitmix64(&mut state) % AdversaryKind::ALL.len() as u64) as usize];
+        TestCase { family, n, seed, coloring, lift, adversary }
+    }
+
+    /// Single-field simplifications of this case, most aggressive first.
+    /// The suites greedily descend through these while the failure
+    /// reproduces, so the reported case is locally minimal.
+    pub fn shrink(&self) -> Vec<TestCase> {
+        let mut out = Vec::new();
+        if self.adversary != AdversaryKind::Fair {
+            out.push(TestCase { adversary: AdversaryKind::Fair, ..self.clone() });
+        }
+        if self.lift != 1 {
+            out.push(TestCase { lift: 1, ..self.clone() });
+        }
+        if self.coloring != ColoringMode::Greedy {
+            out.push(TestCase { coloring: ColoringMode::Greedy, ..self.clone() });
+        }
+        if self.n / 2 >= 2 {
+            out.push(TestCase { n: self.n / 2, ..self.clone() });
+        }
+        if self.family != Family::Cycle {
+            out.push(TestCase { family: Family::Cycle, ..self.clone() });
+        }
+        if self.seed != 0 {
+            out.push(TestCase { seed: 0, ..self.clone() });
+        }
+        out
+    }
+}
+
+impl fmt::Display for TestCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tc1:family={},n={},seed={},color={},lift={},adv={}",
+            self.family, self.n, self.seed, self.coloring, self.lift, self.adversary
+        )
+    }
+}
+
+impl FromStr for TestCase {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let body = s.strip_prefix("tc1:").ok_or("test case must start with \"tc1:\"")?;
+        let mut family = None;
+        let mut n = None;
+        let mut seed = None;
+        let mut coloring = None;
+        let mut lift = None;
+        let mut adversary = None;
+        for pair in body.split(',') {
+            let (key, value) =
+                pair.split_once('=').ok_or_else(|| format!("malformed field {pair:?}"))?;
+            match key {
+                "family" => family = Some(value.parse::<Family>().map_err(|e| e.to_string())?),
+                "n" => n = Some(value.parse::<usize>().map_err(|e| e.to_string())?),
+                "seed" => seed = Some(value.parse::<u64>().map_err(|e| e.to_string())?),
+                "color" => coloring = Some(value.parse::<ColoringMode>()?),
+                "lift" => lift = Some(value.parse::<usize>().map_err(|e| e.to_string())?),
+                "adv" => adversary = Some(value.parse::<AdversaryKind>()?),
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        Ok(TestCase {
+            family: family.ok_or("missing family")?,
+            n: n.ok_or("missing n")?,
+            seed: seed.ok_or("missing seed")?,
+            coloring: coloring.ok_or("missing color")?,
+            lift: lift.ok_or("missing lift")?,
+            adversary: adversary.ok_or("missing adv")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_through_fromstr() {
+        for i in 0..200 {
+            let case = TestCase::from_index(0xF00D, i);
+            let replayed: TestCase = case.to_string().parse().unwrap();
+            assert_eq!(replayed, case);
+        }
+    }
+
+    #[test]
+    fn from_index_is_deterministic_and_varied() {
+        let a = TestCase::from_index(1, 7);
+        let b = TestCase::from_index(1, 7);
+        assert_eq!(a, b);
+        // The stream exercises every family, coloring, lift, and adversary.
+        let cases: Vec<TestCase> = (0..400).map(|i| TestCase::from_index(3, i)).collect();
+        for fam in Family::ALL {
+            assert!(cases.iter().any(|c| c.family == fam), "family {fam} never sampled");
+        }
+        for adv in AdversaryKind::ALL {
+            assert!(cases.iter().any(|c| c.adversary == adv));
+        }
+        assert!(cases.iter().any(|c| c.coloring == ColoringMode::Pipeline));
+        assert!(cases.iter().any(|c| c.lift >= 2));
+    }
+
+    #[test]
+    fn shrink_moves_every_field_toward_minimal() {
+        let case: TestCase =
+            "tc1:family=torus,n=9,seed=5,color=pipeline,lift=3,adv=shuffled".parse().unwrap();
+        let shrunk = case.shrink();
+        assert!(shrunk.iter().any(|c| c.adversary == AdversaryKind::Fair));
+        assert!(shrunk.iter().any(|c| c.lift == 1));
+        assert!(shrunk.iter().any(|c| c.coloring == ColoringMode::Greedy));
+        assert!(shrunk.iter().any(|c| c.n == 4));
+        assert!(shrunk.iter().any(|c| c.family == Family::Cycle));
+        assert!(shrunk.iter().any(|c| c.seed == 0));
+        // Each candidate changes exactly one field.
+        for c in &shrunk {
+            let diffs = usize::from(c.family != case.family)
+                + usize::from(c.n != case.n)
+                + usize::from(c.seed != case.seed)
+                + usize::from(c.coloring != case.coloring)
+                + usize::from(c.lift != case.lift)
+                + usize::from(c.adversary != case.adversary);
+            assert_eq!(diffs, 1);
+        }
+        // The all-minimal case has no shrinks left.
+        let minimal: TestCase =
+            "tc1:family=cycle,n=2,seed=0,color=greedy,lift=1,adv=fair".parse().unwrap();
+        assert!(minimal.shrink().is_empty());
+    }
+
+    #[test]
+    fn malformed_strings_are_rejected() {
+        assert!("tc2:family=cycle".parse::<TestCase>().is_err());
+        assert!("tc1:family=klein,n=3,seed=0,color=greedy,lift=1,adv=fair"
+            .parse::<TestCase>()
+            .is_err());
+        assert!("tc1:n=3".parse::<TestCase>().is_err());
+        assert!("tc1:family=cycle,n=3,seed=0,color=greedy,lift=1,adv=fair,x=1"
+            .parse::<TestCase>()
+            .is_err());
+    }
+}

@@ -13,27 +13,35 @@ use anonet::batch::{BatchScheduler, DerandCache};
 use anonet::core::batch::{derandomize_batch, pipeline_batch};
 use anonet::core::pipeline::run_pipeline;
 use anonet::core::{DerandomizedRun, Derandomizer, SearchStrategy};
-use anonet::graph::lift::cyclic_cycle_lift;
-use anonet::graph::{coloring, generators, Label, LabeledGraph};
+use anonet::graph::{generators, Label, LabeledGraph};
 use anonet::runtime::{ExecConfig, ObliviousAlgorithm, Problem};
+use anonet::testkit::{build_instance, TestCase};
 
-/// 2-hop colored instances across lift families and standard graphs:
-/// plenty of shared quotients (the lifts) and plenty of distinct ones.
+/// Builds one 2-hop colored instance from a testkit replay string.
+fn colored_case(replay: &str) -> LabeledGraph<((), u32)> {
+    let case: TestCase = replay.parse().expect("replay strings are written in-test");
+    let inst = build_instance(&case).expect("generator succeeds");
+    inst.colors.map_labels(|&c| ((), c))
+}
+
+/// 2-hop colored instances across lift families and standard graphs,
+/// drawn through the testkit generator: the five seed-0 C3 lifts share
+/// one quotient (so the cache must collapse their searches), while the
+/// seed-1 standard graphs are mostly prime with distinct quotients.
 fn colored_families() -> Vec<(String, LabeledGraph<((), u32)>)> {
     let mut out = Vec::new();
-    let base = vec![((), 1u32), ((), 2), ((), 3)];
     for m in [1usize, 2, 3, 4, 5] {
-        let inst = cyclic_cycle_lift(3, m).unwrap().lift_labels(&base).unwrap();
-        out.push((format!("lift-C3x{m}"), inst));
+        let replay = format!("tc1:family=cycle,n=3,seed=0,color=greedy,lift={m},adv=fair");
+        out.push((format!("lift-C3x{m}"), colored_case(&replay)));
     }
-    for (name, g) in [
-        ("petersen", generators::petersen()),
-        ("path-8", generators::path(8).unwrap()),
-        ("grid-3x3", generators::grid(3, 3, false).unwrap()),
-        ("wheel-7", generators::wheel(7).unwrap()),
+    for (name, family, n) in [
+        ("petersen", "petersen", 10),
+        ("path-8", "path", 8),
+        ("grid-3x3", "grid", 9),
+        ("wheel-7", "wheel", 7),
     ] {
-        let colors = coloring::greedy_two_hop_coloring(&g);
-        out.push((name.to_string(), g.with_uniform_label(()).zip(&colors).unwrap()));
+        let replay = format!("tc1:family={family},n={n},seed=1,color=greedy,lift=1,adv=fair");
+        out.push((name.to_string(), colored_case(&replay)));
     }
     out
 }

@@ -1,144 +1,183 @@
 //! Property-based tests (proptest) over random graphs, colorings, and
 //! tapes: the invariants the whole construction rests on.
+//!
+//! Instances come from the testkit's seeded generator layer
+//! ([`anonet::testkit::flavored_graph`]); each property body is a plain
+//! function so historic proptest shrinks can be pinned as explicit
+//! regression cases (the vendored proptest does not read
+//! `properties.proptest-regressions`).
 
 use anonet::algorithms::mis::RandomizedMis;
 use anonet::algorithms::problems::{MisProblem, TwoHopColoringProblem};
 use anonet::algorithms::two_hop_coloring::TwoHopColoring;
 use anonet::core::{Derandomizer, SearchStrategy};
-use anonet::graph::{coloring, generators, BitString, Graph};
+use anonet::graph::{coloring, BitString, Graph};
 use anonet::runtime::{run, BitAssignment, ExecConfig, Oblivious, Problem, RngSource, TapeSource};
+use anonet::testkit::flavored_graph;
 use anonet::views::{norris::norris_report, quotient, Refinement, ViewMode};
 use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// A random connected graph from a seed: mixes families for diversity.
 fn arbitrary_graph(seed: u64, n: usize, flavor: u8) -> Graph {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    match flavor % 4 {
-        0 => generators::gnp_connected(n, 0.3, &mut rng).expect("valid"),
-        1 => generators::random_tree(n, &mut rng).expect("valid"),
-        2 => generators::cycle(n.max(3)).expect("valid"),
-        _ => generators::gnp_connected(n, 0.6, &mut rng).expect("valid"),
+    flavored_graph(seed, n, flavor).expect("flavored generators accept any seed")
+}
+
+/// The Las-Vegas 2-hop coloring always outputs a valid 2-hop coloring.
+fn check_two_hop_coloring_is_valid(seed: u64, n: usize, flavor: u8) {
+    let g = arbitrary_graph(seed, n, flavor);
+    let net = g.with_uniform_label(());
+    let exec = run(
+        &Oblivious(TwoHopColoring::new()),
+        &net,
+        &mut RngSource::seeded(seed),
+        &ExecConfig::default(),
+    )
+    .expect("no runtime error");
+    assert!(exec.is_successful());
+    let outputs: Vec<BitString> = exec.outputs_unwrapped();
+    assert!(TwoHopColoringProblem.is_valid_output(&net, &outputs));
+}
+
+/// Quotients of greedily 2-hop colored graphs are simple factors, and
+/// fibers have uniform size.
+fn check_quotient_is_uniform_fiber_factor(seed: u64, n: usize, flavor: u8) {
+    let g = arbitrary_graph(seed, n, flavor);
+    let colored = coloring::greedy_two_hop_coloring(&g);
+    let q = quotient(&colored, ViewMode::Portless).expect("2-hop colored");
+    assert!(q.multiplicity().is_some());
+    assert_eq!(q.multiplicity().unwrap() * q.graph().node_count(), g.node_count());
+}
+
+/// Norris: refinement stabilizes within n - 1 rounds.
+fn check_norris_bound(seed: u64, n: usize, flavor: u8) {
+    let g = arbitrary_graph(seed, n, flavor).with_uniform_label(0u32);
+    assert!(norris_report(&g, ViewMode::Portless).holds());
+    assert!(norris_report(&g, ViewMode::PortAware).holds());
+}
+
+/// Port-aware refinement refines the portless one.
+fn check_port_aware_refines_portless(seed: u64, n: usize, flavor: u8) {
+    let g = arbitrary_graph(seed, n, flavor).with_uniform_label(0u32);
+    let coarse = Refinement::compute(&g, ViewMode::Portless);
+    let fine = Refinement::compute(&g, ViewMode::PortAware);
+    for u in 0..g.node_count() {
+        for v in 0..g.node_count() {
+            if fine.classes()[u] == fine.classes()[v] {
+                assert_eq!(coarse.classes()[u], coarse.classes()[v]);
+            }
+        }
     }
+}
+
+/// The derandomizer produces valid, deterministic MIS outputs on
+/// greedily colored random graphs.
+fn check_derandomized_mis(seed: u64, n: usize, flavor: u8) {
+    let g = arbitrary_graph(seed, n, flavor);
+    let colored = coloring::greedy_two_hop_coloring(&g);
+    let inst = g.with_uniform_label(()).zip(&colored).expect("same graph");
+    let d = Derandomizer::new(RandomizedMis::new())
+        .with_strategy(SearchStrategy::Seeded { max_attempts: 64 });
+    let a = d.run(&inst).expect("derandomization succeeds");
+    let b = d.run(&inst).expect("derandomization succeeds");
+    assert_eq!(&a.outputs, &b.outputs);
+    let plain = g.with_uniform_label(());
+    assert!(MisProblem.is_valid_output(&plain, &a.outputs));
+}
+
+/// The Las-Vegas maximal matching always outputs a valid matching.
+fn check_matching_is_valid(seed: u64, n: usize, flavor: u8) {
+    use anonet::algorithms::matching::{MatchingProblem, RandomizedMatching};
+    let g = arbitrary_graph(seed, n, flavor);
+    let net = coloring::greedy_two_hop_coloring(&g);
+    let exec = run(
+        &Oblivious(RandomizedMatching::<u32>::new()),
+        &net,
+        &mut RngSource::seeded(seed),
+        &ExecConfig::default(),
+    )
+    .expect("no runtime error");
+    assert!(exec.is_successful());
+    assert!(MatchingProblem.is_valid_output(&net, &exec.outputs_unwrapped()));
+}
+
+/// Replaying an execution's consumed tapes reproduces it exactly
+/// (the engine is a pure function of the bit source).
+fn check_execution_replays_from_tapes(seed: u64, n: usize, flavor: u8) {
+    let g = arbitrary_graph(seed, n, flavor);
+    let net = g.with_uniform_label(());
+    let mut src = RngSource::seeded(seed);
+    let exec = run(&Oblivious(RandomizedMis::new()), &net, &mut src, &ExecConfig::default())
+        .expect("no runtime error");
+    assert!(exec.is_successful());
+
+    // Reconstruct per-node tapes by re-running the same seeded source.
+    let mut replay_src = RngSource::seeded(seed);
+    use anonet::runtime::RandomSource;
+    let mut tapes = vec![BitString::new(); g.node_count()];
+    for round in 1..=exec.rounds() {
+        for v in g.nodes() {
+            let halted_before = exec.halt_rounds()[v.index()].is_some_and(|h| h < round);
+            if !halted_before {
+                let bit = replay_src.bit(v, round).expect("rng never exhausts");
+                tapes[v.index()].push(bit);
+            }
+        }
+    }
+    let mut tape_src = TapeSource::new(BitAssignment::new(tapes));
+    let replay = run(&Oblivious(RandomizedMis::new()), &net, &mut tape_src, &ExecConfig::default())
+        .expect("no runtime error");
+    assert_eq!(replay.outputs(), exec.outputs());
+}
+
+/// Historic shrink from `properties.proptest-regressions` (C3 via the
+/// cycle flavor clamping n = 2 up to 3), pinned explicitly because the
+/// vendored proptest ignores regression files.
+#[test]
+fn regression_seed_0_n_2_flavor_2() {
+    check_two_hop_coloring_is_valid(0, 2, 2);
+    check_quotient_is_uniform_fiber_factor(0, 2, 2);
+    check_norris_bound(0, 2, 2);
+    check_port_aware_refines_portless(0, 2, 2);
+    check_derandomized_mis(0, 2, 2);
+    check_matching_is_valid(0, 2, 2);
+    check_execution_replays_from_tapes(0, 2, 2);
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// The Las-Vegas 2-hop coloring always outputs a valid 2-hop coloring.
     #[test]
     fn two_hop_coloring_is_always_valid(seed in 0u64..5000, n in 2usize..14, flavor in 0u8..4) {
-        let g = arbitrary_graph(seed, n, flavor);
-        let net = g.with_uniform_label(());
-        let exec = run(
-            &Oblivious(TwoHopColoring::new()),
-            &net,
-            &mut RngSource::seeded(seed),
-            &ExecConfig::default(),
-        ).expect("no runtime error");
-        prop_assert!(exec.is_successful());
-        let outputs: Vec<BitString> = exec.outputs_unwrapped();
-        prop_assert!(TwoHopColoringProblem.is_valid_output(&net, &outputs));
+        check_two_hop_coloring_is_valid(seed, n, flavor);
     }
 
-    /// Quotients of greedily 2-hop colored graphs are simple factors, and
-    /// fibers have uniform size.
     #[test]
     fn quotient_is_a_uniform_fiber_factor(seed in 0u64..5000, n in 2usize..14, flavor in 0u8..4) {
-        let g = arbitrary_graph(seed, n, flavor);
-        let colored = coloring::greedy_two_hop_coloring(&g);
-        let q = quotient(&colored, ViewMode::Portless).expect("2-hop colored");
-        prop_assert!(q.multiplicity().is_some());
-        prop_assert_eq!(
-            q.multiplicity().unwrap() * q.graph().node_count(),
-            g.node_count()
-        );
+        check_quotient_is_uniform_fiber_factor(seed, n, flavor);
     }
 
-    /// Norris: refinement stabilizes within n - 1 rounds.
     #[test]
     fn norris_bound_holds(seed in 0u64..5000, n in 2usize..16, flavor in 0u8..4) {
-        let g = arbitrary_graph(seed, n, flavor).with_uniform_label(0u32);
-        prop_assert!(norris_report(&g, ViewMode::Portless).holds());
-        prop_assert!(norris_report(&g, ViewMode::PortAware).holds());
+        check_norris_bound(seed, n, flavor);
     }
 
-    /// Port-aware refinement refines the portless one.
     #[test]
     fn port_aware_refines_portless(seed in 0u64..5000, n in 2usize..12, flavor in 0u8..4) {
-        let g = arbitrary_graph(seed, n, flavor).with_uniform_label(0u32);
-        let coarse = Refinement::compute(&g, ViewMode::Portless);
-        let fine = Refinement::compute(&g, ViewMode::PortAware);
-        for u in 0..g.node_count() {
-            for v in 0..g.node_count() {
-                if fine.classes()[u] == fine.classes()[v] {
-                    prop_assert_eq!(coarse.classes()[u], coarse.classes()[v]);
-                }
-            }
-        }
+        check_port_aware_refines_portless(seed, n, flavor);
     }
 
-    /// The derandomizer produces valid, deterministic MIS outputs on
-    /// greedily colored random graphs.
     #[test]
     fn derandomized_mis_is_valid_and_deterministic(seed in 0u64..2000, n in 2usize..10, flavor in 0u8..4) {
-        let g = arbitrary_graph(seed, n, flavor);
-        let colored = coloring::greedy_two_hop_coloring(&g);
-        let inst = g.with_uniform_label(()).zip(&colored).expect("same graph");
-        let d = Derandomizer::new(RandomizedMis::new())
-            .with_strategy(SearchStrategy::Seeded { max_attempts: 64 });
-        let a = d.run(&inst).expect("derandomization succeeds");
-        let b = d.run(&inst).expect("derandomization succeeds");
-        prop_assert_eq!(&a.outputs, &b.outputs);
-        let plain = g.with_uniform_label(());
-        prop_assert!(MisProblem.is_valid_output(&plain, &a.outputs));
+        check_derandomized_mis(seed, n, flavor);
     }
 
-    /// The Las-Vegas maximal matching always outputs a valid matching.
     #[test]
     fn matching_is_always_valid(seed in 0u64..3000, n in 1usize..12, flavor in 0u8..4) {
-        use anonet::algorithms::matching::{MatchingProblem, RandomizedMatching};
-        let g = arbitrary_graph(seed, n, flavor);
-        let net = coloring::greedy_two_hop_coloring(&g);
-        let exec = run(
-            &Oblivious(RandomizedMatching::<u32>::new()),
-            &net,
-            &mut RngSource::seeded(seed),
-            &ExecConfig::default(),
-        ).expect("no runtime error");
-        prop_assert!(exec.is_successful());
-        prop_assert!(MatchingProblem.is_valid_output(&net, &exec.outputs_unwrapped()));
+        check_matching_is_valid(seed, n, flavor);
     }
 
-    /// Replaying an execution's consumed tapes reproduces it exactly
-    /// (the engine is a pure function of the bit source).
     #[test]
     fn executions_replay_from_recorded_tapes(seed in 0u64..5000, n in 2usize..12, flavor in 0u8..4) {
-        let g = arbitrary_graph(seed, n, flavor);
-        let net = g.with_uniform_label(());
-        let mut src = RngSource::seeded(seed);
-        let exec = run(&Oblivious(RandomizedMis::new()), &net, &mut src, &ExecConfig::default())
-            .expect("no runtime error");
-        prop_assert!(exec.is_successful());
-
-        // Reconstruct per-node tapes by re-running the same seeded source.
-        let mut replay_src = RngSource::seeded(seed);
-        use anonet::runtime::RandomSource;
-        let mut tapes = vec![BitString::new(); g.node_count()];
-        for round in 1..=exec.rounds() {
-            for v in g.nodes() {
-                let halted_before =
-                    exec.halt_rounds()[v.index()].is_some_and(|h| h < round);
-                if !halted_before {
-                    let bit = replay_src.bit(v, round).expect("rng never exhausts");
-                    tapes[v.index()].push(bit);
-                }
-            }
-        }
-        let mut tape_src = TapeSource::new(BitAssignment::new(tapes));
-        let replay = run(&Oblivious(RandomizedMis::new()), &net, &mut tape_src, &ExecConfig::default())
-            .expect("no runtime error");
-        prop_assert_eq!(replay.outputs(), exec.outputs());
+        check_execution_replays_from_tapes(seed, n, flavor);
     }
 }
