@@ -17,6 +17,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use anonet_obs::{names, noop, Recorder, SharedRecorder, Span};
+
 use crate::cache::CacheStats;
 
 /// The outcome of one job.
@@ -158,6 +160,7 @@ impl<O> BatchOutcome<O> {
 #[derive(Clone, Debug)]
 pub struct BatchScheduler {
     threads: usize,
+    recorder: SharedRecorder,
 }
 
 impl Default for BatchScheduler {
@@ -170,12 +173,21 @@ impl BatchScheduler {
     /// A scheduler sized to the machine (`available_parallelism`).
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-        BatchScheduler { threads }
+        BatchScheduler { threads, recorder: noop() }
     }
 
     /// A scheduler with an explicit worker count (≥ 1).
     pub fn with_threads(threads: usize) -> Self {
-        BatchScheduler { threads: threads.max(1) }
+        BatchScheduler { threads: threads.max(1), recorder: noop() }
+    }
+
+    /// Attaches an observability [`Recorder`]: batch runs then report job
+    /// counters (`batch.jobs*`), queue-wait and per-job wall-time
+    /// histograms, and a `batch_run` span. The default is the no-op
+    /// recorder, which costs nothing and changes nothing.
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The configured worker count.
@@ -198,6 +210,9 @@ impl BatchScheduler {
         F: Fn(usize, &I) -> Result<O, E> + Sync,
     {
         type Slot<O> = Mutex<Option<(JobResult<O>, Duration)>>;
+        let rec: &dyn Recorder = &*self.recorder;
+        let observing = rec.is_enabled();
+        let _batch_span = Span::new(rec, names::SPAN_BATCH_RUN);
         let started = Instant::now();
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Slot<O>> = inputs.iter().map(|_| Mutex::new(None)).collect();
@@ -210,9 +225,22 @@ impl BatchScheduler {
                     if i >= inputs.len() {
                         break;
                     }
+                    if observing {
+                        // Queue wait: batch start to the moment a worker
+                        // claimed this job.
+                        rec.histogram(
+                            names::BATCH_QUEUE_WAIT_US,
+                            started.elapsed().as_micros() as u64,
+                        );
+                    }
+                    let job_span = Span::new(rec, names::SPAN_JOB);
                     let t0 = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| job(i, &inputs[i])));
                     let elapsed = t0.elapsed();
+                    drop(job_span);
+                    if observing {
+                        rec.histogram(names::BATCH_JOB_WALL_US, elapsed.as_micros() as u64);
+                    }
                     let result = match outcome {
                         Ok(Ok(o)) => JobResult::Ok(o),
                         Ok(Err(e)) => JobResult::Failed(e.to_string()),
@@ -237,6 +265,12 @@ impl BatchScheduler {
         let succeeded = results.iter().filter(|r| r.is_ok()).count();
         let failed = results.iter().filter(|r| matches!(r, JobResult::Failed(_))).count();
         let panicked = results.iter().filter(|r| matches!(r, JobResult::Panicked(_))).count();
+        if observing {
+            rec.counter(names::BATCH_JOBS, inputs.len() as u64);
+            rec.counter(names::BATCH_JOBS_OK, succeeded as u64);
+            rec.counter(names::BATCH_JOBS_FAILED, failed as u64);
+            rec.counter(names::BATCH_JOBS_PANICKED, panicked as u64);
+        }
         let busy = job_times.iter().sum();
         let stats = BatchStats {
             jobs: inputs.len(),
@@ -372,6 +406,26 @@ mod tests {
             assert_eq!(outcome.stats.failed, 6);
             assert_eq!(outcome.stats.panicked, 6);
         }
+    }
+
+    #[test]
+    fn recorder_sees_jobs_and_waits() {
+        use std::sync::Arc;
+        let rec = Arc::new(anonet_obs::MemoryRecorder::new());
+        let inputs: Vec<usize> = (0..6).collect();
+        let outcome = BatchScheduler::with_threads(2)
+            .with_recorder(rec.clone())
+            .run(&inputs, |_, &x| if x == 5 { Err("no") } else { Ok(x) });
+        assert_eq!(outcome.stats.succeeded, 5);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(names::BATCH_JOBS), 6);
+        assert_eq!(snap.counter(names::BATCH_JOBS_OK), 5);
+        assert_eq!(snap.counter(names::BATCH_JOBS_FAILED), 1);
+        assert_eq!(snap.counter(names::BATCH_JOBS_PANICKED), 0);
+        assert_eq!(snap.histogram(names::BATCH_QUEUE_WAIT_US).unwrap().count(), 6);
+        assert_eq!(snap.histogram(names::BATCH_JOB_WALL_US).unwrap().count(), 6);
+        assert_eq!(snap.span(names::SPAN_BATCH_RUN).unwrap().count, 1);
+        assert_eq!(snap.span_total(names::SPAN_JOB).count, 6);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use anonet_graph::LabeledGraph;
 use anonet_runtime::{ExecConfig, Problem};
 
 use crate::experiments::{common::tick, ExpResult};
+use crate::table::{secs, Json};
 use crate::Table;
 
 /// Lift multiplicities swept per base (8 lifts each, m = 2..=9).
@@ -166,50 +167,46 @@ pub fn measure() -> ExpResult<(Vec<BatchRow>, BatchSummary)> {
     Ok((rows, summary))
 }
 
-/// Renders the machine-readable summary (hand-rolled JSON — the
-/// dependency policy keeps serde out of the workspace).
+/// Builds the machine-readable summary through the workspace's shared
+/// JSON serializer ([`crate::table::Json`] — the dependency policy keeps
+/// serde out, and E15 and E16 share this one code path).
 pub fn to_json(rows: &[BatchRow], s: &BatchSummary) -> String {
-    let row_objs: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "    {{\"base\": \"{}\", \"m\": {}, \"n\": {}, \"quotient\": {}, \
-                 \"cache_hit\": {}, \"uncached_secs\": {:.6}, \"cached_secs\": {:.6}, \
-                 \"identical\": {}, \"valid\": {}}}",
-                r.base,
-                r.m,
-                r.n,
-                r.quotient,
-                r.cache_hit,
-                r.uncached.as_secs_f64(),
-                r.cached.as_secs_f64(),
-                r.identical,
-                r.valid,
-            )
-        })
-        .collect();
-    format!(
-        "{{\n  \"experiment\": \"batch\",\n  \"jobs\": {},\n  \"threads\": {},\n  \
-         \"sequential_uncached_secs\": {:.6},\n  \"batch_cached_secs\": {:.6},\n  \
-         \"speedup\": {:.3},\n  \"jobs_per_sec\": {:.3},\n  \"byte_identical\": {},\n  \
-         \"cache\": {{\"quotient_entries\": {}, \"assignment_entries\": {}, \
-         \"assignment_hits\": {}, \"assignment_misses\": {}, \"hit_rate\": {:.4}, \
-         \"bytes\": {}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        s.jobs,
-        s.threads,
-        s.uncached_wall.as_secs_f64(),
-        s.cached_wall.as_secs_f64(),
-        s.speedup,
-        s.jobs_per_sec,
-        s.all_identical,
-        s.cache.quotient_entries,
-        s.cache.assignment_entries,
-        s.cache.assignment_hits,
-        s.cache.assignment_misses,
-        s.cache.hit_rate(),
-        s.cache.bytes,
-        row_objs.join(",\n"),
-    )
+    let row_objs = rows.iter().map(|r| {
+        Json::obj([
+            ("base", Json::str(r.base)),
+            ("m", Json::from(r.m)),
+            ("n", Json::from(r.n)),
+            ("quotient", Json::from(r.quotient)),
+            ("cache_hit", Json::from(r.cache_hit)),
+            ("uncached_secs", secs(r.uncached)),
+            ("cached_secs", secs(r.cached)),
+            ("identical", Json::from(r.identical)),
+            ("valid", Json::from(r.valid)),
+        ])
+    });
+    Json::obj([
+        ("experiment", Json::str("batch")),
+        ("jobs", Json::from(s.jobs)),
+        ("threads", Json::from(s.threads)),
+        ("sequential_uncached_secs", secs(s.uncached_wall)),
+        ("batch_cached_secs", secs(s.cached_wall)),
+        ("speedup", Json::Num((s.speedup * 1e3).round() / 1e3)),
+        ("jobs_per_sec", Json::Num((s.jobs_per_sec * 1e3).round() / 1e3)),
+        ("byte_identical", Json::from(s.all_identical)),
+        (
+            "cache",
+            Json::obj([
+                ("quotient_entries", Json::from(s.cache.quotient_entries)),
+                ("assignment_entries", Json::from(s.cache.assignment_entries)),
+                ("assignment_hits", Json::from(s.cache.assignment_hits)),
+                ("assignment_misses", Json::from(s.cache.assignment_misses)),
+                ("hit_rate", Json::Num((s.cache.hit_rate() * 1e4).round() / 1e4)),
+                ("bytes", Json::from(s.cache.bytes)),
+            ]),
+        ),
+        ("rows", Json::arr(row_objs)),
+    ])
+    .pretty()
 }
 
 /// Renders the E15 report and writes `BENCH_batch.json` to the working
@@ -276,15 +273,19 @@ mod tests {
     }
 
     #[test]
-    fn json_is_well_formed_enough() {
+    fn json_parses_and_carries_the_schema() {
         let (rows, summary) = measure().unwrap();
         let json = to_json(&rows, &summary);
-        assert!(json.contains("\"experiment\": \"batch\""));
-        assert!(json.contains("\"speedup\""));
-        assert!(json.contains("\"hit_rate\""));
-        assert_eq!(json.matches("\"base\"").count(), 16);
-        // Balanced braces/brackets (a cheap structural check, no parser).
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // The artifact must re-parse through the shared serializer.
+        let v = Json::parse(&json).unwrap();
+        assert_eq!(v.get("experiment").unwrap().as_str(), Some("batch"));
+        assert_eq!(v.get("jobs").unwrap().as_f64(), Some(16.0));
+        assert_eq!(v.get("byte_identical").unwrap().as_bool(), Some(true));
+        let cache = v.get("cache").unwrap();
+        assert_eq!(cache.get("assignment_misses").unwrap().as_f64(), Some(2.0));
+        let parsed_rows = v.get("rows").unwrap().items().unwrap();
+        assert_eq!(parsed_rows.len(), 16);
+        assert_eq!(parsed_rows[0].get("base").unwrap().as_str(), Some("C3"));
+        assert!(parsed_rows[0].get("uncached_secs").unwrap().as_f64().unwrap() >= 0.0);
     }
 }

@@ -12,6 +12,7 @@ pub mod lemmas;
 pub mod lifting;
 pub mod montecarlo;
 pub mod norris;
+pub mod obs;
 pub mod thm1_faithful;
 pub mod thm1_pipeline;
 pub mod thm2;

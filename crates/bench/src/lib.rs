@@ -25,6 +25,7 @@
 //! | E13 | [`experiments::distributed`] | message-level derandomizer (extension) |
 //! | E14 | [`experiments::montecarlo`] | the Monte-Carlo / Las-Vegas gap |
 //! | E15 | [`experiments::batch`] | batch engine + s(G_*) cache (Lemma 3 operationalized) |
+//! | E16 | [`experiments::obs`] | observability layer: phase breakdown, curves, noop cost |
 //!
 //! Run them with `cargo run -p anonet-bench --bin report -- <id>|all`.
 //! Timing benchmarks live in `benches/` (Criterion).
@@ -35,7 +36,7 @@
 pub mod experiments;
 mod table;
 
-pub use table::Table;
+pub use table::{secs, Json, Table};
 
 /// All experiment ids, in presentation order.
 pub const EXPERIMENT_IDS: &[&str] = &[
@@ -54,6 +55,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "message-level",
     "montecarlo",
     "batch",
+    "obs",
 ];
 
 /// Runs one experiment by id, returning its rendered report.
@@ -79,6 +81,7 @@ pub fn run_experiment(id: &str) -> Result<String, Box<dyn std::error::Error>> {
         "message-level" => experiments::distributed::report(),
         "montecarlo" => experiments::montecarlo::report(),
         "batch" => experiments::batch::report(),
+        "obs" => experiments::obs::report(),
         other => Err(format!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}").into()),
     }
 }

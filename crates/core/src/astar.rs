@@ -25,6 +25,7 @@
 //! engineering-grade path provided by [`crate::derandomizer`].
 
 use anonet_graph::{distance, BitString, Label, LabeledGraph, NodeId};
+use anonet_obs::{names, NoopRecorder, Recorder, Span};
 use anonet_runtime::{
     run, BitAssignment, ExecConfig, Oblivious, ObliviousAlgorithm, Problem, TapeSource,
 };
@@ -99,6 +100,32 @@ where
     P: Problem<Input = A::Input>,
     C: Label,
 {
+    run_astar_observed(alg, problem, instance, cfg, &NoopRecorder)
+}
+
+/// [`run_astar`] under an observability [`Recorder`]: each per-node phase
+/// step reports `update_graph` / `update_output` / `update_bits` spans
+/// (nested under an `astar` parent), so aggregating backends expose the
+/// wall-time breakdown of the paper's three Update-* rules. With the
+/// no-op recorder this is exactly [`run_astar`].
+///
+/// # Errors
+///
+/// See [`run_astar`].
+pub fn run_astar_observed<A, P, C>(
+    alg: &A,
+    problem: &P,
+    instance: &LabeledGraph<(A::Input, C)>,
+    cfg: &AStarConfig,
+    rec: &dyn Recorder,
+) -> Result<AStarRun<A::Output>>
+where
+    A: ObliviousAlgorithm + Clone,
+    A::Input: Label,
+    P: Problem<Input = A::Input>,
+    C: Label,
+{
+    let _astar_span = Span::new(rec, names::SPAN_ASTAR);
     let g = instance.graph();
     let n = g.node_count();
     let mut bits: Vec<BitString> = vec![BitString::new(); n];
@@ -117,6 +144,7 @@ where
         // views are per-node. Both depend on the phase only.
         let mut new_bits = bits.clone();
         for v in g.nodes() {
+            let update_graph_span = Span::new(rec, names::SPAN_UPDATE_GRAPH);
             let view_v = ViewTree::build(&ip, v, p)?.canonicalize().encoded();
 
             // The label universe: marks occurring in L_p(v, I^p), i.e.
@@ -166,6 +194,7 @@ where
                     selected = Some((q, v_star));
                 }
             }
+            drop(update_graph_span);
             let Some((q, v_star)) = selected else { continue }; // skip phase p at v
 
             let order = canonical_order(q.graph(), ViewMode::Portless)?;
@@ -175,6 +204,7 @@ where
             let assignment = BitAssignment::new(tapes);
 
             // Update-Output: simulate with the candidate's tapes.
+            let update_output_span = Span::new(rec, names::SPAN_UPDATE_OUTPUT);
             let mut src = TapeSource::new(assignment.clone());
             let exec = run(&Oblivious(alg.clone()), &j, &mut src, &cfg.sim_config)?;
             if exec.is_successful() {
@@ -190,14 +220,17 @@ where
                     }
                 }
             }
+            drop(update_output_span);
 
             // Update-Bits: smallest p-extension inducing success.
+            let update_bits_span = Span::new(rec, names::SPAN_UPDATE_BITS);
             if let Some(b_min) =
                 smallest_successful_extension(alg, &j, &assignment, p, &order, cfg)?
             {
                 new_bits[v.index()] =
                     b_min.tape(v_star).expect("extension covers the quotient").clone();
             }
+            drop(update_bits_span);
         }
         bits = new_bits;
 
@@ -329,6 +362,30 @@ mod tests {
         );
         // P2's only edge must be matched.
         assert_eq!(run.outputs, vec![Some(20), Some(10)]);
+    }
+
+    #[test]
+    fn observed_astar_reports_phase_spans_and_matches_plain() {
+        let inst = triangle_instance();
+        let rec = anonet_obs::MemoryRecorder::new();
+        let observed = run_astar_observed(
+            &RandomizedMis::new(),
+            &MisProblem,
+            &inst,
+            &AStarConfig::default(),
+            &rec,
+        )
+        .unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.span("astar").unwrap().count, 1);
+        let ug = snap.span("astar/update_graph").unwrap();
+        assert!(ug.count >= 3, "one Update-Graph per node per phase, got {}", ug.count);
+        assert!(snap.span("astar/update_output").unwrap().count >= 1);
+        assert!(snap.span("astar/update_bits").unwrap().count >= 1);
+        let plain =
+            run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default()).unwrap();
+        assert_eq!(observed.outputs, plain.outputs);
+        assert_eq!(observed.final_bits, plain.final_bits);
     }
 
     #[test]

@@ -22,8 +22,9 @@ use std::time::{Duration, Instant};
 
 use anonet_batch::{CachedAssignment, DerandCache};
 use anonet_graph::{BitString, Label, LabeledGraph};
+use anonet_obs::{names, noop, Recorder, SharedRecorder, Span};
 use anonet_runtime::{run, BitAssignment, ExecConfig, Oblivious, ObliviousAlgorithm, TapeSource};
-use anonet_views::{canonical_order, quotient, ViewMode};
+use anonet_views::{canonical_order, quotient, Refinement, ViewMode};
 
 use crate::search::{canonical_successful_simulation, SearchStrategy};
 use crate::Result;
@@ -82,6 +83,7 @@ pub struct Derandomizer<A> {
     strategy: SearchStrategy,
     config: ExecConfig,
     cache: Option<Arc<DerandCache>>,
+    recorder: SharedRecorder,
 }
 
 impl<A> Derandomizer<A>
@@ -96,6 +98,7 @@ where
             strategy: SearchStrategy::default(),
             config: ExecConfig::default(),
             cache: None,
+            recorder: noop(),
         }
     }
 
@@ -123,6 +126,16 @@ where
         self
     }
 
+    /// Attaches an observability [`Recorder`]: runs then report spans for
+    /// every stage (`derandomize/{views,factor,search,replay,lift}`),
+    /// `cache.hit`/`cache.miss` counters, and quotient-shape histograms.
+    /// The default is the no-op recorder — zero cost, zero behavior
+    /// change.
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// The assignment-table namespace: the algorithm type, the search
     /// strategy, and the round cap all shape which canonical assignment is
     /// selected, so they are all part of the problem id. Keeps, e.g.,
@@ -145,12 +158,28 @@ where
         &self,
         instance: &LabeledGraph<(A::Input, C)>,
     ) -> Result<DerandomizedRun<A::Output>> {
+        let rec: &dyn Recorder = &*self.recorder;
+        let observing = rec.is_enabled();
+        let _derand_span = Span::new(rec, names::SPAN_DERANDOMIZE);
+
         // Step 1: the finite view graph of the full (i, c)-labeled instance.
         let t0 = Instant::now();
+        let views_span = Span::new(rec, names::SPAN_VIEWS);
         let q = quotient(instance, ViewMode::Portless)?;
+        drop(views_span);
+        let factor_span = Span::new(rec, names::SPAN_FACTOR);
         let order = canonical_order(q.graph(), ViewMode::Portless)?;
+        drop(factor_span);
         let j = q.graph().map_labels(|(i, _c)| i.clone());
         let quotient_time = t0.elapsed();
+        if observing {
+            rec.histogram(names::DERAND_QUOTIENT_NODES, q.graph().node_count() as u64);
+            rec.histogram(names::DERAND_MULTIPLICITY, q.multiplicity().unwrap_or(0) as u64);
+            rec.histogram(
+                names::DERAND_VIEW_DEPTH,
+                Refinement::compute(instance, ViewMode::Portless).stabilization_depth() as u64,
+            );
+        }
 
         // Step 1½: the content address s(G_*) — free, the canonical order
         // is already in hand. A hit turns the search into one replay.
@@ -169,15 +198,23 @@ where
                         tapes[v.index()] = hit.tapes[pos].clone();
                     }
                     let assignment = BitAssignment::new(tapes);
+                    let replay_span = Span::new(rec, names::SPAN_REPLAY);
                     let mut src = TapeSource::new(assignment.clone());
                     let exec = run(&Oblivious(self.alg.clone()), &j, &mut src, &self.config)?;
+                    drop(replay_span);
                     if exec.is_successful() {
+                        if observing {
+                            rec.counter(names::CACHE_HIT, 1);
+                            rec.histogram(names::CACHE_BYTES, cache.stats().bytes as u64);
+                        }
+                        let lift_span = Span::new(rec, names::SPAN_LIFT);
                         let qouts = exec.outputs_unwrapped();
                         let outputs = q
                             .class_of()
                             .iter()
                             .map(|&c| qouts[c.index()].clone())
                             .collect::<Vec<_>>();
+                        drop(lift_span);
                         return Ok(DerandomizedRun {
                             outputs,
                             quotient_nodes: q.graph().node_count(),
@@ -199,8 +236,16 @@ where
         }
 
         // Step 2: canonical successful simulation of A_R on J = (V_*, E_*, i_*).
+        if observing && self.cache.is_some() {
+            rec.counter(names::CACHE_MISS, 1);
+        }
+        let search_span = Span::new(rec, names::SPAN_SEARCH);
         let sim =
             canonical_successful_simulation(&self.alg, &j, &order, self.strategy, &self.config)?;
+        drop(search_span);
+        if observing {
+            rec.counter(names::SEARCH_ATTEMPTS, sim.attempts as u64);
+        }
 
         // Publish the found assignment under its content address, tapes
         // keyed by canonical position so any isomorphic presentation can
@@ -222,8 +267,15 @@ where
         }
 
         // Step 3: lift outputs along the projection.
+        if observing {
+            if let Some(cache) = &self.cache {
+                rec.histogram(names::CACHE_BYTES, cache.stats().bytes as u64);
+            }
+        }
+        let lift_span = Span::new(rec, names::SPAN_LIFT);
         let qouts = sim.execution.outputs_unwrapped();
         let outputs = q.class_of().iter().map(|&c| qouts[c.index()].clone()).collect::<Vec<_>>();
+        drop(lift_span);
 
         Ok(DerandomizedRun {
             outputs,

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use anonet_batch::DerandCache;
 use anonet_graph::{BitString, Label, LabeledGraph};
+use anonet_obs::{bridge, names, noop, Recorder, SharedRecorder, Span};
 use anonet_runtime::{run, ExecConfig, Oblivious, ObliviousAlgorithm, RngSource};
 
 use anonet_algorithms::two_hop_coloring::TwoHopColoring;
@@ -128,20 +129,55 @@ where
     A: ObliviousAlgorithm + Clone,
     A::Input: Label,
 {
+    run_pipeline_observed(alg, net, seed, strategy, config, cache, &noop())
+}
+
+/// [`run_pipeline_cached`] under an observability [`Recorder`]: the run
+/// then reports a `pipeline` span with nested `coloring` and
+/// `derandomize/...` children, bridges stage 1's execution profile into
+/// the `engine.*` metrics, and threads the recorder through the
+/// [`Derandomizer`] for stage-2 spans and cache counters. With the no-op
+/// recorder this is exactly [`run_pipeline_cached`] — the byte-identity
+/// tests pin that down.
+///
+/// # Errors
+///
+/// See [`run_pipeline`].
+pub fn run_pipeline_observed<A>(
+    alg: &A,
+    net: &LabeledGraph<A::Input>,
+    seed: u64,
+    strategy: SearchStrategy,
+    config: &ExecConfig,
+    cache: Option<&Arc<DerandCache>>,
+    recorder: &SharedRecorder,
+) -> Result<PipelineRun<A::Output>>
+where
+    A: ObliviousAlgorithm + Clone,
+    A::Input: Label,
+{
+    let rec: &dyn Recorder = &**recorder;
+    let _pipeline_span = Span::new(rec, names::SPAN_PIPELINE);
+
     // Stage 1: randomized 2-hop coloring.
     let t0 = Instant::now();
+    let coloring_span = Span::new(rec, names::SPAN_COLORING);
     let unit = net.map_labels(|_| ());
     let stage1 =
         run(&Oblivious(TwoHopColoring::new()), &unit, &mut RngSource::seeded(seed), config)?;
     let coloring = stage1.outputs_unwrapped();
+    drop(coloring_span);
+    bridge::record_execution(rec, &stage1);
     let coloring_time = t0.elapsed();
 
     // Stage 2: deterministic derandomization on the colored instance.
     let t1 = Instant::now();
     let colored = net.graph().with_labels(coloring.clone())?;
     let instance = net.zip(&colored)?;
-    let mut derandomizer =
-        Derandomizer::new(alg.clone()).with_strategy(strategy).with_config(*config);
+    let mut derandomizer = Derandomizer::new(alg.clone())
+        .with_strategy(strategy)
+        .with_config(*config)
+        .with_recorder(Arc::clone(recorder));
     if let Some(cache) = cache {
         derandomizer = derandomizer.with_cache(Arc::clone(cache));
     }
@@ -220,6 +256,74 @@ mod tests {
         // not live randomness — reproducibility asserted above. Sanity:
         assert!(run.random_bits >= net.node_count());
         assert!(run.coloring_rounds > 0);
+    }
+
+    #[test]
+    fn observed_pipeline_reports_spans_and_metrics() {
+        use anonet_obs::MemoryRecorder;
+        let net = generators::cycle(6).unwrap().with_uniform_label(());
+        let rec = Arc::new(MemoryRecorder::new());
+        let shared: SharedRecorder = rec.clone();
+        let run = run_pipeline_observed(
+            &RandomizedMis::new(),
+            &net,
+            7,
+            SearchStrategy::default(),
+            &ExecConfig::default(),
+            None,
+            &shared,
+        )
+        .unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.span(names::SPAN_PIPELINE).unwrap().count, 1);
+        assert_eq!(snap.span("pipeline/coloring").unwrap().count, 1);
+        assert_eq!(snap.span("pipeline/derandomize").unwrap().count, 1);
+        assert_eq!(snap.span("pipeline/derandomize/views").unwrap().count, 1);
+        assert_eq!(snap.span("pipeline/derandomize/factor").unwrap().count, 1);
+        assert_eq!(snap.span("pipeline/derandomize/search").unwrap().count, 1);
+        assert_eq!(snap.span("pipeline/derandomize/lift").unwrap().count, 1);
+        assert_eq!(snap.counter(names::ENGINE_BITS_DRAWN), run.random_bits as u64);
+        assert_eq!(snap.counter(names::ENGINE_ROUNDS), run.coloring_rounds as u64);
+        assert_eq!(
+            snap.histogram(names::DERAND_QUOTIENT_NODES).unwrap().max(),
+            Some(run.deterministic.quotient_nodes as u64)
+        );
+        assert_eq!(snap.histogram(names::DERAND_VIEW_DEPTH).unwrap().count(), 1);
+        // No cache attached: no cache counters.
+        assert_eq!(snap.counter(names::CACHE_HIT) + snap.counter(names::CACHE_MISS), 0);
+        // The observed run computes the same thing as the plain one.
+        let plain =
+            run_pipeline(&RandomizedMis::new(), &net, 7, SearchStrategy::default()).unwrap();
+        assert_eq!(run.outputs, plain.outputs);
+        assert_eq!(run.coloring, plain.coloring);
+    }
+
+    #[test]
+    fn observed_pipeline_counts_cache_traffic() {
+        use anonet_batch::DerandCache;
+        use anonet_obs::MemoryRecorder;
+        let net = generators::cycle(6).unwrap().with_uniform_label(());
+        let rec = Arc::new(MemoryRecorder::new());
+        let shared: SharedRecorder = rec.clone();
+        let cache = Arc::new(DerandCache::new());
+        for seed in [7u64, 7, 7] {
+            run_pipeline_observed(
+                &RandomizedMis::new(),
+                &net,
+                seed,
+                SearchStrategy::default(),
+                &ExecConfig::default(),
+                Some(&cache),
+                &shared,
+            )
+            .unwrap();
+        }
+        let snap = rec.snapshot();
+        // Same seed ⇒ same coloring ⇒ same quotient: 1 miss, then hits.
+        assert_eq!(snap.counter(names::CACHE_MISS), 1);
+        assert_eq!(snap.counter(names::CACHE_HIT), 2);
+        assert_eq!(snap.span("pipeline/derandomize/replay").unwrap().count, 2);
+        assert_eq!(snap.histogram(names::CACHE_BYTES).unwrap().count(), 3);
     }
 
     #[test]

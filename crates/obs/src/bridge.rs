@@ -1,0 +1,195 @@
+//! Bridging the runtime's execution artifacts into a [`Recorder`].
+//!
+//! The engine itself stays observability-free: it produces an
+//! [`Execution`] (aggregate profiles) and, when tracing is on, a
+//! [`Event`] log. This module maps both onto the `engine.*` metric
+//! namespace — [`record_execution`] from the aggregates (no tracing
+//! needed), [`record_events`] from a raw event log — and provides the
+//! recorder-backed [`timeline`] renderer that supersedes the deprecated
+//! `anonet_runtime::trace::render_timeline`.
+//!
+//! Call **either** [`record_execution`] **or** [`record_events`] for a
+//! given run, not both: they cover the same counters.
+
+use anonet_runtime::{Algorithm, Event, Execution};
+
+use crate::names;
+use crate::recorder::Recorder;
+
+/// Feeds an execution's aggregate profiles into `rec`: the `engine.*`
+/// counters (rounds, messages, bytes, bits, outputs, halts) and
+/// histograms (messages/active per round, bits per node).
+///
+/// A node's bit consumption is the number of rounds it stayed active:
+/// its halt round, or the full execution length if it never halted.
+pub fn record_execution<A: Algorithm>(rec: &dyn Recorder, exec: &Execution<A>) {
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.counter(names::ENGINE_ROUNDS, exec.rounds() as u64);
+    rec.counter(names::ENGINE_MESSAGES, exec.messages_sent() as u64);
+    rec.counter(names::ENGINE_MESSAGE_BYTES, exec.message_bytes() as u64);
+    rec.counter(names::ENGINE_BITS_DRAWN, exec.bits_consumed() as u64);
+    rec.counter(
+        names::ENGINE_OUTPUTS,
+        exec.outputs().iter().filter(|o| o.is_some()).count() as u64,
+    );
+    rec.counter(
+        names::ENGINE_HALTS,
+        exec.halt_rounds().iter().filter(|r| r.is_some()).count() as u64,
+    );
+    for &m in exec.messages_per_round() {
+        rec.histogram(names::ENGINE_MESSAGES_PER_ROUND, m as u64);
+    }
+    for &a in exec.active_per_round() {
+        rec.histogram(names::ENGINE_ACTIVE_PER_ROUND, a as u64);
+    }
+    for halt in exec.halt_rounds() {
+        rec.histogram(names::ENGINE_BITS_PER_NODE, halt.unwrap_or(exec.rounds()) as u64);
+    }
+}
+
+/// Feeds a traced [`Event`] log into `rec`: `engine.*` counters for
+/// messages, bytes, bits, outputs, halts, and rounds (the highest round
+/// observed), plus the messages-per-round histogram.
+pub fn record_events(rec: &dyn Recorder, events: &[Event]) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let mut messages = 0u64;
+    let mut bytes = 0u64;
+    let mut bits = 0u64;
+    let mut outputs = 0u64;
+    let mut halts = 0u64;
+    let mut rounds = 0usize;
+    let mut per_round: Vec<u64> = Vec::new();
+    for event in events {
+        rounds = rounds.max(event.round());
+        match event {
+            Event::MessageSent { round, bytes: b, .. } => {
+                messages += 1;
+                bytes += *b as u64;
+                if per_round.len() < *round {
+                    per_round.resize(*round, 0);
+                }
+                per_round[*round - 1] += 1;
+            }
+            Event::BitsDrawn { count, .. } => bits += *count as u64,
+            Event::OutputSet { .. } => outputs += 1,
+            Event::Halted { .. } => halts += 1,
+        }
+    }
+    rec.counter(names::ENGINE_ROUNDS, rounds as u64);
+    rec.counter(names::ENGINE_MESSAGES, messages);
+    rec.counter(names::ENGINE_MESSAGE_BYTES, bytes);
+    rec.counter(names::ENGINE_BITS_DRAWN, bits);
+    rec.counter(names::ENGINE_OUTPUTS, outputs);
+    rec.counter(names::ENGINE_HALTS, halts);
+    per_round.resize(rounds, 0);
+    for m in per_round {
+        rec.histogram(names::ENGINE_MESSAGES_PER_ROUND, m);
+    }
+}
+
+/// The recorder-backed timeline renderer: records the event log's
+/// `engine.*` metrics into `rec` and returns the same ASCII timeline the
+/// deprecated `render_timeline` produced.
+pub fn timeline(rec: &dyn Recorder, events: &[Event]) -> String {
+    record_events(rec, events);
+    anonet_runtime::trace::timeline_text(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryRecorder;
+    use crate::recorder::NoopRecorder;
+    use anonet_graph::{generators, NodeId, Port};
+    use anonet_runtime::{run, Actions, ExecConfig, Inbox, ZeroSource};
+
+    /// Echoes on every port for `k` rounds, then outputs 0 and halts.
+    #[derive(Debug)]
+    struct Chatter {
+        k: usize,
+    }
+
+    impl Algorithm for Chatter {
+        type Input = u32;
+        type Message = u16;
+        type Output = u8;
+        type State = ();
+
+        fn init(&self, _input: &u32, _degree: usize) {}
+        fn compose(&self, _state: &(), _port: Port) -> Option<u16> {
+            Some(0)
+        }
+        fn step(
+            &self,
+            _state: (),
+            round: usize,
+            _inbox: &Inbox<u16>,
+            _bit: bool,
+            actions: &mut Actions<u8>,
+        ) {
+            if round == self.k {
+                actions.output(0);
+                actions.halt();
+            }
+        }
+    }
+
+    fn traced_run() -> Execution<Chatter> {
+        let net = generators::cycle(4).unwrap().with_uniform_label(0u32);
+        run(&Chatter { k: 3 }, &net, &mut ZeroSource, &ExecConfig::default().tracing()).unwrap()
+    }
+
+    #[test]
+    fn execution_and_events_agree() {
+        let exec = traced_run();
+        let from_exec = MemoryRecorder::new();
+        record_execution(&from_exec, &exec);
+        let from_events = MemoryRecorder::new();
+        record_events(&from_events, exec.events().unwrap());
+        let a = from_exec.snapshot();
+        let b = from_events.snapshot();
+        for name in [
+            names::ENGINE_ROUNDS,
+            names::ENGINE_MESSAGES,
+            names::ENGINE_MESSAGE_BYTES,
+            names::ENGINE_BITS_DRAWN,
+            names::ENGINE_OUTPUTS,
+            names::ENGINE_HALTS,
+        ] {
+            assert_eq!(a.counter(name), b.counter(name), "{name} diverged");
+        }
+        assert_eq!(
+            a.histogram(names::ENGINE_MESSAGES_PER_ROUND),
+            b.histogram(names::ENGINE_MESSAGES_PER_ROUND)
+        );
+        // Spot-check absolute values: 4 nodes × 2 ports × 3 rounds.
+        assert_eq!(a.counter(names::ENGINE_MESSAGES), 24);
+        assert_eq!(a.counter(names::ENGINE_MESSAGE_BYTES), 24 * 2);
+        assert_eq!(a.counter(names::ENGINE_BITS_DRAWN), 12);
+        assert_eq!(a.counter(names::ENGINE_ROUNDS), 3);
+        assert_eq!(a.histogram(names::ENGINE_BITS_PER_NODE).unwrap().count(), 4);
+    }
+
+    #[test]
+    fn timeline_matches_legacy_renderer_and_records() {
+        let exec = traced_run();
+        let rec = MemoryRecorder::new();
+        let text = timeline(&rec, exec.events().unwrap());
+        assert_eq!(text, exec.timeline());
+        assert!(text.contains("round   1:    8 msgs"));
+        assert_eq!(rec.snapshot().counter(names::ENGINE_MESSAGES), 24);
+    }
+
+    #[test]
+    fn disabled_recorder_short_circuits() {
+        let exec = traced_run();
+        record_execution(&NoopRecorder, &exec);
+        record_events(&NoopRecorder, exec.events().unwrap());
+        let events = vec![Event::OutputSet { round: 1, node: NodeId::new(0) }];
+        assert_eq!(timeline(&NoopRecorder, &events), "round   1:    0 msgs | out: v0\n");
+    }
+}

@@ -1,0 +1,207 @@
+//! The streaming JSONL backend.
+//!
+//! [`JsonlRecorder`] writes one JSON object per line to any `Write + Send`
+//! sink as metrics arrive: span closings (with their `/`-joined path and
+//! wall time in microseconds), counter bumps, and histogram samples, each
+//! stamped with microseconds since the recorder was created. Lines are
+//! self-describing (`"ev"` discriminates), so traces can be grepped,
+//! tailed, or re-parsed with [`Json::parse`](crate::json::Json::parse).
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::recorder::Recorder;
+
+struct Inner {
+    writer: Box<dyn Write + Send>,
+    stacks: HashMap<ThreadId, Vec<String>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner").field("stacks", &self.stacks).finish_non_exhaustive()
+    }
+}
+
+/// A [`Recorder`] that streams every metric event as one JSON line.
+///
+/// Write errors are swallowed (observability must never fail the
+/// observed computation); call [`JsonlRecorder::flush`] to learn whether
+/// the sink is still healthy.
+#[derive(Debug)]
+pub struct JsonlRecorder {
+    inner: Mutex<Inner>,
+    epoch: Instant,
+}
+
+impl JsonlRecorder {
+    /// Streams to an arbitrary sink.
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        JsonlRecorder {
+            inner: Mutex::new(Inner { writer: Box::new(writer), stacks: HashMap::new() }),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Streams to a buffered file created (truncated) at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlRecorder::new(BufWriter::new(File::create(path)?)))
+    }
+
+    /// A recorder writing into a shared in-memory buffer, plus a handle
+    /// to read the buffer back — the test- and example-friendly sink.
+    pub fn buffered() -> (Self, SharedBuffer) {
+        let buf = SharedBuffer::default();
+        (JsonlRecorder::new(buf.clone()), buf)
+    }
+
+    /// Flushes the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's flush failure.
+    pub fn flush(&self) -> io::Result<()> {
+        self.lock().writer.flush()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn emit(&self, inner: &mut Inner, fields: Vec<(&'static str, Json)>) {
+        let us = self.epoch.elapsed().as_micros() as u64;
+        let mut pairs = vec![("us".to_string(), Json::from(us))];
+        pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+        // Swallow write errors: a full disk must not panic the engine.
+        let _ = writeln!(inner.writer, "{}", Json::Obj(pairs));
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn span_open(&self, name: &str) {
+        let mut inner = self.lock();
+        inner.stacks.entry(std::thread::current().id()).or_default().push(name.to_string());
+    }
+
+    fn span_close(&self, name: &str, wall: Duration) {
+        let mut inner = self.lock();
+        let stack = inner.stacks.entry(std::thread::current().id()).or_default();
+        let path = if stack.last().map(String::as_str) == Some(name) {
+            let joined = stack.join("/");
+            stack.pop();
+            joined
+        } else {
+            name.to_string()
+        };
+        let fields = vec![
+            ("ev", Json::str("span")),
+            ("path", Json::str(path)),
+            ("wall_us", Json::from(wall.as_micros() as u64)),
+        ];
+        self.emit(&mut inner, fields);
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        let fields =
+            vec![("ev", Json::str("counter")), ("name", Json::str(name)), ("delta", delta.into())];
+        self.emit(&mut inner, fields);
+    }
+
+    fn histogram(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        let fields =
+            vec![("ev", Json::str("hist")), ("name", Json::str(name)), ("value", value.into())];
+        self.emit(&mut inner, fields);
+    }
+}
+
+/// A clonable in-memory sink for [`JsonlRecorder::buffered`].
+#[derive(Clone, Debug, Default)]
+pub struct SharedBuffer {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuffer {
+    /// The buffer contents as UTF-8 text.
+    pub fn contents(&self) -> String {
+        let bytes = self.bytes.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// The buffered lines, each parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// The first line that fails to parse.
+    pub fn parsed_lines(&self) -> Result<Vec<Json>, String> {
+        self.contents().lines().map(Json::parse).collect()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.bytes.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Span;
+
+    #[test]
+    fn streams_parseable_lines() {
+        let (rec, buf) = JsonlRecorder::buffered();
+        {
+            let _outer = Span::new(&rec, "pipeline");
+            let _inner = Span::new(&rec, "coloring");
+            rec.counter("engine.messages", 7);
+            rec.histogram("engine.messages_per_round", 3);
+        }
+        rec.flush().unwrap();
+        let lines = buf.parsed_lines().unwrap();
+        assert_eq!(lines.len(), 4); // counter, hist, inner close, outer close
+        for line in &lines {
+            assert!(line.get("us").is_some());
+        }
+        let spans: Vec<&str> = lines
+            .iter()
+            .filter(|l| l.get("ev").and_then(Json::as_str) == Some("span"))
+            .map(|l| l.get("path").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(spans, ["pipeline/coloring", "pipeline"]);
+        let counter =
+            lines.iter().find(|l| l.get("ev").and_then(Json::as_str) == Some("counter")).unwrap();
+        assert_eq!(counter.get("name").unwrap().as_str(), Some("engine.messages"));
+        assert_eq!(counter.get("delta").unwrap().as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn create_writes_a_file() {
+        let path = std::env::temp_dir().join("anonet_obs_jsonl_test.jsonl");
+        let rec = JsonlRecorder::create(&path).unwrap();
+        rec.counter("c", 1);
+        rec.flush().unwrap();
+        drop(rec);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text.lines().count(), 1);
+        Json::parse(text.lines().next().unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,150 @@
+//! # anonet-obs
+//!
+//! Zero-dependency structured observability for the anonet workspace:
+//! hierarchical wall-time [`Span`]s, typed counters and [`Histogram`]s,
+//! and pluggable [`Recorder`] backends, selected per execution,
+//! derandomizer, or batch run.
+//!
+//! "Zero-dependency" means no external crates: the layer is `std` plus
+//! the workspace's own `anonet-graph`/`anonet-runtime` (for the
+//! [`bridge`] from the engine's trace events). Three backends ship:
+//!
+//! * [`NoopRecorder`] — the default everywhere. Reports
+//!   [`Recorder::is_enabled`]` == false`, so instrumented code skips
+//!   metric computation entirely; enabling observability with it is
+//!   observationally free (outputs, traces, and cache bytes stay
+//!   identical — the differential tests pin this down).
+//! * [`MemoryRecorder`] — aggregates counters, histograms, and span
+//!   wall-times in memory; snapshot, compare, render.
+//! * [`JsonlRecorder`] — streams every metric event as one JSON line to
+//!   a file or buffer, for tailing and offline analysis.
+//!
+//! Span nesting is tracked per thread by the backends: instrumentation
+//! names only the leaf (`"views"`), and aggregates land under the
+//! `/`-joined path of the opening thread's live spans
+//! (`"pipeline/derandomize/views"`). Metric names are centralized in
+//! [`names`].
+//!
+//! The [`json`] module is the workspace's one shared JSON
+//! serializer/parser — the bench harness builds its `BENCH_*.json`
+//! artifacts with it and the tests re-parse them.
+//!
+//! # Example
+//!
+//! ```
+//! use anonet_obs::{names, MemoryRecorder, Recorder, Span};
+//!
+//! let rec = MemoryRecorder::new();
+//! {
+//!     let _pipeline = Span::new(&rec, "pipeline");
+//!     let _coloring = Span::new(&rec, "coloring");
+//!     rec.counter(names::ENGINE_MESSAGES, 42);
+//! }
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.span("pipeline/coloring").unwrap().count, 1);
+//! assert_eq!(snap.counter(names::ENGINE_MESSAGES), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+mod hist;
+pub mod json;
+mod jsonl;
+mod memory;
+mod recorder;
+
+pub use hist::{Histogram, BUCKETS};
+pub use json::Json;
+pub use jsonl::{JsonlRecorder, SharedBuffer};
+pub use memory::{MemoryRecorder, MemorySnapshot, SpanStat};
+pub use recorder::{noop, NoopRecorder, Recorder, SharedRecorder, Span};
+
+/// The canonical metric and span names every instrumented layer uses.
+///
+/// Counters and histograms are namespaced `layer.metric`; span constants
+/// are bare leaf names (backends join them into nesting paths).
+pub mod names {
+    // Engine counters (bridged from `Execution`/`Event` logs).
+    /// Rounds executed.
+    pub const ENGINE_ROUNDS: &str = "engine.rounds";
+    /// Messages delivered.
+    pub const ENGINE_MESSAGES: &str = "engine.messages";
+    /// Bytes of message payload delivered.
+    pub const ENGINE_MESSAGE_BYTES: &str = "engine.message_bytes";
+    /// Random bits drawn.
+    pub const ENGINE_BITS_DRAWN: &str = "engine.bits_drawn";
+    /// Nodes that wrote an output.
+    pub const ENGINE_OUTPUTS: &str = "engine.outputs";
+    /// Nodes that halted.
+    pub const ENGINE_HALTS: &str = "engine.halts";
+
+    // Engine histograms.
+    /// Messages delivered in each round.
+    pub const ENGINE_MESSAGES_PER_ROUND: &str = "engine.messages_per_round";
+    /// Active (non-halted) nodes at the start of each round.
+    pub const ENGINE_ACTIVE_PER_ROUND: &str = "engine.active_per_round";
+    /// Random bits drawn by each node (rounds it stayed active).
+    pub const ENGINE_BITS_PER_NODE: &str = "engine.bits_per_node";
+
+    // Derandomizer counters and histograms.
+    /// Derandomization cache hits.
+    pub const CACHE_HIT: &str = "cache.hit";
+    /// Derandomization cache misses.
+    pub const CACHE_MISS: &str = "cache.miss";
+    /// Bytes resident in the derandomization cache after the run.
+    pub const CACHE_BYTES: &str = "cache.bytes";
+    /// Candidate bit assignments tried by the `A_*` search.
+    pub const SEARCH_ATTEMPTS: &str = "search.attempts";
+    /// Nodes in the view quotient per run.
+    pub const DERAND_QUOTIENT_NODES: &str = "derand.quotient_nodes";
+    /// Fiber multiplicity (lift factor) per run.
+    pub const DERAND_MULTIPLICITY: &str = "derand.multiplicity";
+    /// View-refinement stabilization depth per run.
+    pub const DERAND_VIEW_DEPTH: &str = "derand.view_depth";
+
+    // Batch counters and histograms.
+    /// Jobs submitted to the batch scheduler.
+    pub const BATCH_JOBS: &str = "batch.jobs";
+    /// Jobs that returned `Ok`.
+    pub const BATCH_JOBS_OK: &str = "batch.jobs_ok";
+    /// Jobs that returned `Err`.
+    pub const BATCH_JOBS_FAILED: &str = "batch.jobs_failed";
+    /// Jobs that panicked.
+    pub const BATCH_JOBS_PANICKED: &str = "batch.jobs_panicked";
+    /// Microseconds each job waited between batch start and claim.
+    pub const BATCH_QUEUE_WAIT_US: &str = "batch.queue_wait_us";
+    /// Microseconds of wall time each job ran for.
+    pub const BATCH_JOB_WALL_US: &str = "batch.job_wall_us";
+
+    // Span leaf names (joined into paths by the backends).
+    /// The whole two-stage pipeline.
+    pub const SPAN_PIPELINE: &str = "pipeline";
+    /// Stage 1: randomized 2-hop coloring.
+    pub const SPAN_COLORING: &str = "coloring";
+    /// Stage 2: the deterministic derandomizer.
+    pub const SPAN_DERANDOMIZE: &str = "derandomize";
+    /// View-quotient construction.
+    pub const SPAN_VIEWS: &str = "views";
+    /// Canonical prime-factor ordering.
+    pub const SPAN_FACTOR: &str = "factor";
+    /// The `A_*` search for a successful simulation.
+    pub const SPAN_SEARCH: &str = "search";
+    /// Replaying a cached assignment.
+    pub const SPAN_REPLAY: &str = "replay";
+    /// Lifting quotient outputs back to the input graph.
+    pub const SPAN_LIFT: &str = "lift";
+    /// One full `A_*` run (phases 1..z+1).
+    pub const SPAN_ASTAR: &str = "astar";
+    /// `A_*` Update-Graph phase (candidate enumeration).
+    pub const SPAN_UPDATE_GRAPH: &str = "update_graph";
+    /// `A_*` Update-Output phase (quotient simulation).
+    pub const SPAN_UPDATE_OUTPUT: &str = "update_output";
+    /// `A_*` Update-Bits phase (minimal tape extension).
+    pub const SPAN_UPDATE_BITS: &str = "update_bits";
+    /// One batch-scheduler run.
+    pub const SPAN_BATCH_RUN: &str = "batch_run";
+    /// One batch job, queue-claim to completion.
+    pub const SPAN_JOB: &str = "job";
+}

@@ -1,0 +1,266 @@
+//! The in-memory aggregating backend.
+//!
+//! [`MemoryRecorder`] keeps counters, histograms, and span aggregates in
+//! `BTreeMap`s behind one mutex, with a per-thread span stack so concurrent
+//! batch workers nest independently. [`MemoryRecorder::snapshot`] clones
+//! the aggregates out as a [`MemorySnapshot`] — an inert, comparable,
+//! renderable value used by the experiments and the differential tests.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Duration;
+
+use crate::hist::Histogram;
+use crate::recorder::Recorder;
+
+/// Aggregate of all closings of one span path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span closed.
+    pub count: u64,
+    /// Total wall time across closings.
+    pub total: Duration,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStat>,
+    stacks: HashMap<ThreadId, Vec<String>>,
+}
+
+/// An aggregating in-memory [`Recorder`].
+///
+/// # Example
+///
+/// ```
+/// use anonet_obs::{MemoryRecorder, Recorder};
+///
+/// let rec = MemoryRecorder::new();
+/// rec.counter("engine.messages", 12);
+/// rec.counter("engine.messages", 3);
+/// rec.histogram("engine.messages_per_round", 4);
+/// let snap = rec.snapshot();
+/// assert_eq!(snap.counter("engine.messages"), 15);
+/// assert_eq!(snap.histogram("engine.messages_per_round").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    state: Mutex<State>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MemoryRecorder::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A panicking instrumented job must not take observability down
+        // with it; all updates are atomic under the lock.
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Clones the current aggregates out.
+    pub fn snapshot(&self) -> MemorySnapshot {
+        let s = self.lock();
+        MemorySnapshot {
+            counters: s.counters.clone(),
+            histograms: s.histograms.clone(),
+            spans: s.spans.clone(),
+        }
+    }
+
+    /// Drops all aggregates (open span stacks survive).
+    pub fn reset(&self) {
+        let mut s = self.lock();
+        s.counters.clear();
+        s.histograms.clear();
+        s.spans.clear();
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn span_open(&self, name: &str) {
+        let mut s = self.lock();
+        s.stacks.entry(std::thread::current().id()).or_default().push(name.to_string());
+    }
+
+    fn span_close(&self, name: &str, wall: Duration) {
+        let mut s = self.lock();
+        let stack = s.stacks.entry(std::thread::current().id()).or_default();
+        // Tolerate a mismatched close (a span guard moved across threads):
+        // fall back to the bare name rather than corrupting the stack.
+        let path = if stack.last().map(String::as_str) == Some(name) {
+            let joined = stack.join("/");
+            stack.pop();
+            joined
+        } else {
+            name.to_string()
+        };
+        let stat = s.spans.entry(path).or_default();
+        stat.count += 1;
+        stat.total += wall;
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        let mut s = self.lock();
+        *s.counters.entry(name.to_string()).or_default() += delta;
+    }
+
+    fn histogram(&self, name: &str, value: u64) {
+        let mut s = self.lock();
+        s.histograms.entry(name.to_string()).or_default().record(value);
+    }
+}
+
+/// A point-in-time clone of a [`MemoryRecorder`]'s aggregates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemorySnapshot {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStat>,
+}
+
+impl MemorySnapshot {
+    /// The value of a counter (`0` if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The aggregate of one exact span path (e.g. `pipeline/coloring`).
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.get(path)
+    }
+
+    /// All span aggregates, sorted by path.
+    pub fn spans(&self) -> impl Iterator<Item = (&str, &SpanStat)> {
+        self.spans.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Sums every span path whose **leaf** name is `leaf`, across parents
+    /// (a `views` span shows up under `pipeline/derandomize/views` and
+    /// `derandomize/views` alike).
+    pub fn span_total(&self, leaf: &str) -> SpanStat {
+        let mut out = SpanStat::default();
+        for (path, stat) in &self.spans {
+            if path.rsplit('/').next() == Some(leaf) {
+                out.count += stat.count;
+                out.total += stat.total;
+            }
+        }
+        out
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
+    }
+
+    /// Multi-line human-readable rendering (spans, counters, histograms).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (path, stat) in &self.spans {
+            let _ = writeln!(out, "span      {path:<40} x{:<6} {:.3?}", stat.count, stat.total);
+        }
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter   {name:<40} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name:<40} n={} min={} mean={:.2} max={}",
+                h.count(),
+                h.min().unwrap_or(0),
+                h.mean().unwrap_or(0.0),
+                h.max().unwrap_or(0),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Span;
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let rec = MemoryRecorder::new();
+        {
+            let _a = Span::new(&rec, "pipeline");
+            {
+                let _b = Span::new(&rec, "coloring");
+            }
+            {
+                let _c = Span::new(&rec, "derandomize");
+            }
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.span("pipeline").unwrap().count, 1);
+        assert_eq!(snap.span("pipeline/coloring").unwrap().count, 1);
+        assert_eq!(snap.span("pipeline/derandomize").unwrap().count, 1);
+        assert!(snap.span("coloring").is_none());
+        assert_eq!(snap.span_total("coloring").count, 1);
+    }
+
+    #[test]
+    fn threads_get_independent_stacks() {
+        let rec = MemoryRecorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _outer = Span::new(&rec, "job");
+                    let _inner = Span::new(&rec, "work");
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.span("job").unwrap().count, 4);
+        assert_eq!(snap.span("job/work").unwrap().count, 4);
+    }
+
+    #[test]
+    fn counters_and_histograms_aggregate() {
+        let rec = MemoryRecorder::new();
+        rec.counter("c", 1);
+        rec.counter("c", 2);
+        rec.histogram("h", 10);
+        rec.histogram("h", 20);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("c"), 3);
+        assert_eq!(snap.counter("missing"), 0);
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 30);
+        assert!(snap.render().contains("counter   c"));
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_aggregates() {
+        let rec = MemoryRecorder::new();
+        rec.counter("c", 1);
+        rec.reset();
+        assert!(rec.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! The [`Recorder`] trait — the single sink every instrumented layer
+//! writes to — plus the default [`NoopRecorder`] and the RAII
+//! [`Span`] guard.
+//!
+//! Backends implement four primitives: open/close a span, bump a counter,
+//! record a histogram sample. Span *nesting* is the backend's concern
+//! (both provided aggregating backends keep a per-thread stack and key
+//! aggregates by the `/`-joined path), so instrumentation sites only name
+//! the leaf: a `views` span opened while a `derandomize` span is live on
+//! the same thread lands at `derandomize/views`.
+//!
+//! The no-op recorder reports [`Recorder::is_enabled`]` == false`, which
+//! every emission helper checks first — an instrumented hot path with the
+//! no-op recorder costs one virtual call per *span*, and nothing per
+//! counter or histogram sample behind the [`Span::new`] gate.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A structured-observability sink: spans, counters, histograms.
+///
+/// All methods take `&self`; implementations must be internally
+/// synchronized ([`Send`] + [`Sync`]) because the batch scheduler drives
+/// one recorder from many worker threads.
+pub trait Recorder: Send + Sync + Debug {
+    /// `false` for sinks that discard everything — callers may (and the
+    /// provided helpers do) skip metric computation entirely.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Opens a span named `name` on the calling thread.
+    fn span_open(&self, name: &str);
+
+    /// Closes the innermost open span on the calling thread, which was
+    /// opened as `name`, after `wall` of wall time.
+    fn span_close(&self, name: &str, wall: Duration);
+
+    /// Adds `delta` to the counter `name`.
+    fn counter(&self, name: &str, delta: u64);
+
+    /// Records one sample of `value` into the histogram `name`.
+    fn histogram(&self, name: &str, value: u64);
+}
+
+/// A shared, thread-safe recorder handle, as selected per
+/// `Execution`/`Derandomizer`/batch run.
+pub type SharedRecorder = Arc<dyn Recorder>;
+
+/// The default sink: discards everything, reports itself disabled.
+///
+/// This is what every un-instrumented entry point uses, so enabling the
+/// observability layer with the no-op recorder must be observationally
+/// free — byte-identical outputs, traces, and cache contents.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn span_open(&self, _name: &str) {}
+    fn span_close(&self, _name: &str, _wall: Duration) {}
+    fn counter(&self, _name: &str, _delta: u64) {}
+    fn histogram(&self, _name: &str, _value: u64) {}
+}
+
+/// A fresh shared handle to the no-op recorder.
+pub fn noop() -> SharedRecorder {
+    Arc::new(NoopRecorder)
+}
+
+/// An RAII span guard: measures wall time from creation to drop and
+/// reports it to the recorder, with nesting tracked per thread by the
+/// backend.
+///
+/// # Example
+///
+/// ```
+/// use anonet_obs::{MemoryRecorder, Recorder, Span};
+///
+/// let rec = MemoryRecorder::new();
+/// {
+///     let _outer = Span::new(&rec, "pipeline");
+///     let _inner = Span::new(&rec, "coloring");
+/// } // both close here, innermost first
+/// let snap = rec.snapshot();
+/// assert_eq!(snap.span("pipeline/coloring").unwrap().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    rec: Option<&'a dyn Recorder>,
+    name: &'a str,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Opens a span on `rec`; a disabled recorder makes this (and the
+    /// matching close) a no-op that never reads the clock.
+    pub fn new(rec: &'a dyn Recorder, name: &'a str) -> Span<'a> {
+        if rec.is_enabled() {
+            rec.span_open(name);
+            Span { rec: Some(rec), name, start: Instant::now() }
+        } else {
+            // `start` is never read on the disabled path; any value does.
+            Span { rec: None, name, start: Instant::now() }
+        }
+    }
+
+    /// The span's leaf name.
+    pub fn name(&self) -> &str {
+        self.name
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec {
+            rec.span_close(self.name, self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        let rec = NoopRecorder;
+        assert!(!rec.is_enabled());
+        rec.counter("x", 1);
+        rec.histogram("y", 2);
+        let span = Span::new(&rec, "z");
+        assert_eq!(span.name(), "z");
+        drop(span); // must not panic or emit
+    }
+
+    #[test]
+    fn shared_noop_handle() {
+        let rec = noop();
+        assert!(!rec.is_enabled());
+    }
+}

@@ -70,6 +70,7 @@ pub struct Execution<A: Algorithm> {
     state_history: Option<Vec<Vec<A::State>>>,
     rounds: usize,
     messages_sent: usize,
+    message_bytes: usize,
     messages_per_round: Vec<usize>,
     active_per_round: Vec<usize>,
     events: Option<Vec<crate::Event>>,
@@ -134,6 +135,12 @@ impl<A: Algorithm> Execution<A> {
         self.messages_sent
     }
 
+    /// Total bytes of message payload delivered (in-memory size of
+    /// `A::Message` per delivered message).
+    pub fn message_bytes(&self) -> usize {
+        self.message_bytes
+    }
+
     /// Messages delivered in each round (index 0 = round 1).
     pub fn messages_per_round(&self) -> &[usize] {
         &self.messages_per_round
@@ -152,7 +159,7 @@ impl<A: Algorithm> Execution<A> {
     /// Renders the traced events as an ASCII timeline (empty without
     /// tracing).
     pub fn timeline(&self) -> String {
-        self.events.as_deref().map(crate::trace::render_timeline).unwrap_or_default()
+        self.events.as_deref().map(crate::trace::timeline_text).unwrap_or_default()
     }
 
     /// Total random bits consumed (one per active node per round).
@@ -225,7 +232,9 @@ where
         config.record_states.then(|| vec![states.clone()]);
 
     let mut events: Option<Vec<crate::Event>> = config.record_events.then(Vec::new);
+    let message_size = std::mem::size_of::<A::Message>();
     let mut messages_sent = 0usize;
+    let mut message_bytes = 0usize;
     let mut messages_per_round: Vec<usize> = Vec::new();
     let mut active_per_round: Vec<usize> = Vec::new();
     let mut bits_consumed = 0usize;
@@ -280,8 +289,14 @@ where
                     let u = g.endpoint(v, port);
                     let q = g.reverse_port(v, port);
                     messages_sent += 1;
+                    message_bytes += message_size;
                     if let Some(ev) = events.as_mut() {
-                        ev.push(crate::Event::MessageSent { round, from: v, port });
+                        ev.push(crate::Event::MessageSent {
+                            round,
+                            from: v,
+                            port,
+                            bytes: message_size,
+                        });
                     }
                     inboxes[u.index()][q.index()] = Some(msg);
                 }
@@ -295,6 +310,9 @@ where
                 continue;
             }
             bits_consumed += 1;
+            if let Some(ev) = events.as_mut() {
+                ev.push(crate::Event::BitsDrawn { round, node: v, count: 1 });
+            }
             let inbox = Inbox::new(std::mem::take(&mut inboxes[v.index()]));
             let mut actions: Actions<A::Output> = Actions::new(outputs[v.index()].clone());
             let state = states[v.index()].clone();
@@ -336,6 +354,7 @@ where
         state_history: history,
         rounds,
         messages_sent,
+        message_bytes,
         messages_per_round,
         active_per_round,
         events,
@@ -439,6 +458,7 @@ mod tests {
         assert_eq!(exec.rounds(), 5);
         // 2 endpoints with degree 1, 4 middle nodes with degree 2, 5 rounds.
         assert_eq!(exec.messages_sent(), 5 * (2 + 4 * 2));
+        assert_eq!(exec.message_bytes(), 5 * (2 + 4 * 2) * std::mem::size_of::<u32>());
         assert_eq!(exec.bits_consumed(), 30);
     }
 
@@ -558,6 +578,22 @@ mod tests {
         let events = exec.events().unwrap();
         let sends = events.iter().filter(|e| matches!(e, crate::Event::MessageSent { .. })).count();
         assert_eq!(sends, exec.messages_sent());
+        let sent_bytes: usize = events
+            .iter()
+            .filter_map(|e| match e {
+                crate::Event::MessageSent { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(sent_bytes, exec.message_bytes());
+        let bits: usize = events
+            .iter()
+            .filter_map(|e| match e {
+                crate::Event::BitsDrawn { count, .. } => Some(*count),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(bits, exec.bits_consumed());
         let outputs = events.iter().filter(|e| matches!(e, crate::Event::OutputSet { .. })).count();
         assert_eq!(outputs, 3);
         let timeline = exec.timeline();

@@ -2,10 +2,10 @@
 //!
 //! Enable with [`ExecConfig::tracing`](crate::ExecConfig::tracing); the
 //! resulting [`Execution`](crate::Execution) then carries a chronological
-//! [`Event`] log — who sent on which port, who output, who halted, round
-//! by round — plus a compact ASCII timeline renderer. Events carry no
-//! message payloads (those are generic); combine with state recording
-//! when contents matter.
+//! [`Event`] log — who sent on which port (and how many bytes), who drew
+//! random bits, who output, who halted, round by round — plus a compact
+//! ASCII timeline renderer. Events carry no message payloads (those are
+//! generic); combine with state recording when contents matter.
 
 use anonet_graph::{NodeId, Port};
 
@@ -20,6 +20,18 @@ pub enum Event {
         from: NodeId,
         /// The sender's port.
         port: Port,
+        /// In-memory size of the message payload, in bytes.
+        bytes: usize,
+    },
+    /// A node drew bits from its random tape.
+    BitsDrawn {
+        /// Round (1-indexed).
+        round: usize,
+        /// The node.
+        node: NodeId,
+        /// Number of bits drawn (the synchronous engine draws one per
+        /// active node per round).
+        count: usize,
     },
     /// A node wrote its irrevocable output.
     OutputSet {
@@ -42,6 +54,7 @@ impl Event {
     pub fn round(&self) -> usize {
         match self {
             Event::MessageSent { round, .. }
+            | Event::BitsDrawn { round, .. }
             | Event::OutputSet { round, .. }
             | Event::Halted { round, .. } => *round,
         }
@@ -50,7 +63,20 @@ impl Event {
 
 /// Renders an event log as an ASCII timeline: one line per round, with
 /// message counts and the nodes that output/halted.
+///
+/// Deprecated: the observability layer's recorder-backed renderer
+/// (`anonet_obs::bridge::timeline`) produces the same text and also feeds
+/// counters/histograms; this shim stays for source compatibility.
+#[deprecated(since = "0.1.0", note = "use anonet_obs::bridge::timeline instead")]
 pub fn render_timeline(events: &[Event]) -> String {
+    timeline_text(events)
+}
+
+/// The ASCII timeline rendering shared by [`render_timeline`] and
+/// [`Execution::timeline`](crate::Execution::timeline). One line per
+/// round: message count, then any outputs and halts. [`Event::BitsDrawn`]
+/// events contribute no line of their own.
+pub fn timeline_text(events: &[Event]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let last_round = events.iter().map(Event::round).max().unwrap_or(0);
@@ -93,26 +119,37 @@ mod tests {
     fn round_accessor() {
         let e = Event::OutputSet { round: 4, node: NodeId::new(1) };
         assert_eq!(e.round(), 4);
-        let e = Event::MessageSent { round: 2, from: NodeId::new(0), port: Port::new(1) };
+        let e = Event::MessageSent { round: 2, from: NodeId::new(0), port: Port::new(1), bytes: 4 };
         assert_eq!(e.round(), 2);
+        let e = Event::BitsDrawn { round: 7, node: NodeId::new(2), count: 1 };
+        assert_eq!(e.round(), 7);
     }
 
     #[test]
     fn timeline_renders_rounds() {
         let events = vec![
-            Event::MessageSent { round: 1, from: NodeId::new(0), port: Port::new(0) },
-            Event::MessageSent { round: 1, from: NodeId::new(1), port: Port::new(0) },
+            Event::MessageSent { round: 1, from: NodeId::new(0), port: Port::new(0), bytes: 4 },
+            Event::MessageSent { round: 1, from: NodeId::new(1), port: Port::new(0), bytes: 4 },
+            Event::BitsDrawn { round: 1, node: NodeId::new(0), count: 1 },
             Event::OutputSet { round: 2, node: NodeId::new(0) },
             Event::Halted { round: 2, node: NodeId::new(0) },
         ];
-        let t = render_timeline(&events);
+        let t = timeline_text(&events);
         assert!(t.contains("round   1:    2 msgs"));
         assert!(t.contains("out: v0"));
         assert!(t.contains("halt: v0"));
     }
 
     #[test]
+    fn deprecated_shim_matches_renderer() {
+        let events = vec![Event::OutputSet { round: 1, node: NodeId::new(0) }];
+        #[allow(deprecated)]
+        let shim = render_timeline(&events);
+        assert_eq!(shim, timeline_text(&events));
+    }
+
+    #[test]
     fn empty_log_renders_empty() {
-        assert!(render_timeline(&[]).is_empty());
+        assert!(timeline_text(&[]).is_empty());
     }
 }

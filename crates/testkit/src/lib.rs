@@ -14,7 +14,10 @@
 //! * **Adversarial execution** — every execution-backed oracle can run
 //!   under a hostile [`RoundAdversary`](anonet_runtime::RoundAdversary)
 //!   (reverse, skewed, keyed-shuffle sweeps), which must never change
-//!   outputs because rounds are simultaneous.
+//!   outputs because rounds are simultaneous — and must never change the
+//!   bridged `anonet_obs` metrics either (the `obs-invariance` oracle:
+//!   total messages, bytes, bits drawn, and round counts of a seeded run
+//!   are schedule-invariant).
 //!
 //! Scenarios are generated from a deterministic, seeded [`TestCase`]
 //! stream over every [`Family`](anonet_graph::generators::Family) ×

@@ -24,6 +24,7 @@ use anonet_core::conformance::{
 };
 use anonet_core::pipeline::run_pipeline;
 use anonet_core::{CoreError, Derandomizer, SearchStrategy};
+use anonet_obs::{bridge, names, MemoryRecorder};
 
 use crate::gen::{self, Instance};
 use crate::oracles::Failure;
@@ -270,6 +271,44 @@ where
             return Err(Failure::new(
                 "adversary-invariance",
                 format!("outputs or round counts diverged under adversary {}", case.adversary),
+            ));
+        }
+        // Observability — the bridged engine metrics are schedule-
+        // invariant: a seeded run's totals (messages, bytes, bits,
+        // rounds) and per-round histograms must not depend on the
+        // delivery schedule the adversary picked.
+        let fair_rec = MemoryRecorder::new();
+        bridge::record_execution(&fair_rec, &fair);
+        let adv_rec = MemoryRecorder::new();
+        bridge::record_execution(&adv_rec, &skewed);
+        let (fair_snap, adv_snap) = (fair_rec.snapshot(), adv_rec.snapshot());
+        for metric in [
+            names::ENGINE_ROUNDS,
+            names::ENGINE_MESSAGES,
+            names::ENGINE_MESSAGE_BYTES,
+            names::ENGINE_BITS_DRAWN,
+        ] {
+            if fair_snap.counter(metric) != adv_snap.counter(metric) {
+                return Err(Failure::new(
+                    "obs-invariance",
+                    format!(
+                        "{metric} diverged under adversary {}: fair {} vs adversarial {}",
+                        case.adversary,
+                        fair_snap.counter(metric),
+                        adv_snap.counter(metric)
+                    ),
+                ));
+            }
+        }
+        if fair_snap != adv_snap {
+            return Err(Failure::new(
+                "obs-invariance",
+                format!(
+                    "bridged metric snapshots diverged under adversary {}:\nfair:\n{}\nadversarial:\n{}",
+                    case.adversary,
+                    fair_snap.render(),
+                    adv_snap.render()
+                ),
             ));
         }
         if !self.problem.is_valid_output(&inputs, &fair_outputs) {

@@ -11,10 +11,11 @@ use anonet::algorithms::mis::RandomizedMis;
 use anonet::algorithms::problems::{GreedyColoringProblem, MisProblem};
 use anonet::batch::{BatchScheduler, DerandCache};
 use anonet::core::batch::{derandomize_batch, pipeline_batch};
-use anonet::core::pipeline::run_pipeline;
+use anonet::core::pipeline::{run_pipeline, run_pipeline_cached, run_pipeline_observed};
 use anonet::core::{DerandomizedRun, Derandomizer, SearchStrategy};
 use anonet::graph::{generators, Label, LabeledGraph};
-use anonet::runtime::{ExecConfig, ObliviousAlgorithm, Problem};
+use anonet::obs::{bridge, noop, NoopRecorder};
+use anonet::runtime::{run, ExecConfig, Oblivious, ObliviousAlgorithm, Problem, RngSource};
 use anonet::testkit::{build_instance, TestCase};
 
 /// Builds one 2-hop colored instance from a testkit replay string.
@@ -186,6 +187,109 @@ fn batched_pipeline_matches_sequential_and_stays_valid() {
         assert_eq!(run_bytes(&sequential.deterministic), run_bytes(&batched.deterministic));
         assert!(MisProblem.is_valid_output(net, &batched.outputs));
     }
+}
+
+/// The no-op recorder must be observationally free: threading it through
+/// any layer produces outputs, traces, and cache contents byte-identical
+/// to the un-observed default, across problems × families × thread
+/// counts.
+#[test]
+fn noop_observation_is_byte_identical_across_layers() {
+    let families = colored_families();
+    let strategy = SearchStrategy::default();
+    let config = ExecConfig::default();
+
+    // Layer 1 — the sequential derandomizer, both problems, every family.
+    for (name, inst) in &families {
+        let plain = Derandomizer::new(RandomizedMis::new()).run(inst).unwrap();
+        let observed =
+            Derandomizer::new(RandomizedMis::new()).with_recorder(noop()).run(inst).unwrap();
+        assert_eq!(
+            run_bytes(&plain),
+            run_bytes(&observed),
+            "{name}: MIS derandomizer diverged under the noop recorder"
+        );
+        let plain = Derandomizer::new(RandomizedColoring::new()).run(inst).unwrap();
+        let observed =
+            Derandomizer::new(RandomizedColoring::new()).with_recorder(noop()).run(inst).unwrap();
+        assert_eq!(
+            run_bytes(&plain),
+            run_bytes(&observed),
+            "{name}: coloring derandomizer diverged under the noop recorder"
+        );
+    }
+
+    // Layer 2 — the batch scheduler + shared cache: results and the
+    // cache's own accounting (entries, hits, resident bytes) must match.
+    let instances: Vec<LabeledGraph<((), u32)>> = families.iter().map(|(_, g)| g.clone()).collect();
+    for threads in [1usize, 4] {
+        let plain_cache = Arc::new(DerandCache::new());
+        let plain = derandomize_batch(
+            &RandomizedMis::new(),
+            &instances,
+            strategy,
+            &config,
+            &BatchScheduler::with_threads(threads),
+            Some(&plain_cache),
+        );
+        let observed_cache = Arc::new(DerandCache::new());
+        let observed = derandomize_batch(
+            &RandomizedMis::new(),
+            &instances,
+            strategy,
+            &config,
+            &BatchScheduler::with_threads(threads).with_recorder(noop()),
+            Some(&observed_cache),
+        );
+        for (i, (name, _)) in families.iter().enumerate() {
+            let p = plain.results[i].ok().expect("plain batch job succeeds");
+            let o = observed.results[i].ok().expect("observed batch job succeeds");
+            assert_eq!(
+                run_bytes(p),
+                run_bytes(o),
+                "{name}: batch ({threads} threads) diverged under the noop recorder"
+            );
+        }
+        assert_eq!(
+            plain_cache.stats(),
+            observed_cache.stats(),
+            "cache accounting ({threads} threads) diverged under the noop recorder"
+        );
+    }
+
+    // Layer 3 — the full Theorem-1 pipeline entry points.
+    let net = generators::petersen().with_uniform_label(());
+    for seed in 0..3u64 {
+        let plain = run_pipeline_cached(&RandomizedMis::new(), &net, seed, strategy, &config, None)
+            .unwrap();
+        let observed = run_pipeline_observed(
+            &RandomizedMis::new(),
+            &net,
+            seed,
+            strategy,
+            &config,
+            None,
+            &noop(),
+        )
+        .unwrap();
+        assert_eq!(plain.outputs, observed.outputs);
+        assert_eq!(plain.coloring, observed.coloring);
+        assert_eq!(plain.random_bits, observed.random_bits);
+        assert_eq!(run_bytes(&plain.deterministic), run_bytes(&observed.deterministic));
+    }
+
+    // Layer 4 — the event trace: rendering a traced run through the
+    // recorder-backed renderer with the noop recorder equals the plain
+    // timeline, and the execution itself is unchanged by tracing + obs.
+    let traced = run(
+        &Oblivious(RandomizedMis::new()),
+        &net,
+        &mut RngSource::seeded(5),
+        &ExecConfig::default().tracing(),
+    )
+    .unwrap();
+    let events = traced.events().expect("tracing was enabled");
+    assert_eq!(bridge::timeline(&NoopRecorder, events), traced.timeline());
 }
 
 #[test]
