@@ -1,6 +1,7 @@
 //! One module per experiment; see the crate docs for the index.
 
 pub mod agreement;
+pub mod astar;
 pub mod batch;
 mod common;
 pub mod distributed;

@@ -26,6 +26,7 @@
 //! | E14 | [`experiments::montecarlo`] | the Monte-Carlo / Las-Vegas gap |
 //! | E15 | [`experiments::batch`] | batch engine + s(G_*) cache (Lemma 3 operationalized) |
 //! | E16 | [`experiments::obs`] | observability layer: phase breakdown, curves, noop cost |
+//! | E17 | [`experiments::astar`] | fast Update-Graph engine: pool memo, interning, threads |
 //!
 //! Run them with `cargo run -p anonet-bench --bin report -- <id>|all`.
 //! Timing benchmarks live in `benches/` (Criterion).
@@ -56,6 +57,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "montecarlo",
     "batch",
     "obs",
+    "astar",
 ];
 
 /// Runs one experiment by id, returning its rendered report.
@@ -82,6 +84,7 @@ pub fn run_experiment(id: &str) -> Result<String, Box<dyn std::error::Error>> {
         "montecarlo" => experiments::montecarlo::report(),
         "batch" => experiments::batch::report(),
         "obs" => experiments::obs::report(),
+        "astar" => experiments::astar::report(),
         other => Err(format!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}").into()),
     }
 }

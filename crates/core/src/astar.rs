@@ -19,11 +19,38 @@
 //! communication (gathering the view); this driver computes each node's
 //! phase from its explicit [`ViewTree`] — every quantity is a function of
 //! the view, which is the model-theoretic requirement — and reports the
-//! equivalent round count. The candidate enumeration is doubly
-//! exponential by design (it is in the paper, too); the driver is meant
-//! for the small instances of experiments E3/E9, with the
-//! engineering-grade path provided by [`crate::derandomizer`].
+//! equivalent round count.
+//!
+//! ## Engines
+//!
+//! Two engines compute the *same function*:
+//!
+//! * [`run_astar`] / [`run_astar_observed`] — the **fast path** (default):
+//!   `Update-Graph` runs against the [`crate::astar_cache`] memo —
+//!   candidate pools built once per `(p_capped, universe)`, the C2 scan
+//!   replaced by one hash lookup against a per-depth selection index, and
+//!   balls-by-radius hoisted out of the node loop;
+//! * [`run_astar_reference`] / [`run_astar_reference_observed`] — the
+//!   literal per-node enumeration, kept as the semantic baseline. The
+//!   testkit's differential oracle pins `fast ≡ reference` byte-for-byte
+//!   (outputs, output phases, final bits, phase counts) across problem
+//!   families and adversarial schedules.
+//!
+//! [`run_astar_threaded`] additionally fans the per-node phase loop across
+//! an [`anonet_batch`] scoped thread pool; results are committed in node
+//! order, so the run is byte-identical at every thread count.
+//!
+//! On *successful* runs the engines agree exactly. On runs that abort with
+//! a budget or view error the fast path may surface a different (equally
+//! legitimate) error than the reference: it prepares pools for the whole
+//! phase before building any node view, while the reference interleaves
+//! the two per node — the reference is authoritative for error-order
+//! fidelity. The candidate enumeration is doubly exponential by design (it
+//! is in the paper, too); even the fast path is meant for the small
+//! instances of experiments E3/E9/E17, with the engineering-grade path
+//! provided by [`crate::derandomizer`].
 
+use anonet_batch::{BatchScheduler, JobResult};
 use anonet_graph::{distance, BitString, Label, LabeledGraph, NodeId};
 use anonet_obs::{names, NoopRecorder, Recorder, Span};
 use anonet_runtime::{
@@ -31,6 +58,7 @@ use anonet_runtime::{
 };
 use anonet_views::{canonical_order, quotient, update_graph_cmp, ViewMode, ViewQuotient, ViewTree};
 
+use crate::astar_cache::{AstarCache, CandidateLabel, PoolKey};
 use crate::candidates::candidate_pool;
 use crate::error::CoreError;
 use crate::Result;
@@ -79,7 +107,7 @@ pub struct AStarRun<O> {
 
 /// Runs the faithful `A_*` for problem `problem`, randomized solver
 /// `alg`, on the 2-hop colored instance `instance` (labels `(input,
-/// color)`).
+/// color)`) — fast path, single-threaded.
 ///
 /// # Errors
 ///
@@ -106,13 +134,315 @@ where
 /// [`run_astar`] under an observability [`Recorder`]: each per-node phase
 /// step reports `update_graph` / `update_output` / `update_bits` spans
 /// (nested under an `astar` parent), so aggregating backends expose the
-/// wall-time breakdown of the paper's three Update-* rules. With the
-/// no-op recorder this is exactly [`run_astar`].
+/// wall-time breakdown of the paper's three Update-* rules; the memo
+/// additionally reports `astar.pool.hit` / `astar.pool.miss` and the C2
+/// lookup counters. With the no-op recorder this is exactly [`run_astar`].
 ///
 /// # Errors
 ///
 /// See [`run_astar`].
 pub fn run_astar_observed<A, P, C>(
+    alg: &A,
+    problem: &P,
+    instance: &LabeledGraph<(A::Input, C)>,
+    cfg: &AStarConfig,
+    rec: &dyn Recorder,
+) -> Result<AStarRun<A::Output>>
+where
+    A: ObliviousAlgorithm + Clone,
+    A::Input: Label,
+    P: Problem<Input = A::Input>,
+    C: Label,
+{
+    let _astar_span = Span::new(rec, names::SPAN_ASTAR);
+    let g = instance.graph();
+    let n = g.node_count();
+    let mut state = AStarState::new(n);
+    let mut cache: AstarCache<A::Input, C> = AstarCache::new();
+
+    for p in 1..=cfg.max_phases {
+        state.equivalent_rounds += p;
+        let ip = augment(instance, &state.bits)?;
+        let keys = prepare_phase(&mut cache, problem, &ip, p, cfg, rec)?;
+        let results: Vec<Result<NodeOutcome<A::Output>>> = g
+            .nodes()
+            .map(|v| astar_node_step(alg, &ip, v, p, keys[v.index()], &cache, cfg, rec))
+            .collect();
+        if let Some(done) = state.commit_phase(results, p)? {
+            return Ok(done);
+        }
+    }
+    Err(CoreError::PhaseBudgetExceeded { phases: cfg.max_phases })
+}
+
+/// [`run_astar_observed`] with the per-node phase loop fanned across
+/// `threads` scoped workers on an [`anonet_batch::BatchScheduler`]. Node
+/// steps only read shared phase state and write their own slot, and the
+/// coordinator commits results in node order, so the run is
+/// **byte-identical** to [`run_astar`] at every thread count (`threads ==
+/// 0` is treated as 1). Spans opened on worker threads are recorded under
+/// their leaf names rather than nested below `astar`.
+///
+/// # Errors
+///
+/// See [`run_astar`]; the first failing node in node order wins.
+///
+/// # Panics
+///
+/// Re-raises panics from node jobs (the scheduler isolates them; a panic
+/// in `A_*`'s per-node step is a bug, not a recoverable outcome).
+pub fn run_astar_threaded<A, P, C>(
+    alg: &A,
+    problem: &P,
+    instance: &LabeledGraph<(A::Input, C)>,
+    cfg: &AStarConfig,
+    threads: usize,
+    rec: &dyn Recorder,
+) -> Result<AStarRun<A::Output>>
+where
+    A: ObliviousAlgorithm + Clone + Sync,
+    A::Input: Label + Sync,
+    A::Output: Send,
+    P: Problem<Input = A::Input>,
+    C: Label + Sync,
+{
+    let _astar_span = Span::new(rec, names::SPAN_ASTAR);
+    let g = instance.graph();
+    let n = g.node_count();
+    let mut state = AStarState::new(n);
+    let mut cache: AstarCache<A::Input, C> = AstarCache::new();
+    let scheduler = BatchScheduler::with_threads(threads.max(1));
+    let nodes: Vec<NodeId> = g.nodes().collect();
+
+    for p in 1..=cfg.max_phases {
+        state.equivalent_rounds += p;
+        let ip = augment(instance, &state.bits)?;
+        let keys = prepare_phase(&mut cache, problem, &ip, p, cfg, rec)?;
+        // Jobs wrap the node step's typed result in their Ok value, so
+        // the scheduler never renders a CoreError to a string; the commit
+        // below propagates the first error in node order.
+        let outcome = scheduler.run(&nodes, |_, &v| {
+            Ok::<Result<NodeOutcome<A::Output>>, String>(astar_node_step(
+                alg,
+                &ip,
+                v,
+                p,
+                keys[v.index()],
+                &cache,
+                cfg,
+                rec,
+            ))
+        });
+        let results: Vec<Result<NodeOutcome<A::Output>>> = outcome
+            .results
+            .into_iter()
+            .map(|r| match r {
+                JobResult::Ok(inner) => inner,
+                JobResult::Failed(msg) => unreachable!("A_* node jobs never return Err: {msg}"),
+                JobResult::Panicked(msg) => panic!("A_* node job panicked: {msg}"),
+            })
+            .collect();
+        if let Some(done) = state.commit_phase(results, p)? {
+            return Ok(done);
+        }
+    }
+    Err(CoreError::PhaseBudgetExceeded { phases: cfg.max_phases })
+}
+
+/// `I^p`: the instance augmented with the current bitstring labels.
+fn augment<I: Label, C: Label>(
+    instance: &LabeledGraph<(I, C)>,
+    bits: &[BitString],
+) -> Result<LabeledGraph<CandidateLabel<I, C>>> {
+    let g = instance.graph();
+    let full_labels: Vec<CandidateLabel<I, C>> =
+        g.nodes().map(|v| (instance.label(v).clone(), bits[v.index()].clone())).collect();
+    Ok(g.with_labels(full_labels)?)
+}
+
+/// Phase-`p` setup against the memo: per-node universes (cached balls at
+/// radius `p - 1`), then one [`AstarCache::ensure_pool`] per node — a hash
+/// lookup for every node after the first in its universe class.
+fn prepare_phase<I, C, P>(
+    cache: &mut AstarCache<I, C>,
+    problem: &P,
+    ip: &LabeledGraph<CandidateLabel<I, C>>,
+    p: usize,
+    cfg: &AStarConfig,
+    rec: &dyn Recorder,
+) -> Result<Vec<PoolKey>>
+where
+    I: Label,
+    C: Label,
+    P: Problem<Input = I>,
+{
+    let universes = cache.phase_universes(ip, p - 1);
+    let p_capped = p.min(cfg.max_candidate_nodes);
+    universes.iter().map(|u| cache.ensure_pool(problem, p_capped, p, u, rec)).collect()
+}
+
+/// What one node's phase step produced: its adopted output (if the
+/// simulation succeeded) and its extended bitstring (if an extension
+/// succeeded). Only node `v` ever writes slot `v`, which is what makes
+/// the parallel fan-out commit deterministic.
+struct NodeOutcome<O> {
+    output: Option<O>,
+    new_bits: Option<BitString>,
+}
+
+/// One node's phase `p`: C2 lookup against the pool's selection index
+/// (`Update-Graph`), quotient simulation (`Update-Output`), minimal tape
+/// extension (`Update-Bits`). Reads shared phase state only.
+#[allow(clippy::too_many_arguments)]
+fn astar_node_step<A, C>(
+    alg: &A,
+    ip: &LabeledGraph<CandidateLabel<A::Input, C>>,
+    v: NodeId,
+    p: usize,
+    key: PoolKey,
+    cache: &AstarCache<A::Input, C>,
+    cfg: &AStarConfig,
+    rec: &dyn Recorder,
+) -> Result<NodeOutcome<A::Output>>
+where
+    A: ObliviousAlgorithm + Clone,
+    A::Input: Label,
+    C: Label,
+{
+    let update_graph_span = Span::new(rec, names::SPAN_UPDATE_GRAPH);
+    let view_v = ViewTree::build(ip, v, p)?.canonical_encoding();
+    if rec.is_enabled() {
+        rec.counter(names::ASTAR_C2_LOOKUPS, 1);
+    }
+    let selected = cache.select(key, p, &view_v);
+    drop(update_graph_span);
+    let Some((q, v_star)) = selected else {
+        return Ok(NodeOutcome { output: None, new_bits: None }); // skip phase p at v
+    };
+    if rec.is_enabled() {
+        rec.counter(names::ASTAR_C2_HITS, 1);
+    }
+
+    let order = canonical_order(q.graph(), ViewMode::Portless)?;
+    let j = q.graph().map_labels(|((i, _c), _b)| i.clone());
+    let tapes: Vec<BitString> = q.graph().labels().iter().map(|(_ic, b)| b.clone()).collect();
+    let assignment = BitAssignment::new(tapes);
+
+    // Update-Output: simulate with the candidate's tapes.
+    let update_output_span = Span::new(rec, names::SPAN_UPDATE_OUTPUT);
+    let mut src = TapeSource::new(assignment.clone());
+    let exec = run(&Oblivious(alg.clone()), &j, &mut src, &cfg.sim_config)?;
+    let output = if exec.is_successful() {
+        Some(exec.output(v_star).expect("successful simulations output everywhere").clone())
+    } else {
+        None
+    };
+    drop(update_output_span);
+
+    // Update-Bits: smallest p-extension inducing success.
+    let update_bits_span = Span::new(rec, names::SPAN_UPDATE_BITS);
+    let new_bits = smallest_successful_extension(alg, &j, &assignment, p, &order, cfg)?
+        .map(|b_min| b_min.tape(v_star).expect("extension covers the quotient").clone());
+    drop(update_bits_span);
+
+    Ok(NodeOutcome { output, new_bits })
+}
+
+/// Mutable run state shared by the engines; phase results are committed
+/// in node order regardless of the order they were computed in.
+struct AStarState<O> {
+    bits: Vec<BitString>,
+    outputs: Vec<Option<O>>,
+    output_phase: Vec<usize>,
+    equivalent_rounds: usize,
+}
+
+impl<O: Clone + PartialEq> AStarState<O> {
+    fn new(n: usize) -> Self {
+        AStarState {
+            bits: vec![BitString::new(); n],
+            outputs: vec![None; n],
+            output_phase: vec![0; n],
+            equivalent_rounds: 0,
+        }
+    }
+
+    /// Applies one phase's node outcomes in node order — adopt outputs
+    /// (trapping Lemma-9 inconsistencies), extend bitstrings — and
+    /// returns the finished run once every node has output.
+    fn commit_phase(
+        &mut self,
+        results: Vec<Result<NodeOutcome<O>>>,
+        p: usize,
+    ) -> Result<Option<AStarRun<O>>> {
+        let mut new_bits = self.bits.clone();
+        for (v, result) in results.into_iter().enumerate() {
+            let outcome = result?;
+            if let Some(out) = outcome.output {
+                match &self.outputs[v] {
+                    Some(existing) if *existing != out => {
+                        return Err(CoreError::InconsistentOutput { node: v, phase: p });
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.outputs[v] = Some(out);
+                        self.output_phase[v] = p;
+                    }
+                }
+            }
+            if let Some(b) = outcome.new_bits {
+                new_bits[v] = b;
+            }
+        }
+        self.bits = new_bits;
+
+        if self.outputs.iter().all(Option::is_some) {
+            let outputs =
+                std::mem::take(&mut self.outputs).into_iter().map(|o| o.expect("just checked"));
+            return Ok(Some(AStarRun {
+                outputs: outputs.collect(),
+                phases_used: p,
+                equivalent_rounds: self.equivalent_rounds,
+                output_phase: std::mem::take(&mut self.output_phase),
+                final_bits: std::mem::take(&mut self.bits),
+            }));
+        }
+        Ok(None)
+    }
+}
+
+/// The literal Figure-3 realization: per node per phase, rebuild the
+/// candidate pool and scan it for the minimal matching candidate. Kept as
+/// the semantic baseline for [`run_astar`]'s memoized engine — the
+/// `astar-fast-vs-reference` differential oracle compares the two
+/// byte-for-byte.
+///
+/// # Errors
+///
+/// See [`run_astar`]; on aborting runs this path's error order is the
+/// authoritative one.
+pub fn run_astar_reference<A, P, C>(
+    alg: &A,
+    problem: &P,
+    instance: &LabeledGraph<(A::Input, C)>,
+    cfg: &AStarConfig,
+) -> Result<AStarRun<A::Output>>
+where
+    A: ObliviousAlgorithm + Clone,
+    A::Input: Label,
+    P: Problem<Input = A::Input>,
+    C: Label,
+{
+    run_astar_reference_observed(alg, problem, instance, cfg, &NoopRecorder)
+}
+
+/// [`run_astar_reference`] under a [`Recorder`] (same spans as
+/// [`run_astar_observed`], without the memo counters).
+///
+/// # Errors
+///
+/// See [`run_astar`].
+pub fn run_astar_reference_observed<A, P, C>(
     alg: &A,
     problem: &P,
     instance: &LabeledGraph<(A::Input, C)>,
@@ -135,21 +465,18 @@ where
 
     for p in 1..=cfg.max_phases {
         equivalent_rounds += p;
-        // I^p: the instance augmented with the current bitstring labels.
-        let full_labels: Vec<((A::Input, C), BitString)> =
-            g.nodes().map(|v| (instance.label(v).clone(), bits[v.index()].clone())).collect();
-        let ip = g.with_labels(full_labels)?;
+        let ip = augment(instance, &bits)?;
 
         // Candidate views are per-candidate, shared across nodes; node
         // views are per-node. Both depend on the phase only.
         let mut new_bits = bits.clone();
         for v in g.nodes() {
             let update_graph_span = Span::new(rec, names::SPAN_UPDATE_GRAPH);
-            let view_v = ViewTree::build(&ip, v, p)?.canonicalize().encoded();
+            let view_v = ViewTree::build(&ip, v, p)?.canonical_encoding();
 
             // The label universe: marks occurring in L_p(v, I^p), i.e.
             // labels within p-1 hops (complete for candidates ≤ p nodes).
-            let mut universe: Vec<((A::Input, C), BitString)> =
+            let mut universe: Vec<CandidateLabel<A::Input, C>> =
                 distance::ball(g, v, p - 1).into_iter().map(|u| ip.label(u).clone()).collect();
             universe.sort();
             universe.dedup();
@@ -158,13 +485,13 @@ where
             // minimal finite view graph.
             let pool = candidate_pool(p.min(cfg.max_candidate_nodes), &universe)?;
             // The selected candidate's finite view graph and v's node in it.
-            type Selected<I, C> = (ViewQuotient<((I, C), BitString)>, NodeId);
+            type Selected<I, C> = (ViewQuotient<CandidateLabel<I, C>>, NodeId);
             let mut selected: Option<Selected<A::Input, C>> = None;
             for cand in &pool {
                 // C2: a node with the same depth-p view.
                 let mut v_hat = None;
                 for u in cand.graph().nodes() {
-                    let enc = ViewTree::build(cand, u, p)?.canonicalize().encoded();
+                    let enc = ViewTree::build(cand, u, p)?.canonical_encoding();
                     if enc == view_v {
                         v_hat = Some(u);
                         break;
@@ -304,6 +631,14 @@ mod tests {
         generators::cycle(3).unwrap().with_labels(vec![((), 1u32), ((), 2), ((), 3)]).unwrap()
     }
 
+    fn assert_runs_identical<O: PartialEq + std::fmt::Debug>(a: &AStarRun<O>, b: &AStarRun<O>) {
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.phases_used, b.phases_used);
+        assert_eq!(a.equivalent_rounds, b.equivalent_rounds);
+        assert_eq!(a.output_phase, b.output_phase);
+        assert_eq!(a.final_bits, b.final_bits);
+    }
+
     #[test]
     fn astar_solves_mis_on_the_colored_triangle() {
         let inst = triangle_instance();
@@ -325,9 +660,7 @@ mod tests {
             run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default()).unwrap();
         let b =
             run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default()).unwrap();
-        assert_eq!(a.outputs, b.outputs);
-        assert_eq!(a.phases_used, b.phases_used);
-        assert_eq!(a.final_bits, b.final_bits);
+        assert_runs_identical(&a, &b);
     }
 
     #[test]
@@ -365,6 +698,42 @@ mod tests {
     }
 
     #[test]
+    fn fast_path_matches_the_reference_byte_for_byte() {
+        let cfg = AStarConfig::default();
+        let inst = triangle_instance();
+        let fast = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &cfg).unwrap();
+        let reference =
+            run_astar_reference(&RandomizedMis::new(), &MisProblem, &inst, &cfg).unwrap();
+        assert_runs_identical(&fast, &reference);
+
+        use anonet_algorithms::matching::{MatchingProblem, RandomizedMatching};
+        let p2 = generators::path(2).unwrap().with_labels(vec![(10u32, 10u32), (20, 20)]).unwrap();
+        let fast = run_astar(&RandomizedMatching::<u32>::new(), &MatchingProblem, &p2, &cfg);
+        let reference =
+            run_astar_reference(&RandomizedMatching::<u32>::new(), &MatchingProblem, &p2, &cfg);
+        assert_runs_identical(&fast.unwrap(), &reference.unwrap());
+    }
+
+    #[test]
+    fn threaded_astar_is_byte_identical_at_every_thread_count() {
+        let cfg = AStarConfig::default();
+        let inst = triangle_instance();
+        let sequential = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &cfg).unwrap();
+        for threads in [1usize, 2, 8] {
+            let par = run_astar_threaded(
+                &RandomizedMis::new(),
+                &MisProblem,
+                &inst,
+                &cfg,
+                threads,
+                &NoopRecorder,
+            )
+            .unwrap();
+            assert_runs_identical(&par, &sequential);
+        }
+    }
+
+    #[test]
     fn observed_astar_reports_phase_spans_and_matches_plain() {
         let inst = triangle_instance();
         let rec = anonet_obs::MemoryRecorder::new();
@@ -382,6 +751,11 @@ mod tests {
         assert!(ug.count >= 3, "one Update-Graph per node per phase, got {}", ug.count);
         assert!(snap.span("astar/update_output").unwrap().count >= 1);
         assert!(snap.span("astar/update_bits").unwrap().count >= 1);
+        // The memo is exercised: the triangle's three nodes share one
+        // universe, so all but the first pool request per phase must hit.
+        assert!(snap.counter(names::ASTAR_POOL_HIT) > 0, "pool memo never hit");
+        assert!(snap.counter(names::ASTAR_POOL_MISS) > 0);
+        assert!(snap.counter(names::ASTAR_C2_LOOKUPS) >= snap.counter(names::ASTAR_C2_HITS));
         let plain =
             run_astar(&RandomizedMis::new(), &MisProblem, &inst, &AStarConfig::default()).unwrap();
         assert_eq!(observed.outputs, plain.outputs);
@@ -393,6 +767,8 @@ mod tests {
         let inst = triangle_instance();
         let cfg = AStarConfig { max_phases: 2, ..Default::default() };
         let err = run_astar(&RandomizedMis::new(), &MisProblem, &inst, &cfg).unwrap_err();
+        assert!(matches!(err, CoreError::PhaseBudgetExceeded { phases: 2 }));
+        let err = run_astar_reference(&RandomizedMis::new(), &MisProblem, &inst, &cfg).unwrap_err();
         assert!(matches!(err, CoreError::PhaseBudgetExceeded { phases: 2 }));
     }
 }

@@ -11,7 +11,7 @@
 //! candidate occurs as a mark in `v`'s depth-`p` view. Enumerating over
 //! the view's label set is therefore **complete**, not a heuristic.
 
-use anonet_graph::{Graph, Label, LabeledGraph};
+use anonet_graph::{iso, Graph, Label, LabeledGraph};
 
 use crate::error::CoreError;
 use crate::Result;
@@ -44,6 +44,37 @@ pub fn connected_graphs(n: usize) -> Result<Vec<Graph>> {
         }
     }
     Ok(graphs)
+}
+
+/// [`connected_graphs`] deduplicated up to (unlabeled) isomorphism,
+/// keeping the first presentation of each class.
+///
+/// Dropping duplicate presentations *before* labeling shrinks the
+/// candidate pool by the OEIS A001187 / A001349 ratio (728 → 21 at
+/// `n = 5`) and changes nothing observable: every labeled candidate over
+/// a dropped presentation is isomorphic (transport the labeling along
+/// the graph isomorphism) to a labeled candidate over the kept one, the
+/// `Update-Graph` order `(|V̂_*|, s(Ĝ_*))` compares candidates through
+/// their canonical quotient encodings (presentation-independent), and on
+/// prime quotients the isomorphism is unique, so the simulated outcome at
+/// the matched node is identical. The `pool_selection_is_invariant_
+/// under_presentation_dedup` test in [`crate::astar_cache`] pins this.
+///
+/// # Errors
+///
+/// [`CoreError::EnumerationTooLarge`] as for [`connected_graphs`].
+pub fn connected_graphs_up_to_iso(n: usize) -> Result<Vec<Graph>> {
+    let mut classes: Vec<LabeledGraph<u8>> = Vec::new();
+    let mut out = Vec::new();
+    for g in connected_graphs(n)? {
+        let plain = g.with_uniform_label(0u8);
+        if classes.iter().any(|seen| iso::are_isomorphic(seen, &plain)) {
+            continue;
+        }
+        classes.push(plain);
+        out.push(g);
+    }
+    Ok(out)
 }
 
 /// All labelings of `n` vertices over `universe` (i.e. `universe^n`),
@@ -86,13 +117,40 @@ pub fn labelings<L: Label>(universe: &[L], n: usize) -> Result<Vec<Vec<L>>> {
 /// All labeled graphs with **at most** `max_nodes` nodes over the given
 /// label universe — the raw candidate pool before conditions C2/C3.
 ///
+/// Underlying graphs are deduplicated up to isomorphism
+/// ([`connected_graphs_up_to_iso`]); the pool still covers every labeled
+/// candidate up to isomorphism, which is all the minimal-candidate rule
+/// can see.
+///
 /// # Errors
 ///
 /// Enumeration-size errors from [`connected_graphs`] / [`labelings`].
 pub fn candidate_pool<L: Label>(max_nodes: usize, universe: &[L]) -> Result<Vec<LabeledGraph<L>>> {
+    pool_over(max_nodes, universe, connected_graphs_up_to_iso)
+}
+
+/// The pre-dedup pool: every *presentation* of every connected graph,
+/// labeled — the paper's literal enumeration. Kept for the differential
+/// test that the dedup does not move the `Update-Graph` selection.
+///
+/// # Errors
+///
+/// Enumeration-size errors from [`connected_graphs`] / [`labelings`].
+pub fn candidate_pool_all_presentations<L: Label>(
+    max_nodes: usize,
+    universe: &[L],
+) -> Result<Vec<LabeledGraph<L>>> {
+    pool_over(max_nodes, universe, connected_graphs)
+}
+
+fn pool_over<L: Label>(
+    max_nodes: usize,
+    universe: &[L],
+    graphs: impl Fn(usize) -> Result<Vec<Graph>>,
+) -> Result<Vec<LabeledGraph<L>>> {
     let mut pool = Vec::new();
     for n in 1..=max_nodes {
-        for g in connected_graphs(n)? {
+        for g in graphs(n)? {
             for labels in labelings(universe, n)? {
                 pool.push(g.with_labels(labels).expect("labeling length matches by construction"));
             }
@@ -142,11 +200,52 @@ mod tests {
     }
 
     #[test]
+    fn iso_dedup_counts_match_oeis() {
+        // Connected graphs on n unlabeled nodes: OEIS A001349.
+        assert_eq!(connected_graphs_up_to_iso(1).unwrap().len(), 1);
+        assert_eq!(connected_graphs_up_to_iso(2).unwrap().len(), 1);
+        assert_eq!(connected_graphs_up_to_iso(3).unwrap().len(), 2);
+        assert_eq!(connected_graphs_up_to_iso(4).unwrap().len(), 6);
+        assert_eq!(connected_graphs_up_to_iso(5).unwrap().len(), 21);
+    }
+
+    #[test]
+    fn iso_dedup_keeps_first_presentations() {
+        // Dedup keeps the earliest presentation of each class, so the
+        // deduped list is a subsequence of the full enumeration and every
+        // dropped presentation is isomorphic to a kept one.
+        let full: Vec<_> =
+            connected_graphs(4).unwrap().into_iter().map(|g| g.with_uniform_label(0u8)).collect();
+        let kept: Vec<_> = connected_graphs_up_to_iso(4)
+            .unwrap()
+            .into_iter()
+            .map(|g| g.with_uniform_label(0u8))
+            .collect();
+        let mut cursor = 0usize;
+        for k in &kept {
+            let pos = full[cursor..]
+                .iter()
+                .position(|f| {
+                    f.graph().edges().collect::<Vec<_>>() == k.graph().edges().collect::<Vec<_>>()
+                })
+                .expect("kept graphs appear in enumeration order");
+            cursor += pos + 1;
+        }
+        for f in &full {
+            assert!(kept.iter().any(|k| iso::are_isomorphic(k, f)));
+        }
+    }
+
+    #[test]
     fn pool_sizes_compose() {
         let universe = vec![1u8, 2];
         let pool = candidate_pool(3, &universe).unwrap();
-        // n=1: 1 graph × 2 labelings; n=2: 1 × 4; n=3: 4 × 8.
-        assert_eq!(pool.len(), 2 + 4 + 32);
+        // n=1: 1 graph × 2 labelings; n=2: 1 × 4; n=3: 2 classes × 8
+        // (the four presentations collapse to path-3 and triangle).
+        assert_eq!(pool.len(), 2 + 4 + 16);
         assert!(pool.iter().all(|g| g.graph().is_connected()));
+        // The literal presentation pool is strictly larger.
+        let full = candidate_pool_all_presentations(3, &universe).unwrap();
+        assert_eq!(full.len(), 2 + 4 + 32);
     }
 }

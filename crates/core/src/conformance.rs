@@ -14,7 +14,7 @@ use anonet_runtime::Problem;
 use anonet_runtime::{run, BitAssignment, ExecConfig, Oblivious, ObliviousAlgorithm, TapeSource};
 use anonet_views::{quotient, ViewMode};
 
-use crate::astar::{run_astar, AStarConfig};
+use crate::astar::{run_astar, run_astar_reference, run_astar_threaded, AStarConfig, AStarRun};
 use crate::derandomizer::{DerandomizedRun, Derandomizer};
 use crate::error::CoreError;
 use crate::infinity::solve_infinity;
@@ -168,6 +168,110 @@ where
     Ok(astar.outputs)
 }
 
+/// **Fast `A_*` ≡ reference `A_*`** — the memoized engine against the
+/// literal Figure-3 enumeration, byte-for-byte.
+///
+/// Runs [`run_astar_reference`] and [`run_astar`] and demands equality of
+/// *every* observable field of the run — outputs, output phases, phase
+/// count, equivalent rounds, and the final bitstrings at byte level —
+/// then repeats the comparison for [`run_astar_threaded`] at each thread
+/// count in `threads`. One engine erroring while the other succeeds is a
+/// mismatch; both erroring propagates the reference's error (the suite
+/// treats budget errors as out-of-scope, mismatches as failures).
+///
+/// Returns the agreed run.
+///
+/// # Errors
+///
+/// Budget/view errors when both engines fail, or
+/// [`CoreError::ConformanceMismatch`] (oracle `astar-fast-vs-reference`).
+pub fn astar_fast_reference_agreement<A, P, C>(
+    alg: &A,
+    problem: &P,
+    instance: &LabeledGraph<(A::Input, C)>,
+    astar_cfg: &AStarConfig,
+    threads: &[usize],
+) -> Result<AStarRun<A::Output>>
+where
+    A: ObliviousAlgorithm + Clone + Sync,
+    A::Input: Label + Sync,
+    A::Output: Send,
+    P: Problem<Input = A::Input>,
+    C: Label + Sync,
+{
+    const ORACLE: &str = "astar-fast-vs-reference";
+    let reference = run_astar_reference(alg, problem, instance, astar_cfg);
+    let fast = run_astar(alg, problem, instance, astar_cfg);
+    let (reference, fast) = match (reference, fast) {
+        (Ok(r), Ok(f)) => (r, f),
+        (Err(e), Err(_)) => return Err(e),
+        (Ok(_), Err(e)) => {
+            return Err(mismatch(ORACLE, format!("fast engine failed, reference succeeded: {e}")));
+        }
+        (Err(e), Ok(_)) => {
+            return Err(mismatch(ORACLE, format!("reference failed, fast engine succeeded: {e}")));
+        }
+    };
+    compare_astar_runs(ORACLE, "fast", &fast, &reference)?;
+    for &t in threads {
+        match run_astar_threaded(alg, problem, instance, astar_cfg, t, &anonet_obs::NoopRecorder) {
+            Ok(par) => compare_astar_runs(ORACLE, &format!("threaded({t})"), &par, &reference)?,
+            Err(e) => {
+                return Err(mismatch(
+                    ORACLE,
+                    format!("threaded({t}) failed, reference succeeded: {e}"),
+                ));
+            }
+        }
+    }
+    Ok(fast)
+}
+
+/// Byte-level equality of two [`AStarRun`]s, every field.
+fn compare_astar_runs<O: PartialEq + std::fmt::Debug>(
+    oracle: &str,
+    variant: &str,
+    got: &AStarRun<O>,
+    want: &AStarRun<O>,
+) -> Result<()> {
+    for (v, (a, b)) in got.outputs.iter().zip(want.outputs.iter()).enumerate() {
+        if a != b {
+            return Err(mismatch(
+                oracle,
+                format!("{variant}: node {v} output {a:?} != reference output {b:?}"),
+            ));
+        }
+    }
+    if got.output_phase != want.output_phase {
+        return Err(mismatch(
+            oracle,
+            format!(
+                "{variant}: output phases {:?} != reference {:?}",
+                got.output_phase, want.output_phase
+            ),
+        ));
+    }
+    if got.phases_used != want.phases_used || got.equivalent_rounds != want.equivalent_rounds {
+        return Err(mismatch(
+            oracle,
+            format!(
+                "{variant}: phases/rounds ({}, {}) != reference ({}, {})",
+                got.phases_used, got.equivalent_rounds, want.phases_used, want.equivalent_rounds
+            ),
+        ));
+    }
+    if got.final_bits != want.final_bits {
+        return Err(mismatch(
+            oracle,
+            format!(
+                "{variant}: final bits {:?} != reference {:?}",
+                got.final_bits, want.final_bits
+            ),
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +330,21 @@ mod tests {
         assert!(matches!(err, CoreError::ConformanceMismatch { ref oracle, .. }
             if oracle == "randomized-replay"));
         assert!(err.to_string().contains("randomized-replay"));
+    }
+
+    #[test]
+    fn fast_reference_agreement_holds_on_a_lifted_cycle() {
+        // C6 as a 2-lift of the colored triangle: nontrivial fibers, a
+        // 3-node quotient, and two distinct universes per phase.
+        let run = astar_fast_reference_agreement(
+            &RandomizedMis::new(),
+            &MisProblem,
+            &lifted_c3(2),
+            &AStarConfig::default(),
+            &[1, 2, 8],
+        )
+        .unwrap();
+        assert_eq!(run.outputs.len(), 6);
     }
 
     #[test]

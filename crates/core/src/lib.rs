@@ -14,6 +14,9 @@
 //!   enumeration (`Update-Graph`), quotient simulation (`Update-Output`),
 //!   and lexicographically minimal tape extension (`Update-Bits`) —
 //!   faithful to the pseudocode, feasible on small instances;
+//! * [`astar_cache`] — the memo behind the fast `A_*` path: candidate
+//!   pools keyed by `(p_capped, universe)`, per-depth C2 selection
+//!   indexes, interned view encodings, and cached balls-by-radius;
 //! * [`derandomizer`] — the engineering-grade variant of the same
 //!   construction: quotient once, pick a canonical successful assignment
 //!   (exhaustive-minimal or seeded-replay), lift;
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod astar;
+pub mod astar_cache;
 pub mod batch;
 pub mod candidates;
 pub mod conformance;

@@ -143,6 +143,14 @@ pub mod names {
     pub const SPAN_UPDATE_OUTPUT: &str = "update_output";
     /// `A_*` Update-Bits phase (minimal tape extension).
     pub const SPAN_UPDATE_BITS: &str = "update_bits";
+    /// Memoized candidate pools served from the `A_*` pool cache.
+    pub const ASTAR_POOL_HIT: &str = "astar.pool.hit";
+    /// Candidate pools built from scratch by the `A_*` pool cache.
+    pub const ASTAR_POOL_MISS: &str = "astar.pool.miss";
+    /// Per-node C2 lookups against a pool's view-encoding index.
+    pub const ASTAR_C2_LOOKUPS: &str = "astar.c2.lookups";
+    /// C2 lookups that found a matching candidate.
+    pub const ASTAR_C2_HITS: &str = "astar.c2.hits";
     /// One batch-scheduler run.
     pub const SPAN_BATCH_RUN: &str = "batch_run";
     /// One batch job, queue-claim to completion.

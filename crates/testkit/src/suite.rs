@@ -20,7 +20,8 @@ use rand_chacha::ChaCha8Rng;
 
 use anonet_core::astar::AStarConfig;
 use anonet_core::conformance::{
-    astar_infinity_agreement, replay_on_full_instance, view_graph_agreement,
+    astar_fast_reference_agreement, astar_infinity_agreement, replay_on_full_instance,
+    view_graph_agreement,
 };
 use anonet_core::pipeline::run_pipeline;
 use anonet_core::{CoreError, Derandomizer, SearchStrategy};
@@ -107,8 +108,9 @@ const ASTAR_BUDGET: usize = 2;
 
 impl<A, P, F> Suite<A, P, F>
 where
-    A: ObliviousAlgorithm + Clone,
-    A::Input: Label,
+    A: ObliviousAlgorithm + Clone + Sync,
+    A::Input: Label + Sync,
+    A::Output: Send,
     P: Problem<Input = A::Input, Output = A::Output>,
     F: Fn(u32) -> A::Input,
 {
@@ -392,6 +394,25 @@ where
                 }
                 // Budget exhaustion just means the case outgrew the
                 // paper-exact enumeration — not a conformance failure.
+                Err(_) => {}
+            }
+
+            // Differential 6 — the memoized A_* engine (and its parallel
+            // fan-out at 1/2/8 threads) against the literal Figure-3
+            // reference, byte-for-byte across every field of the run.
+            // Same gate and budget slot as differential 5: the reference
+            // side is the expensive per-node enumeration.
+            match astar_fast_reference_agreement(
+                &self.alg,
+                &self.problem,
+                &instance,
+                &AStarConfig::default(),
+                &[1, 2, 8],
+            ) {
+                Ok(_) => {}
+                Err(e @ CoreError::ConformanceMismatch { .. }) => {
+                    return Err(Failure::new("astar-fast-vs-reference", e.to_string()));
+                }
                 Err(_) => {}
             }
         }

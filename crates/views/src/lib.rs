@@ -56,6 +56,7 @@
 pub mod cover;
 mod error;
 mod folded;
+mod interner;
 pub mod norris;
 mod order;
 mod quotient;
@@ -64,6 +65,7 @@ mod view_tree;
 
 pub use error::ViewError;
 pub use folded::FoldedView;
+pub use interner::{Interner, Sym};
 pub use order::{canonical_encoding, canonical_order, update_graph_cmp};
 pub use quotient::{quotient, ViewQuotient};
 pub use refinement::{Refinement, ViewMode};

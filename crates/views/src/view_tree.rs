@@ -139,10 +139,35 @@ impl<L: Label> ViewTree<L> {
         }
     }
 
+    /// The canonical byte encoding — the encoding of the canonicalized
+    /// tree — computed from borrowed data, without cloning the tree.
+    ///
+    /// Equal iff the views are equal as unordered marked trees, i.e.
+    /// `t.canonical_encoding() == t.clone().canonicalize().encoded()`
+    /// always holds (children are sorted by their own canonical
+    /// encodings at every level, exactly as [`ViewTree::canonicalize`]
+    /// does in place).
+    pub fn canonical_encoding(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.canonical_encode_into(&mut out);
+        out
+    }
+
+    fn canonical_encode_into(&self, out: &mut Vec<u8>) {
+        self.mark.encode(out);
+        (self.children.len() as u64).encode(out);
+        let mut child_encodings: Vec<Vec<u8>> =
+            self.children.iter().map(ViewTree::canonical_encoding).collect();
+        child_encodings.sort();
+        for enc in child_encodings {
+            out.extend_from_slice(&enc);
+        }
+    }
+
     /// `true` iff the canonical forms of the two views are equal — i.e.
     /// the views are equal as unordered marked trees.
     pub fn view_eq(&self, other: &Self) -> bool {
-        self.clone().canonicalize().encoded() == other.clone().canonicalize().encoded()
+        self.canonical_encoding() == other.canonical_encoding()
     }
 
     /// Renders the tree with ASCII indentation (root first), useful for
@@ -276,6 +301,33 @@ mod tests {
         let t = ViewTree::build(&g, NodeId::new(0), 2).unwrap();
         let r = t.render();
         assert!(r.contains('1') && r.contains('2') && r.contains('3'));
+    }
+
+    #[test]
+    fn canonical_encoding_matches_canonicalize_then_encode() {
+        // The borrowed canonical encoding must agree byte-for-byte with
+        // the clone-canonicalize-encode route it replaced, including on
+        // trees whose children arrive in non-canonical port order.
+        let g = fig1_c6();
+        for v in 0..6 {
+            for d in 1..=4 {
+                let t = ViewTree::build(&g, NodeId::new(v), d).unwrap();
+                assert_eq!(
+                    t.canonical_encoding(),
+                    t.clone().canonicalize().encoded(),
+                    "node {v} depth {d}"
+                );
+            }
+        }
+        // A hand-built tree with deliberately unsorted children.
+        let t = ViewTree::from_parts(
+            9u32,
+            vec![
+                ViewTree::from_parts(7, vec![ViewTree::from_parts(5, vec![])]),
+                ViewTree::from_parts(3, vec![]),
+            ],
+        );
+        assert_eq!(t.canonical_encoding(), t.clone().canonicalize().encoded());
     }
 
     #[test]

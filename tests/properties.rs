@@ -129,6 +129,40 @@ fn check_execution_replays_from_tapes(seed: u64, n: usize, flavor: u8) {
     assert_eq!(replay.outputs(), exec.outputs());
 }
 
+/// The `A_*` pool-memo key — `(p_capped, canonical universe encoding)`
+/// per node — is a function of the node's ball *label set* only, so it
+/// must follow node renumberings (the key vector is permuted, nothing
+/// else) and ignore port re-permutations entirely. This is what makes
+/// the memo sound on anonymous instances: two presentations of the same
+/// network always share their pools.
+fn check_pool_memo_key_invariance(seed: u64, n: usize, flavor: u8) {
+    use anonet::core::astar_cache::pool_keys;
+    use anonet::graph::lift::Perm;
+    use rand::SeedableRng;
+
+    let g = arbitrary_graph(seed, n, flavor);
+    let colored = coloring::greedy_two_hop_coloring(&g);
+    // The A_* label shape: ((input, color), bitstring), at phase start.
+    let ip = colored.map_labels(|&c| (((), c), BitString::new()));
+    let n = ip.node_count();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    for p in 1..=3usize {
+        let keys = pool_keys(&ip, p, 4);
+        let perm = Perm::random(n, &mut rng);
+        let renumbered = ip.renumber(&perm).expect("perm has matching degree");
+        let keys_renumbered = pool_keys(&renumbered, p, 4);
+        for v in 0..n {
+            assert_eq!(
+                keys[v],
+                keys_renumbered[perm.apply(v)],
+                "phase {p}: memo key did not follow node {v} through the renumbering"
+            );
+        }
+        let shuffled = ip.with_shuffled_ports(&mut rng);
+        assert_eq!(keys, pool_keys(&shuffled, p, 4), "phase {p}: memo keys saw port numbers");
+    }
+}
+
 /// Historic shrink from `properties.proptest-regressions` (C3 via the
 /// cycle flavor clamping n = 2 up to 3), pinned explicitly because the
 /// vendored proptest ignores regression files.
@@ -141,6 +175,7 @@ fn regression_seed_0_n_2_flavor_2() {
     check_derandomized_mis(0, 2, 2);
     check_matching_is_valid(0, 2, 2);
     check_execution_replays_from_tapes(0, 2, 2);
+    check_pool_memo_key_invariance(0, 2, 2);
 }
 
 proptest! {
@@ -179,5 +214,10 @@ proptest! {
     #[test]
     fn executions_replay_from_recorded_tapes(seed in 0u64..5000, n in 2usize..12, flavor in 0u8..4) {
         check_execution_replays_from_tapes(seed, n, flavor);
+    }
+
+    #[test]
+    fn pool_memo_keys_are_presentation_invariant(seed in 0u64..5000, n in 2usize..12, flavor in 0u8..4) {
+        check_pool_memo_key_invariance(seed, n, flavor);
     }
 }
