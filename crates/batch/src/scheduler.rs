@@ -54,7 +54,9 @@ impl<O> JobResult<O> {
     pub fn unwrap(self) -> O {
         match self {
             JobResult::Ok(o) => o,
+            // anonet-lint: allow(panic-hygiene, reason = "documented panicking accessor; callers opt in after checking")
             JobResult::Failed(e) => panic!("job failed: {e}"),
+            // anonet-lint: allow(panic-hygiene, reason = "documented panicking accessor; callers opt in after checking")
             JobResult::Panicked(e) => panic!("job panicked: {e}"),
         }
     }
@@ -258,6 +260,7 @@ impl BatchScheduler {
             let (result, elapsed) = slot
                 .into_inner()
                 .unwrap_or_else(|p| p.into_inner())
+                // anonet-lint: allow(panic-hygiene, reason = "scoped-thread invariant: the scope cannot end before every slot is written")
                 .expect("every slot is filled before the scope ends");
             results.push(result);
             job_times.push(elapsed);

@@ -51,6 +51,7 @@ use anonet_runtime::Problem;
 use anonet_views::{canonical_encoding, quotient, Interner, Sym, ViewMode, ViewQuotient, ViewTree};
 
 use crate::candidates::candidate_pool;
+use crate::error::CoreError;
 use crate::Result;
 
 /// The label type `A_*` works over: `((input, color), bitstring)`.
@@ -192,7 +193,8 @@ impl<I: Label, C: Label> AstarCache<I, C> {
         }
         // Split borrows: the index build interns candidate view encodings.
         let AstarCache { interner, pools, .. } = self;
-        let entry = pools.get_mut(&key).expect("pool was just ensured");
+        let entry =
+            pools.get_mut(&key).ok_or_else(|| CoreError::internal("pool was just ensured"))?;
         if let std::collections::hash_map::Entry::Vacant(slot) = entry.indexes.entry(depth) {
             slot.insert(build_index(&entry.candidates, depth, interner)?);
         }

@@ -59,12 +59,26 @@ pub enum CoreError {
         /// Human-readable witness of the disagreement.
         detail: String,
     },
+    /// An internal invariant did not hold — always an implementation bug,
+    /// reported as a typed error instead of a panic so the batch engine
+    /// can fail one job without tearing down the whole run.
+    Internal {
+        /// Which invariant broke.
+        detail: String,
+    },
     /// An underlying views error.
     Views(anonet_views::ViewError),
     /// An underlying runtime error.
     Runtime(anonet_runtime::RuntimeError),
     /// An underlying graph error.
     Graph(anonet_graph::GraphError),
+}
+
+impl CoreError {
+    /// Builds an [`CoreError::Internal`] from any displayable witness.
+    pub fn internal(detail: impl Into<String>) -> Self {
+        CoreError::Internal { detail: detail.into() }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -96,6 +110,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::ConformanceMismatch { oracle, detail } => {
                 write!(f, "conformance oracle {oracle} failed: {detail}")
+            }
+            CoreError::Internal { detail } => {
+                write!(f, "internal invariant violated (bug): {detail}")
             }
             CoreError::Views(e) => write!(f, "views error: {e}"),
             CoreError::Runtime(e) => write!(f, "runtime error: {e}"),

@@ -9,7 +9,7 @@
 //! between such representations correspond to factorizing maps between the
 //! underlying 2-hop colored graphs.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use anonet_graph::{Label, LabeledGraph, NodeId};
 
@@ -67,7 +67,7 @@ impl<L: Label> DirectedRepresentation<L> {
     /// *symmetric* property (holds by construction; exposed for tests and
     /// for representations built by other means).
     pub fn is_symmetric(&self) -> bool {
-        let set: HashSet<(NodeId, NodeId)> = self.arcs.iter().map(|a| (a.tail, a.head)).collect();
+        let set: BTreeSet<(NodeId, NodeId)> = self.arcs.iter().map(|a| (a.tail, a.head)).collect();
         set.iter().all(|&(t, h)| set.contains(&(h, t)))
     }
 
@@ -81,9 +81,9 @@ impl<L: Label> DirectedRepresentation<L> {
     pub fn is_deterministic(&self) -> bool {
         for v in 0..self.node_count {
             let v = NodeId::new(v);
-            let mut seen = HashSet::new();
+            let mut seen = BTreeSet::new();
             for a in self.arcs.iter().filter(|a| a.tail == v) {
-                if !seen.insert(a.color.clone()) {
+                if !seen.insert((a.color.0.encoded(), a.color.1.encoded())) {
                     return false;
                 }
             }
@@ -94,7 +94,7 @@ impl<L: Label> DirectedRepresentation<L> {
     /// `true` iff the coloring respects edge symmetries: the opposite of
     /// an arc colored `⟨c₁, c₂⟩` is colored `⟨c₂, c₁⟩`.
     pub fn respects_symmetries(&self) -> bool {
-        let colored: HashSet<(NodeId, NodeId, Vec<u8>, Vec<u8>)> = self
+        let colored: BTreeSet<(NodeId, NodeId, Vec<u8>, Vec<u8>)> = self
             .arcs
             .iter()
             .map(|a| (a.tail, a.head, a.color.0.encoded(), a.color.1.encoded()))
@@ -108,7 +108,7 @@ impl<L: Label> DirectedRepresentation<L> {
     /// node map between their directed representations (plus the local
     /// lifting property, which [`FactorizingMap`] has already validated).
     pub fn is_fibration_into(&self, other: &Self, map: &FactorizingMap) -> bool {
-        let target: HashSet<(NodeId, NodeId, Vec<u8>, Vec<u8>)> = other
+        let target: BTreeSet<(NodeId, NodeId, Vec<u8>, Vec<u8>)> = other
             .arcs
             .iter()
             .map(|a| (a.tail, a.head, a.color.0.encoded(), a.color.1.encoded()))

@@ -1,0 +1,33 @@
+//! Regression: the Section-4 fibration predicates are stable across
+//! repeated runs (companion to `anonet-views`'s encoding regression).
+//!
+//! `is_symmetric`/`is_deterministic`/`respects_symmetries` build fresh
+//! membership sets per call; if those sets leaked iteration order into
+//! the verdict, `RandomState`'s per-construction reseeding would make
+//! repeated calls diverge. 100 fresh constructions must agree.
+
+use anonet_factor::fibration::DirectedRepresentation;
+use anonet_factor::FactorizingMap;
+use anonet_graph::{generators, LabeledGraph};
+
+const RUNS: usize = 100;
+
+fn colored_cycle(n: usize) -> LabeledGraph<u32> {
+    let labels: Vec<u32> = (0..n).map(|i| (i % 3) as u32 + 1).collect();
+    generators::cycle(n).unwrap().with_labels(labels).unwrap()
+}
+
+#[test]
+fn fibration_checks_are_stable_across_runs() {
+    let c6 = colored_cycle(6);
+    let c3 = colored_cycle(3);
+    let map = FactorizingMap::new(&c6, &c3, vec![0, 1, 2, 0, 1, 2]).unwrap();
+    for run in 0..RUNS {
+        let h6 = DirectedRepresentation::of(&c6);
+        let h3 = DirectedRepresentation::of(&c3);
+        assert!(h6.is_symmetric(), "run {run}");
+        assert!(h6.is_deterministic(), "run {run}");
+        assert!(h6.respects_symmetries(), "run {run}");
+        assert!(h6.is_fibration_into(&h3, &map), "run {run}");
+    }
+}

@@ -5,6 +5,7 @@
 //! impossible. Randomized generators take an explicit `Rng` so every
 //! experiment is reproducible from a seed.
 
+// anonet-lint: allow-file(randomness, reason = "seeded instance generators build experiment inputs, not pipeline state")
 use rand::seq::SliceRandom;
 use rand::Rng;
 

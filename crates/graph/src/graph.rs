@@ -281,6 +281,7 @@ impl Graph {
 
     /// Re-permutes every node's ports uniformly at random — a seeded
     /// source of adversarial port numberings.
+    // anonet-lint: allow(randomness, reason = "seeded adversarial port shuffling builds test instances, not pipeline state")
     pub fn with_shuffled_ports<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Graph {
         let perms: Vec<crate::lift::Perm> =
             self.nodes().map(|v| crate::lift::Perm::random(self.degree(v), rng)).collect();

@@ -12,7 +12,7 @@
 //! refinement prune is total on graphs whose refinement is discrete (in
 //! particular on prime 2-hop colored graphs, by Lemma 4).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::labeled::LabeledGraph;
 use crate::labels::Label;
@@ -33,7 +33,7 @@ pub fn find_isomorphism<L: Label>(a: &LabeledGraph<L>, b: &LabeledGraph<L>) -> O
     let (class_a, class_b) = joint_refinement(a, b)?;
 
     // Node order for the search: most constrained first (smallest class).
-    let mut class_size = HashMap::new();
+    let mut class_size = BTreeMap::new();
     for &c in class_a.iter().chain(class_b.iter()) {
         *class_size.entry(c).or_insert(0usize) += 1;
     }
@@ -138,18 +138,18 @@ fn joint_refinement<L: Label>(
     Some((class[..n].to_vec(), class[n..].to_vec()))
 }
 
-fn assign_classes<K: Eq + std::hash::Hash + Ord + Clone>(keys: &[K]) -> Vec<u32> {
+fn assign_classes<K: Ord>(keys: &[K]) -> Vec<u32> {
     let mut sorted: Vec<&K> = keys.iter().collect();
     sorted.sort();
     sorted.dedup();
-    let index: HashMap<&K, u32> =
+    let index: BTreeMap<&K, u32> =
         sorted.into_iter().enumerate().map(|(i, k)| (k, i as u32)).collect();
     keys.iter().map(|k| index[k]).collect()
 }
 
 fn histograms_match(class: &[u32], n: usize) -> bool {
-    let mut ha = HashMap::new();
-    let mut hb = HashMap::new();
+    let mut ha = BTreeMap::new();
+    let mut hb = BTreeMap::new();
     for &c in &class[..n] {
         *ha.entry(c).or_insert(0usize) += 1;
     }

@@ -142,6 +142,7 @@ impl<L: Label> LabeledGraph<L> {
     /// keeping topology and labels. Anonymous algorithms' *outputs* must be
     /// invariant under this transformation whenever they are invariant
     /// under the adversarial port numbering of the model.
+    // anonet-lint: allow(randomness, reason = "seeded adversarial port shuffling builds test instances, not pipeline state")
     pub fn with_shuffled_ports<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Self {
         LabeledGraph { graph: self.graph.with_shuffled_ports(rng), labels: self.labels.clone() }
     }

@@ -12,6 +12,7 @@
 //! whose quotient (the finite view graph) must recover the base — the
 //! `C12 ⪰ C6 ⪰ C3` chain of the paper's Figure 2 is exactly such a tower.
 
+// anonet-lint: allow(randomness, reason = "seeded lift/permutation generators build experiment inputs, not pipeline state")
 use rand::Rng;
 
 use crate::error::GraphError;

@@ -1,0 +1,76 @@
+//! Which rules apply where.
+//!
+//! Scopes are workspace-relative path prefixes with forward slashes. The
+//! defaults in [`Config::workspace`] encode the anonet architecture:
+//! which crates form the deterministic stage, which module is the
+//! sanctioned randomness layer, and which hot paths must not panic. A
+//! rule with an empty scope list never fires.
+
+/// Path scoping for every rule.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Crates whose outputs must be bit-for-bit reproducible: the
+    /// `determinism` rule flags unordered hash iteration here.
+    pub determinism_scopes: Vec<String>,
+    /// Where the `anonymity` rule applies (algorithm code).
+    pub anonymity_scopes: Vec<String>,
+    /// Modules inside the anonymity scope that legitimately read node
+    /// identities: global-observer problem verifiers.
+    pub anonymity_sanctioned: Vec<String>,
+    /// Path prefixes where `rand`/`rand_chacha` are allowed: the
+    /// sanctioned randomness layer, plus test/bench tooling crates.
+    pub randomness_exempt: Vec<String>,
+    /// Hot paths where `unwrap`/`expect`/`panic!` are forbidden.
+    pub panic_scopes: Vec<String>,
+    /// The file defining the `names` metric-constant module.
+    pub obs_names_file: String,
+    /// Where literal metric names at call sites are flagged.
+    pub obs_callsite_scopes: Vec<String>,
+}
+
+impl Config {
+    /// The anonet workspace policy.
+    pub fn workspace() -> Self {
+        let s = |v: &[&str]| v.iter().map(|p| p.to_string()).collect::<Vec<_>>();
+        Config {
+            // The deterministic stage `A_*` and everything feeding its
+            // canonical encodings: byte-identical outputs are promised by
+            // the batch cache, the threaded engine, and the conformance
+            // oracles.
+            determinism_scopes: s(&[
+                "crates/core/src/",
+                "crates/views/src/",
+                "crates/factor/src/",
+                "crates/graph/src/",
+            ]),
+            anonymity_scopes: s(&["crates/algorithms/src/"]),
+            // Problem verifiers are global observers by definition
+            // (they judge outputs, they don't run on nodes).
+            anonymity_sanctioned: s(&[
+                "crates/algorithms/src/problems.rs",
+                "crates/algorithms/src/verify.rs",
+            ]),
+            randomness_exempt: s(&[
+                // The one sanctioned randomness abstraction: everything
+                // else draws bits through `RandomSource`.
+                "crates/runtime/src/randomness.rs",
+                // Test/bench tooling builds instances, not pipeline state.
+                "crates/testkit/",
+                "crates/bench/",
+            ]),
+            panic_scopes: s(&[
+                "crates/runtime/src/",
+                "crates/batch/src/scheduler.rs",
+                "crates/core/src/astar.rs",
+                "crates/core/src/astar_cache.rs",
+            ]),
+            obs_names_file: "crates/obs/src/lib.rs".to_string(),
+            obs_callsite_scopes: s(&["crates/", "src/"]),
+        }
+    }
+
+    /// `true` iff `path` starts with any prefix in `scopes`.
+    pub fn in_scopes(scopes: &[String], path: &str) -> bool {
+        scopes.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}

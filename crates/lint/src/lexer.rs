@@ -1,0 +1,421 @@
+//! A lightweight Rust-source scanner.
+//!
+//! This is *not* a Rust parser: the rules only need a token stream that is
+//! faithful about the things that could fool a regex — comments, string
+//! literals (including raw and byte strings), char literals vs lifetimes,
+//! and nested block comments. Everything else is identifiers, numbers, and
+//! single-character punctuation, each tagged with its 1-indexed line.
+//!
+//! The scanner also extracts comment text line by line (the waiver syntax
+//! lives in comments) and computes `#[cfg(test)]` regions so rules can
+//! exempt test code.
+
+/// What a token is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A string literal (text holds the *contents*, unescaped lazily —
+    /// i.e. raw source bytes between the quotes).
+    Str,
+    /// A numeric literal (possibly with a type suffix).
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its source line (1-indexed).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// The token text (for [`TokKind::Punct`], a single character).
+    pub text: String,
+    /// 1-indexed source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` iff this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` iff this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// The result of scanning one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments stripped.
+    pub tokens: Vec<Tok>,
+    /// Comment text, one entry per *source line* of comment (block
+    /// comments spanning lines contribute one entry per line).
+    pub comments: Vec<(u32, String)>,
+}
+
+/// Scans `src` into tokens and comment lines.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start = i;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push((line, chars[start..i].iter().collect()));
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let mut depth = 1usize;
+                i += 2;
+                let mut seg_start = i;
+                let mut seg_line = line;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        out.comments.push((seg_line, chars[seg_start..i].iter().collect()));
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                        seg_line = line;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = if depth == 0 { i.saturating_sub(2) } else { i };
+                if end > seg_start {
+                    out.comments.push((seg_line, chars[seg_start..end].iter().collect()));
+                }
+            }
+            '"' => {
+                let (tok, ni, nl) = scan_string(&chars, i, line);
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            'r' if raw_string_ahead(&chars, i) => {
+                let (tok, ni, nl) = scan_raw_string(&chars, i + 1, line);
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            'b' if i + 1 < n && chars[i + 1] == '"' => {
+                let (tok, ni, nl) = scan_string(&chars, i + 1, line);
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            'b' if i + 1 < n && chars[i + 1] == 'r' && raw_string_ahead(&chars, i + 1) => {
+                let (tok, ni, nl) = scan_raw_string(&chars, i + 2, line);
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            'b' if i + 1 < n && chars[i + 1] == '\'' => {
+                i = scan_char_literal(&chars, i + 1);
+            }
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`). A
+                // lifetime is a quote followed by an identifier *not*
+                // closed by another quote.
+                let is_lifetime = i + 1 < n
+                    && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+                    && !(i + 2 < n && chars[i + 2] == '\'');
+                if is_lifetime {
+                    i += 1;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    i = scan_char_literal(&chars, i);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Num,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `chars[i]` is `r`; is this the start of a raw string (`r"` / `r#`)?
+fn raw_string_ahead(chars: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    j > i && j < chars.len() && chars[j] == '"' && (chars[i + 1] == '#' || chars[i + 1] == '"')
+}
+
+/// Scans a normal (escaped) string literal starting at the opening quote.
+fn scan_string(chars: &[char], quote: usize, mut line: u32) -> (Tok, usize, u32) {
+    let start_line = line;
+    let mut i = quote + 1;
+    let content_start = i;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '"' => break,
+            _ => i += 1,
+        }
+    }
+    let content: String = chars[content_start..i.min(chars.len())].iter().collect();
+    (Tok { kind: TokKind::Str, text: content, line: start_line }, (i + 1).min(chars.len()), line)
+}
+
+/// Scans a raw string; `hashes_start` points at the first `#` or the quote.
+fn scan_raw_string(chars: &[char], hashes_start: usize, mut line: u32) -> (Tok, usize, u32) {
+    let start_line = line;
+    let mut i = hashes_start;
+    let mut hashes = 0usize;
+    while i < chars.len() && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let content_start = i;
+    'outer: while i < chars.len() {
+        if chars[i] == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < chars.len() && chars[j] == '#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                let content: String = chars[content_start..i].iter().collect();
+                return (Tok { kind: TokKind::Str, text: content, line: start_line }, j, line);
+            }
+            i += 1;
+            continue 'outer;
+        }
+        i += 1;
+    }
+    let content: String = chars[content_start..].iter().collect();
+    (Tok { kind: TokKind::Str, text: content, line: start_line }, chars.len(), line)
+}
+
+/// Scans a char literal starting at the opening quote; returns the index
+/// one past the closing quote.
+fn scan_char_literal(chars: &[char], quote: usize) -> usize {
+    let mut i = quote + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` items.
+///
+/// The scan finds every `#[cfg(...)]` attribute whose argument tokens
+/// include the identifier `test`, skips any further attributes, and then
+/// extends the region to the end of the annotated item: the matching close
+/// brace of its first `{`, or the terminating `;` if one comes first.
+pub fn test_regions(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_punct('#') && tokens[i + 1].is_punct('[') {
+            let attr_line = tokens[i].line;
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut is_test = false;
+            let mut saw_cfg = false;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                } else if tokens[j].is_ident("cfg") {
+                    saw_cfg = true;
+                } else if tokens[j].is_ident("test") {
+                    is_test = true;
+                }
+                j += 1;
+            }
+            if saw_cfg && is_test {
+                // Skip any further attributes on the same item.
+                while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[')
+                {
+                    let mut d = 1usize;
+                    let mut k = j + 2;
+                    while k < tokens.len() && d > 0 {
+                        if tokens[k].is_punct('[') {
+                            d += 1;
+                        } else if tokens[k].is_punct(']') {
+                            d -= 1;
+                        }
+                        k += 1;
+                    }
+                    j = k;
+                }
+                // Extend to the end of the item.
+                let mut end_line = attr_line;
+                let mut brace = 0usize;
+                let mut entered = false;
+                while j < tokens.len() {
+                    if tokens[j].is_punct('{') {
+                        brace += 1;
+                        entered = true;
+                    } else if tokens[j].is_punct('}') {
+                        brace = brace.saturating_sub(1);
+                        if entered && brace == 0 {
+                            end_line = tokens[j].line;
+                            j += 1;
+                            break;
+                        }
+                    } else if tokens[j].is_punct(';') && !entered {
+                        end_line = tokens[j].line;
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                if j == tokens.len() {
+                    end_line = tokens.last().map(|t| t.line).unwrap_or(attr_line);
+                }
+                regions.push((attr_line, end_line));
+                i = j;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// `true` iff `line` falls inside any of `regions`.
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r##"
+// use rand::Rng;
+let s = "use rand::Rng; HashMap";
+let r = r#"panic!("in a raw string")"#;
+/* HashSet
+   across lines */
+let x = map; // trailing HashMap comment
+"##;
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("rand")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("HashSet")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("panic")));
+        assert_eq!(lexed.comments.iter().filter(|(_, t)| t.contains("HashSet")).count(), 1);
+        // Two string tokens survive with their contents.
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_file() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let nl = '\\n';";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("str")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("f")));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nb\n  c";
+        let lexed = lex(src);
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_bodies() {
+        let src = "fn live() { }\n#[cfg(test)]\nmod tests {\n  fn a() { }\n  fn b() { }\n}\nfn also_live() { }\n";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.tokens);
+        assert_eq!(regions.len(), 1);
+        let (a, b) = regions[0];
+        assert!(a <= 3 && b >= 5, "region {a}..{b} should cover the mod body");
+        assert!(!in_regions(&regions, 1));
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 7));
+    }
+
+    #[test]
+    fn cfg_test_on_statement_items() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nuse live::thing;\n";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.tokens);
+        assert_eq!(regions.len(), 1);
+        assert!(in_regions(&regions, 2));
+        assert!(!in_regions(&regions, 3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ ident";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens.len(), 1);
+        assert!(lexed.tokens[0].is_ident("ident"));
+    }
+}

@@ -1,0 +1,316 @@
+//! `anonet-lint`: domain-invariant static analysis for the anonet
+//! workspace.
+//!
+//! The pipeline (see DESIGN.md §9) rests on invariants no general-purpose
+//! linter knows about: the deterministic stage must never observe hash
+//! order, algorithm code must never read a raw node identity, randomness
+//! is confined to the 2-hop-coloring preprocessing layer, hot paths
+//! return typed errors instead of panicking, and every metric name
+//! follows `subsystem.noun[.verb]`. This crate enforces all five with a
+//! hand-written lexer ([`lexer`]), per-rule token scanners ([`rules`]),
+//! path scoping ([`config`]), and deny-by-default inline waivers
+//! ([`waiver`]).
+//!
+//! The binary (`cargo run -p anonet-lint -- check`) walks every `src/`
+//! tree under `crates/`, prints `file:line rule message` per finding,
+//! and exits non-zero on any unwaived finding. `--json` writes a
+//! machine-readable report through the shared [`anonet_obs::Json`]
+//! serializer; `--stats` prints per-rule finding and waiver counts.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod waiver;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use anonet_obs::Json;
+
+pub use config::Config;
+pub use rules::RULES;
+
+/// One finding, after waiver resolution.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// `true` if an adjacent (or file-scope) waiver covers it.
+    pub waived: bool,
+    /// The waiver's reason, when waived.
+    pub reason: Option<String>,
+}
+
+/// The result of checking one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileReport {
+    /// All findings, waived and unwaived.
+    pub findings: Vec<Finding>,
+    /// How many well-formed waivers the file declares.
+    pub waivers_total: usize,
+    /// Well-formed waivers that suppressed nothing: `(line, rule)`.
+    pub unused_waivers: Vec<(u32, String)>,
+}
+
+/// Runs every applicable rule over one file's source.
+///
+/// `rel_path` is the workspace-relative path with forward slashes; it
+/// selects which rules apply per [`Config`]. Findings on lines inside
+/// `#[cfg(test)]` regions are dropped (tests may use hash iteration,
+/// panics, and raw identities freely); malformed waivers become findings
+/// of the un-waivable `waiver` rule.
+pub fn check_source(rel_path: &str, src: &str, cfg: &Config) -> FileReport {
+    let lexed = lexer::lex(src);
+    let regions = lexer::test_regions(&lexed.tokens);
+    let (waivers, malformed) = waiver::extract(&lexed.comments, RULES);
+
+    let mut raw = Vec::new();
+    if Config::in_scopes(&cfg.determinism_scopes, rel_path) {
+        raw.extend(rules::determinism(&lexed.tokens));
+    }
+    if Config::in_scopes(&cfg.anonymity_scopes, rel_path)
+        && !Config::in_scopes(&cfg.anonymity_sanctioned, rel_path)
+    {
+        raw.extend(rules::anonymity(&lexed.tokens));
+    }
+    if !Config::in_scopes(&cfg.randomness_exempt, rel_path) {
+        raw.extend(rules::randomness(&lexed.tokens));
+    }
+    if Config::in_scopes(&cfg.panic_scopes, rel_path) {
+        raw.extend(rules::panic_hygiene(&lexed.tokens));
+    }
+    if Config::in_scopes(&cfg.obs_callsite_scopes, rel_path) || rel_path == cfg.obs_names_file {
+        raw.extend(rules::obs_naming(rel_path, &lexed.tokens, cfg));
+    }
+    raw.retain(|f| !lexer::in_regions(&regions, f.line));
+    raw.sort_by_key(|f| (f.line, f.rule));
+
+    let mut used = vec![false; waivers.len()];
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .map(|f| {
+            let hit = waivers.iter().enumerate().find(|(_, w)| {
+                w.rule == f.rule && (w.file_scope || w.line == f.line || w.line + 1 == f.line)
+            });
+            let (waived, reason) = match hit {
+                Some((i, w)) => {
+                    used[i] = true;
+                    (true, Some(w.reason.clone()))
+                }
+                None => (false, None),
+            };
+            Finding {
+                file: rel_path.to_string(),
+                line: f.line,
+                rule: f.rule,
+                message: f.message,
+                waived,
+                reason,
+            }
+        })
+        .collect();
+
+    // Malformed waivers are findings in their own right and can never be
+    // suppressed — otherwise a broken waiver could waive itself.
+    for m in &malformed {
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line: m.line,
+            rule: "waiver",
+            message: format!("malformed waiver: {}", m.detail),
+            waived: false,
+            reason: None,
+        });
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+
+    let unused_waivers = waivers
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(w, _)| (w.line, w.rule.clone()))
+        .collect();
+
+    FileReport { findings, waivers_total: waivers.len(), unused_waivers }
+}
+
+/// The whole-workspace report.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// How many files were scanned.
+    pub files_scanned: usize,
+    /// All findings across all files, in path order.
+    pub findings: Vec<Finding>,
+    /// Total well-formed waivers declared.
+    pub waivers_total: usize,
+    /// Waivers that suppressed nothing: `(file, line, rule)`.
+    pub unused_waivers: Vec<(String, u32, String)>,
+}
+
+impl Report {
+    /// Findings not covered by a waiver (the CI-gating count).
+    pub fn unwaived(&self) -> usize {
+        self.findings.iter().filter(|f| !f.waived).count()
+    }
+
+    /// Findings suppressed by a waiver.
+    pub fn waived(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived).count()
+    }
+
+    /// `(rule, unwaived, waived)` for every rule, in [`RULES`] order.
+    pub fn by_rule(&self) -> Vec<(&'static str, usize, usize)> {
+        RULES
+            .iter()
+            .map(|r| {
+                let unw = self.findings.iter().filter(|f| f.rule == *r && !f.waived).count();
+                let w = self.findings.iter().filter(|f| f.rule == *r && f.waived).count();
+                (*r, unw, w)
+            })
+            .collect()
+    }
+
+    /// The machine-readable report (written by `--json`).
+    pub fn to_json(&self) -> Json {
+        let findings = Json::arr(self.findings.iter().map(|f| {
+            Json::obj([
+                ("file", Json::str(f.file.as_str())),
+                ("line", Json::Num(f.line as f64)),
+                ("rule", Json::str(f.rule)),
+                ("message", Json::str(f.message.as_str())),
+                ("waived", Json::Bool(f.waived)),
+                ("reason", f.reason.as_deref().map(Json::str).unwrap_or(Json::Null)),
+            ])
+        }));
+        let by_rule = Json::obj(self.by_rule().into_iter().map(|(rule, unw, w)| {
+            (
+                rule,
+                Json::obj([("unwaived", Json::Num(unw as f64)), ("waived", Json::Num(w as f64))]),
+            )
+        }));
+        let unused = Json::arr(self.unused_waivers.iter().map(|(file, line, rule)| {
+            Json::obj([
+                ("file", Json::str(file.as_str())),
+                ("line", Json::Num(*line as f64)),
+                ("rule", Json::str(rule.as_str())),
+            ])
+        }));
+        Json::obj([
+            ("tool", Json::str("anonet-lint")),
+            ("files_scanned", Json::Num(self.files_scanned as f64)),
+            ("unwaived", Json::Num(self.unwaived() as f64)),
+            ("waived", Json::Num(self.waived() as f64)),
+            ("waivers_total", Json::Num(self.waivers_total as f64)),
+            ("findings", findings),
+            ("by_rule", by_rule),
+            ("unused_waivers", unused),
+        ])
+    }
+
+    /// `file:line rule message` lines (unwaived findings only), plus a
+    /// one-line summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in self.findings.iter().filter(|f| !f.waived) {
+            out.push_str(&format!("{}:{} {} {}\n", f.file, f.line, f.rule, f.message));
+        }
+        out.push_str(&format!(
+            "anonet-lint: {} unwaived finding(s), {} waived, {} file(s) scanned\n",
+            self.unwaived(),
+            self.waived(),
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// The `--stats` table: per-rule counts plus waiver accounting.
+    pub fn render_stats(&self) -> String {
+        let mut out = String::from("rule            unwaived  waived\n");
+        for (rule, unw, w) in self.by_rule() {
+            out.push_str(&format!("{rule:<16}{unw:>8}{w:>8}\n"));
+        }
+        out.push_str(&format!(
+            "waivers: {} declared, {} unused\n",
+            self.waivers_total,
+            self.unused_waivers.len()
+        ));
+        for (file, line, rule) in &self.unused_waivers {
+            out.push_str(&format!("  unused waiver {file}:{line} ({rule})\n"));
+        }
+        out
+    }
+}
+
+/// Checks every workspace source file under `root`.
+///
+/// Scans `crates/*/src/**` and the root `src/` tree (test, bench, and
+/// example trees are out of scope by design; fixture corpora under any
+/// `fixtures` directory and vendored code are skipped). Files are
+/// visited in sorted path order so the report is deterministic.
+///
+/// # Errors
+///
+/// Propagates I/O failures from directory walks and file reads.
+pub fn run_check(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(&crates)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+        entries.sort();
+        for krate in entries {
+            let src = krate.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(&path)?;
+        let file_report = check_source(&rel, &src, cfg);
+        report.files_scanned += 1;
+        report.waivers_total += file_report.waivers_total;
+        report
+            .unused_waivers
+            .extend(file_report.unused_waivers.into_iter().map(|(l, r)| (rel.clone(), l, r)));
+        report.findings.extend(file_report.findings);
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default();
+        if path.is_dir() {
+            if name == "fixtures" || name == "target" || name == "vendor" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! The `anonet-lint` CLI.
+//!
+//! ```text
+//! anonet-lint check [--root DIR] [--json PATH] [--stats]
+//! ```
+//!
+//! Exit codes: `0` clean (no unwaived findings), `1` unwaived findings,
+//! `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use anonet_lint::{run_check, Config};
+
+const USAGE: &str = "usage: anonet-lint check [--root DIR] [--json PATH] [--stats]
+
+Checks the anonet workspace against its domain invariants:
+  determinism     no unordered hash iteration in the deterministic stage
+  anonymity       no raw node identities in algorithm code
+  randomness      rand/rand_chacha confined to the sanctioned modules
+  panic-hygiene   no unwrap/expect/panic! in hot paths
+  obs-naming      metric names follow subsystem.noun[.verb]
+
+Findings are suppressed inline, with a mandatory reason:
+  // anonet-lint: allow(<rule>, reason = \"...\")
+
+Options:
+  --root DIR    workspace root (default: current directory)
+  --json PATH   also write a machine-readable report to PATH
+  --stats       print per-rule finding and waiver counts
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("anonet-lint: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses arguments and runs the check; `Ok(true)` means clean.
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some(other) => return Err(format!("unknown command `{other}`")),
+        None => return Err("missing command".to_string()),
+    }
+
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut stats = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--json" => {
+                json_path = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--stats" => stats = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+
+    let cfg = Config::workspace();
+    let report = run_check(&root, &cfg).map_err(|e| format!("walk failed: {e}"))?;
+    if report.files_scanned == 0 {
+        // A clean exit on an empty scan would let a misconfigured CI
+        // checkout pass silently.
+        return Err(format!("no source files found under {}", root.display()));
+    }
+
+    print!("{}", report.render_text());
+    if stats {
+        print!("{}", report.render_stats());
+    }
+    if let Some(path) = json_path {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+            }
+        }
+        std::fs::write(&path, report.to_json().pretty())
+            .map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("anonet-lint: report written to {}", path.display());
+    }
+    Ok(report.unwaived() == 0)
+}

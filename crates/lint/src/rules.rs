@@ -1,0 +1,561 @@
+//! The five domain rules.
+//!
+//! Every rule is a pure function over the token stream of one file; the
+//! engine in `lib.rs` handles scoping, `#[cfg(test)]` exemption, and
+//! waivers. Rules are deliberately lexical: they trade type information
+//! for a zero-dependency tool that runs in milliseconds, and lean on the
+//! waiver syntax for the (rare, documented) sanctioned exceptions.
+
+use crate::config::Config;
+use crate::lexer::{Tok, TokKind};
+
+/// Every rule name, as used in waivers, findings, and reports.
+///
+/// `waiver` is the meta-rule for malformed waivers; it cannot be waived.
+pub const RULES: &[&str] =
+    &["determinism", "anonymity", "randomness", "panic-hygiene", "obs-naming", "waiver"];
+
+/// One finding, before waiver resolution.
+#[derive(Clone, Debug)]
+pub struct RawFinding {
+    /// 1-indexed line.
+    pub line: u32,
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+fn finding(line: u32, rule: &'static str, message: impl Into<String>) -> RawFinding {
+    RawFinding { line, rule, message: message.into() }
+}
+
+/// Methods whose call on a hash container observes unordered iteration.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Identifiers that, appearing later in the same statement, certify the
+/// unordered iteration is canonicalized before it can escape.
+const SORT_SINKS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// **determinism** — unordered `HashMap`/`HashSet` iteration in the
+/// deterministic-stage crates, unless the result is sorted or collected
+/// into a `BTreeMap`/`BTreeSet` within the same statement.
+pub fn determinism(tokens: &[Tok]) -> Vec<RawFinding> {
+    let names = hash_container_names(tokens);
+    let mut out = Vec::new();
+
+    for i in 0..tokens.len() {
+        // `container.iter()`-style: `.` METHOD `(` with a known container
+        // (or hash-typed field) as the receiver.
+        if tokens[i].is_punct('.')
+            && i > 0
+            && i + 2 < tokens.len()
+            && tokens[i + 1].kind == TokKind::Ident
+            && ITER_METHODS.contains(&tokens[i + 1].text.as_str())
+            && tokens[i + 2].is_punct('(')
+            && tokens[i - 1].kind == TokKind::Ident
+            && names.contains(&tokens[i - 1].text)
+            && !sorted_in_statement(tokens, i + 2)
+        {
+            out.push(finding(
+                tokens[i + 1].line,
+                "determinism",
+                format!(
+                    "unordered iteration `{}.{}()` over a HashMap/HashSet in a \
+                     deterministic-stage crate; sort before emitting or use \
+                     BTreeMap/BTreeSet",
+                    tokens[i - 1].text,
+                    tokens[i + 1].text
+                ),
+            ));
+        }
+        // `for k in &container {` / `for k in container {`.
+        if tokens[i].is_ident("in") && (i == 0 || !tokens[i - 1].is_punct('(')) {
+            let mut j = i + 1;
+            while j < tokens.len() && (tokens[j].is_punct('&') || tokens[j].is_ident("mut")) {
+                j += 1;
+            }
+            if j + 1 < tokens.len()
+                && tokens[j].kind == TokKind::Ident
+                && names.contains(&tokens[j].text)
+                && tokens[j + 1].is_punct('{')
+            {
+                out.push(finding(
+                    tokens[j].line,
+                    "determinism",
+                    format!(
+                        "`for … in` over HashMap/HashSet `{}` iterates in unordered hash \
+                         order; iterate a BTreeMap/BTreeSet or a sorted Vec instead",
+                        tokens[j].text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Collects identifiers bound or typed as `HashMap`/`HashSet` in this
+/// file: `let` bindings whose initializing statement mentions the type,
+/// plus `name: HashMap<…>` struct fields and function parameters.
+fn hash_container_names(tokens: &[Tok]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let is_hash = |t: &Tok| t.is_ident("HashMap") || t.is_ident("HashSet");
+
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_ident("mut") {
+                j += 1;
+            }
+            // Skip destructuring patterns (`let Some(x)`, `let (a, b)`).
+            if j + 1 < tokens.len()
+                && tokens[j].kind == TokKind::Ident
+                && !tokens[j + 1].is_punct('(')
+            {
+                let name = tokens[j].text.clone();
+                // Scan the statement (to `;`, brace-balanced, capped).
+                let mut depth = 0i32;
+                for tok in tokens.iter().take((j + 200).min(tokens.len())).skip(j + 1) {
+                    if tok.is_punct('{') || tok.is_punct('(') {
+                        depth += 1;
+                    } else if tok.is_punct('}') || tok.is_punct(')') {
+                        depth -= 1;
+                        if depth < 0 {
+                            break;
+                        }
+                    } else if tok.is_punct(';') && depth == 0 {
+                        break;
+                    } else if is_hash(tok) {
+                        if !names.contains(&name) {
+                            names.push(name.clone());
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        // `name: HashMap<…>` (field or parameter). Require a plain `:`
+        // (not `::`) and scan the type position only, stopping at any
+        // angle-depth-0 delimiter.
+        if i + 2 < tokens.len()
+            && tokens[i].kind == TokKind::Ident
+            && tokens[i + 1].is_punct(':')
+            && !tokens[i + 2].is_punct(':')
+            && (i == 0 || !tokens[i - 1].is_punct(':'))
+        {
+            let mut angle = 0i32;
+            for k in i + 2..(i + 40).min(tokens.len()) {
+                if tokens[k].is_punct('<') {
+                    angle += 1;
+                } else if tokens[k].is_punct('>') {
+                    angle -= 1;
+                } else if angle == 0
+                    && (tokens[k].is_punct(',')
+                        || tokens[k].is_punct(';')
+                        || tokens[k].is_punct(')')
+                        || tokens[k].is_punct('{')
+                        || tokens[k].is_punct('='))
+                {
+                    break;
+                } else if is_hash(&tokens[k]) {
+                    if !names.contains(&tokens[i].text) {
+                        names.push(tokens[i].text.clone());
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    names
+}
+
+/// `true` iff the iteration at `open_paren` is canonicalized nearby: a
+/// sort or BTree collect in the same statement (including the binding's
+/// type annotation, scanned backwards) or in the statement immediately
+/// after (the `let mut v = …; v.sort();` idiom).
+fn sorted_in_statement(tokens: &[Tok], open_paren: usize) -> bool {
+    // Backward to the start of the statement: catches
+    // `let b: BTreeMap<_, _> = m.iter().collect();`.
+    for k in (open_paren.saturating_sub(40)..open_paren).rev() {
+        if tokens[k].is_punct(';') || tokens[k].is_punct('{') || tokens[k].is_punct('}') {
+            break;
+        }
+        if tokens[k].kind == TokKind::Ident && SORT_SINKS.contains(&tokens[k].text.as_str()) {
+            return true;
+        }
+    }
+    // Forward through this statement and the next one.
+    let mut depth = 0i32;
+    let mut semis = 0;
+    for tok in tokens.iter().take((open_paren + 120).min(tokens.len())).skip(open_paren) {
+        if tok.is_punct('(') || tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct(')') || tok.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return false;
+            }
+        } else if tok.is_punct(';') && depth == 0 {
+            semis += 1;
+            if semis > 1 {
+                return false;
+            }
+        } else if tok.kind == TokKind::Ident && SORT_SINKS.contains(&tok.text.as_str()) {
+            return true;
+        }
+    }
+    false
+}
+
+/// **anonymity** — reads of raw node identities inside algorithm code:
+/// `NodeId::new(…)` constructions and `.index()` reads. Algorithm logic
+/// must act on ports, colors, and views only (the premise of Theorem 1);
+/// global-observer verifier modules are sanctioned via config.
+pub fn anonymity(tokens: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("NodeId")
+            && i + 4 < tokens.len()
+            && tokens[i + 1].is_punct(':')
+            && tokens[i + 2].is_punct(':')
+            && tokens[i + 3].is_ident("new")
+            && tokens[i + 4].is_punct('(')
+        {
+            out.push(finding(
+                tokens[i].line,
+                "anonymity",
+                "`NodeId::new(…)` constructs a raw node identity inside algorithm code; \
+                 anonymous algorithms may only use ports, colors, and views",
+            ));
+        }
+        if tokens[i].is_punct('.')
+            && i + 3 < tokens.len()
+            && tokens[i + 1].is_ident("index")
+            && tokens[i + 2].is_punct('(')
+            && tokens[i + 3].is_punct(')')
+        {
+            out.push(finding(
+                tokens[i + 1].line,
+                "anonymity",
+                "`.index()` reads a raw identity inside algorithm code; anonymous \
+                 algorithms may only use ports, colors, and views (waive for \
+                 global-observer verifier code)",
+            ));
+        }
+    }
+    out
+}
+
+/// Identifiers whose presence means randomness is being imported or
+/// constructed directly rather than through `RandomSource`.
+const RNG_IDENTS: &[&str] = &["rand", "rand_chacha", "thread_rng", "from_entropy"];
+
+/// **randomness** — `rand`/`rand_chacha` imports or RNG construction
+/// outside the sanctioned randomness layer (and testkit/bench). The
+/// paper's decoupling confines randomness to the 2-hop-coloring
+/// preprocessing stage; everything downstream must be deterministic.
+pub fn randomness(tokens: &[Tok]) -> Vec<RawFinding> {
+    let mut out: Vec<RawFinding> = Vec::new();
+    for t in tokens {
+        if t.kind == TokKind::Ident && RNG_IDENTS.contains(&t.text.as_str()) {
+            // One finding per line, not per path segment.
+            if out.last().map(|f: &RawFinding| f.line) != Some(t.line) {
+                out.push(finding(
+                    t.line,
+                    "randomness",
+                    format!(
+                        "`{}` outside the designated randomness modules; draw bits through \
+                         `RandomSource` so randomness stays confined to the 2-hop-coloring \
+                         preprocessing stage",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// **panic-hygiene** — `unwrap()`, `expect(…)`, and `panic!` in runtime
+/// and scheduler hot paths, which have typed error channels
+/// (`RuntimeError`, `CoreError`) that panicking bypasses.
+pub fn panic_hygiene(tokens: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].is_punct('.')
+            && i + 3 < tokens.len()
+            && tokens[i + 1].is_ident("unwrap")
+            && tokens[i + 2].is_punct('(')
+            && tokens[i + 3].is_punct(')')
+        {
+            out.push(finding(
+                tokens[i + 1].line,
+                "panic-hygiene",
+                "`unwrap()` in a hot path; return the typed error instead",
+            ));
+        }
+        if tokens[i].is_punct('.')
+            && i + 2 < tokens.len()
+            && tokens[i + 1].is_ident("expect")
+            && tokens[i + 2].is_punct('(')
+        {
+            out.push(finding(
+                tokens[i + 1].line,
+                "panic-hygiene",
+                "`expect(…)` in a hot path; return the typed error instead",
+            ));
+        }
+        if tokens[i].is_ident("panic") && i + 1 < tokens.len() && tokens[i + 1].is_punct('!') {
+            out.push(finding(
+                tokens[i].line,
+                "panic-hygiene",
+                "`panic!` in a hot path; return the typed error instead",
+            ));
+        }
+    }
+    out
+}
+
+/// **obs-naming** — metric/span naming discipline:
+/// literal metric names at `counter`/`histogram`/`Span::new` call sites
+/// (must use `anonet_obs::names` constants), and, in the names module
+/// itself, constant values violating the `subsystem.noun[.verb]`
+/// convention (span constants are bare lowercase leaf names).
+pub fn obs_naming(rel_path: &str, tokens: &[Tok], cfg: &Config) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+
+    // Call sites: `.counter("…"` / `.histogram("…"`.
+    for i in 0..tokens.len() {
+        if tokens[i].is_punct('.')
+            && i + 3 < tokens.len()
+            && (tokens[i + 1].is_ident("counter") || tokens[i + 1].is_ident("histogram"))
+            && tokens[i + 2].is_punct('(')
+            && tokens[i + 3].kind == TokKind::Str
+        {
+            out.push(finding(
+                tokens[i + 3].line,
+                "obs-naming",
+                format!(
+                    "literal metric name \"{}\"; add a constant to `anonet_obs::names` \
+                     (`subsystem.noun[.verb]`) and use it",
+                    tokens[i + 3].text
+                ),
+            ));
+        }
+        // `Span::new(rec, "…")`: a literal as the second argument.
+        if tokens[i].is_ident("Span")
+            && i + 4 < tokens.len()
+            && tokens[i + 1].is_punct(':')
+            && tokens[i + 2].is_punct(':')
+            && tokens[i + 3].is_ident("new")
+            && tokens[i + 4].is_punct('(')
+        {
+            let mut depth = 1i32;
+            let mut k = i + 5;
+            while k < tokens.len() && depth > 0 {
+                if tokens[k].is_punct('(') {
+                    depth += 1;
+                } else if tokens[k].is_punct(')') {
+                    depth -= 1;
+                } else if tokens[k].is_punct(',') && depth == 1 {
+                    if k + 1 < tokens.len() && tokens[k + 1].kind == TokKind::Str {
+                        out.push(finding(
+                            tokens[k + 1].line,
+                            "obs-naming",
+                            format!(
+                                "literal span name \"{}\"; add a `SPAN_*` constant to \
+                                 `anonet_obs::names` and use it",
+                                tokens[k + 1].text
+                            ),
+                        ));
+                    }
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+
+    // The names module: validate every `pub const NAME: &str = "value";`.
+    if rel_path == cfg.obs_names_file {
+        if let Some((start, end)) = names_module_range(tokens) {
+            let mut i = start;
+            while i + 6 < end {
+                if tokens[i].is_ident("const")
+                    && tokens[i + 1].kind == TokKind::Ident
+                    && tokens[i + 2].is_punct(':')
+                {
+                    let name = tokens[i + 1].text.clone();
+                    // Find the assigned string literal before the `;`.
+                    let mut k = i + 3;
+                    while k < end && !tokens[k].is_punct(';') {
+                        if tokens[k].kind == TokKind::Str {
+                            let value = &tokens[k].text;
+                            let ok = if name.starts_with("SPAN_") {
+                                is_name_segment(value)
+                            } else {
+                                let segs: Vec<&str> = value.split('.').collect();
+                                (2..=3).contains(&segs.len())
+                                    && segs.iter().all(|s| is_name_segment(s))
+                            };
+                            if !ok {
+                                out.push(finding(
+                                    tokens[k].line,
+                                    "obs-naming",
+                                    format!(
+                                        "metric name \"{value}\" violates the naming \
+                                         convention: {} (lowercase `[a-z][a-z0-9_]*` segments)",
+                                        if name.starts_with("SPAN_") {
+                                            "span constants are bare leaf names"
+                                        } else {
+                                            "counters/histograms are `subsystem.noun[.verb]`"
+                                        }
+                                    ),
+                                ));
+                            }
+                            break;
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Token range (exclusive end) of the body of `pub mod names { … }`.
+fn names_module_range(tokens: &[Tok]) -> Option<(usize, usize)> {
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("mod")
+            && i + 2 < tokens.len()
+            && tokens[i + 1].is_ident("names")
+            && tokens[i + 2].is_punct('{')
+        {
+            let mut depth = 1i32;
+            let mut k = i + 3;
+            while k < tokens.len() && depth > 0 {
+                if tokens[k].is_punct('{') {
+                    depth += 1;
+                } else if tokens[k].is_punct('}') {
+                    depth -= 1;
+                }
+                k += 1;
+            }
+            return Some((i + 3, k));
+        }
+    }
+    None
+}
+
+/// One lowercase metric-name segment: `[a-z][a-z0-9_]*`.
+fn is_name_segment(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_lowercase())
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn determinism_flags_iteration_and_exempts_sorted() {
+        let src = "
+let mut m = HashMap::new();
+let v: Vec<u32> = m.keys().copied().collect();
+for k in &m {}
+let mut x: Vec<u32> = m.keys().copied().collect();
+x.sort();
+let b: BTreeMap<u32, u32> = m.iter().map(|(k, v)| (*k, *v)).collect();
+let count = m.len();
+";
+        let f = determinism(&lex(src).tokens);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("m.keys()"));
+        assert!(f[1].message.contains("for"));
+    }
+
+    #[test]
+    fn determinism_tracks_fields_and_params() {
+        let src = "
+struct S { pools: HashMap<u32, u32>, names: Vec<u32> }
+fn f(&self, extra: &HashSet<u8>) {
+    for x in self.pools.values() {}
+    for n in &self.names {}
+    let _ = extra.iter().count();
+}
+";
+        let f = determinism(&lex(src).tokens);
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn anonymity_flags_identity_reads() {
+        let src = "let v = NodeId::new(0); let i = v.index(); let d = g.degree(v);";
+        let f = anonymity(&lex(src).tokens);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn randomness_flags_imports_once_per_line() {
+        let src = "use rand::{Rng, SeedableRng};\nuse rand_chacha::ChaCha8Rng;\nlet r = rand::thread_rng();";
+        let f = randomness(&lex(src).tokens);
+        assert_eq!(f.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn panic_rule_flags_the_three_forms_only() {
+        let src =
+            "a.unwrap(); b.expect(\"x\"); panic!(\"y\"); c.unwrap_or(3); d.unwrap_or_else(|| 4);";
+        let f = panic_hygiene(&lex(src).tokens);
+        assert_eq!(f.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn obs_naming_flags_literals_and_bad_consts() {
+        let cfg = Config::workspace();
+        let src = r#"
+pub mod names {
+    pub const GOOD: &str = "engine.rounds";
+    pub const BAD: &str = "CamelCase.Thing";
+    pub const SPAN_GOOD: &str = "pipeline";
+    pub const SPAN_BAD: &str = "has.dots";
+}
+fn f(rec: &dyn Recorder) {
+    rec.counter("raw.metric", 1);
+    rec.histogram(names::GOOD, 2);
+    let _s = Span::new(rec, "raw_span");
+    let _t = Span::new(rec, names::SPAN_GOOD);
+}
+"#;
+        let f = obs_naming("crates/obs/src/lib.rs", &lex(src).tokens, &cfg);
+        assert_eq!(f.len(), 4, "{f:?}");
+        // Same file but not the names file: only call sites flagged.
+        let f2 = obs_naming("crates/core/src/x.rs", &lex(src).tokens, &cfg);
+        assert_eq!(f2.len(), 2, "{f2:?}");
+    }
+}

@@ -1,0 +1,200 @@
+//! The inline waiver syntax.
+//!
+//! A finding is suppressed by an adjacent comment:
+//!
+//! ```text
+//! // anonet-lint: allow(determinism, reason = "identity map, never iterated")
+//! ```
+//!
+//! A line waiver covers its own line and the line immediately below it
+//! (so it works both as a trailing comment and on the line above the
+//! flagged code). A whole file is waived for one rule with
+//! `allow-file(<rule>, reason = "...")`, for the rare module whose entire
+//! purpose is exempt (e.g. seeded instance generators).
+//!
+//! Waivers are themselves linted: a waiver without a parseable rule name,
+//! an unknown rule, or a missing/empty `reason` is a finding of the
+//! `waiver` rule — deny-by-default means sloppy suppressions do not pass.
+
+/// One parsed waiver.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// The rule being waived.
+    pub rule: String,
+    /// The required human reason.
+    pub reason: String,
+    /// Comment line (1-indexed).
+    pub line: u32,
+    /// `true` for `allow-file` (covers the whole file).
+    pub file_scope: bool,
+}
+
+/// A waiver that failed to parse; reported as a `waiver`-rule finding.
+#[derive(Clone, Debug)]
+pub struct MalformedWaiver {
+    /// Comment line (1-indexed).
+    pub line: u32,
+    /// What was wrong.
+    pub detail: String,
+}
+
+/// The comment marker that introduces a waiver.
+pub const MARKER: &str = "anonet-lint:";
+
+/// Extracts waivers (and malformed waiver attempts) from comment lines.
+pub fn extract(
+    comments: &[(u32, String)],
+    known_rules: &[&str],
+) -> (Vec<Waiver>, Vec<MalformedWaiver>) {
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    for (line, text) in comments {
+        // Waivers live in plain `//` comments only: doc comments quoting
+        // the syntax (like the module docs above) must not parse as real
+        // waivers.
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        let mut rest = text.as_str();
+        while let Some(pos) = rest.find(MARKER) {
+            rest = &rest[pos + MARKER.len()..];
+            match parse_one(rest, known_rules) {
+                Ok((w, consumed)) => {
+                    waivers.push(Waiver { line: *line, ..w });
+                    rest = &rest[consumed..];
+                }
+                Err(detail) => {
+                    malformed.push(MalformedWaiver { line: *line, detail });
+                    break;
+                }
+            }
+        }
+    }
+    (waivers, malformed)
+}
+
+/// Parses `allow(rule, reason = "...")` or `allow-file(...)` from the text
+/// after the marker; returns the waiver and how many bytes were consumed.
+fn parse_one(text: &str, known_rules: &[&str]) -> Result<(Waiver, usize), String> {
+    // A small cursor over `text`; `pos` is always a char boundary because
+    // every delimiter in the syntax is ASCII.
+    let mut pos = text.len() - text.trim_start().len();
+    let eat = |pos: &mut usize, expected: &str| -> bool {
+        if text[*pos..].starts_with(expected) {
+            *pos += expected.len();
+            true
+        } else {
+            false
+        }
+    };
+    let skip_ws = |pos: &mut usize| {
+        *pos += text[*pos..].len() - text[*pos..].trim_start().len();
+    };
+
+    // `allow-file` must be tried before its prefix `allow`.
+    let file_scope = if eat(&mut pos, "allow-file") {
+        true
+    } else if eat(&mut pos, "allow") {
+        false
+    } else {
+        return Err("expected `allow(...)` or `allow-file(...)` after `anonet-lint:`".into());
+    };
+    skip_ws(&mut pos);
+    if !eat(&mut pos, "(") {
+        return Err("expected `(` after `allow`/`allow-file`".into());
+    }
+    skip_ws(&mut pos);
+    let rule_end = text[pos..]
+        .find([',', ')'])
+        .map(|o| pos + o)
+        .ok_or_else(|| "unterminated waiver: missing `)`".to_string())?;
+    let rule = text[pos..rule_end].trim();
+    if !known_rules.contains(&rule) {
+        return Err(format!("unknown rule `{rule}` (known: {})", known_rules.join(", ")));
+    }
+    if text[rule_end..].starts_with(')') {
+        return Err(format!(
+            "waiver for `{rule}` is missing `reason = \"...\"` — every waiver must say why"
+        ));
+    }
+    pos = rule_end + 1;
+    skip_ws(&mut pos);
+    if !eat(&mut pos, "reason") {
+        return Err("expected `reason = \"...\"` after the rule name".into());
+    }
+    skip_ws(&mut pos);
+    if !eat(&mut pos, "=") {
+        return Err("expected `=` after `reason`".into());
+    }
+    skip_ws(&mut pos);
+    if !eat(&mut pos, "\"") {
+        return Err("expected a quoted reason string".into());
+    }
+    let reason_end = text[pos..]
+        .find('"')
+        .map(|o| pos + o)
+        .ok_or_else(|| "unterminated reason string".to_string())?;
+    let reason = text[pos..reason_end].trim().to_string();
+    if reason.is_empty() {
+        return Err(format!("waiver for `{rule}` has an empty reason"));
+    }
+    pos = reason_end + 1;
+    skip_ws(&mut pos);
+    if !eat(&mut pos, ")") {
+        return Err("expected `)` to close the waiver".into());
+    }
+
+    Ok((Waiver { rule: rule.to_string(), reason, line: 0, file_scope }, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["determinism", "randomness"];
+
+    fn one(text: &str) -> Result<Waiver, String> {
+        parse_one(text, RULES).map(|(w, _)| w)
+    }
+
+    #[test]
+    fn parses_line_waiver() {
+        let w = one(r#" allow(determinism, reason = "identity map")"#).unwrap();
+        assert_eq!(w.rule, "determinism");
+        assert_eq!(w.reason, "identity map");
+        assert!(!w.file_scope);
+    }
+
+    #[test]
+    fn parses_file_waiver() {
+        let w = one(r#" allow-file(randomness, reason = "instance generators")"#).unwrap();
+        assert!(w.file_scope);
+        assert_eq!(w.rule, "randomness");
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        assert!(one(" allow(determinism)").is_err());
+        assert!(one(r#" allow(determinism, reason = "")"#).is_err());
+        assert!(one(r#" allow(determinism, reason = "  ")"#).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        assert!(one(r#" allow(no_such_rule, reason = "x")"#).is_err());
+    }
+
+    #[test]
+    fn extract_walks_comments() {
+        let comments = vec![
+            (3u32, r#"// anonet-lint: allow(determinism, reason = "lookup only")"#.to_string()),
+            (9u32, "// anonet-lint: allow(determinism)".to_string()),
+            (12u32, "// plain comment".to_string()),
+        ];
+        let (ws, bad) = extract(&comments, RULES);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].line, 3);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].line, 9);
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: algorithm code reading raw node identities.
+use anonet_graph::{LabeledGraph, NodeId};
+
+pub fn cheat<L>(g: &LabeledGraph<L>) -> Vec<bool> {
+    let mut out = vec![false; g.node_count()];
+    // BAD: constructs a concrete identity inside algorithm logic.
+    let chosen = NodeId::new(0);
+    // BAD: branches on a raw index.
+    out[chosen.index()] = true;
+    out
+}

@@ -1,0 +1,19 @@
+// Fixture: unordered hash iteration in a deterministic-stage crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn class_histogram(classes: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &c in classes {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    // BAD: emits pairs in hash order.
+    counts.iter().map(|(&c, &n)| (c, n)).collect()
+}
+
+pub fn first_member(set: &HashSet<u32>) -> Option<u32> {
+    // BAD: `for` over a HashSet observes hash order.
+    for x in set {
+        return Some(*x);
+    }
+    None
+}

@@ -1,0 +1,13 @@
+// Fixture: obs naming violations — bad constant values in the names
+// module and literal names at call sites.
+pub mod names {
+    pub const ENGINE_ROUNDS: &str = "EngineRounds";
+    pub const TOO_DEEP: &str = "engine.rounds.per.phase";
+    pub const SPAN_PIPELINE: &str = "pipeline.run";
+}
+
+pub fn record(rec: &dyn Recorder) {
+    rec.counter("adhoc.metric", 1);
+    rec.histogram("another.raw.name", 2.0);
+    let _span = Span::new(rec, "inline_span");
+}

@@ -1,0 +1,11 @@
+// Fixture: panicking in a hot path that has a typed error channel.
+pub fn commit(slots: Vec<Option<u32>>) -> Vec<u32> {
+    if slots.is_empty() {
+        panic!("no slots");
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("slot filled"))
+        .map(|s| Some(s).unwrap())
+        .collect()
+}

@@ -1,0 +1,9 @@
+// Fixture: direct RNG use outside the sanctioned randomness layer.
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+pub fn draw(seed: u64) -> u32 {
+    use rand::SeedableRng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.r#gen()
+}

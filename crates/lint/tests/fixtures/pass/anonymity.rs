@@ -1,0 +1,8 @@
+// Fixture: identity-free algorithm code — ports, colors, views only.
+pub fn local_rule(own_color: u32, neighbor_colors: &[u32]) -> bool {
+    neighbor_colors.iter().all(|&c| c != own_color)
+}
+
+pub fn halt_decision(round: usize, view_depth: usize) -> bool {
+    round >= view_depth
+}

@@ -1,0 +1,25 @@
+// Fixture: hash containers used deterministically — lookups, sorted
+// emission, BTree collection.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn class_histogram(classes: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &c in classes {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    // OK: sorted before emission (same statement).
+    let mut pairs: Vec<(u32, usize)> = counts.iter().map(|(&c, &n)| (c, n)).collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+pub fn canonical(counts: &HashMap<u32, usize>) -> BTreeMap<u32, usize> {
+    // OK: collected into a BTreeMap, which owns the order.
+    let canonical: BTreeMap<u32, usize> = counts.iter().map(|(&c, &n)| (c, n)).collect();
+    canonical
+}
+
+pub fn membership(set: &HashSet<u32>, probe: u32) -> bool {
+    // OK: point lookup, no iteration.
+    set.contains(&probe)
+}

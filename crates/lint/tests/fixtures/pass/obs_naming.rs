@@ -1,0 +1,13 @@
+// Fixture: obs naming done right — `subsystem.noun[.verb]` constants,
+// bare-leaf span names, constants at call sites.
+pub mod names {
+    pub const ENGINE_ROUNDS: &str = "engine.rounds";
+    pub const CACHE_DERAND_HIT: &str = "cache.derand.hit";
+    pub const SPAN_PIPELINE: &str = "pipeline";
+}
+
+pub fn record(rec: &dyn Recorder) {
+    rec.counter(names::ENGINE_ROUNDS, 1);
+    rec.histogram(names::CACHE_DERAND_HIT, 2.0);
+    let _span = Span::new(rec, names::SPAN_PIPELINE);
+}

@@ -1,0 +1,21 @@
+// Fixture: hot-path code returning typed errors.
+pub enum HotError {
+    EmptySlots,
+    MissingSlot { index: usize },
+}
+
+pub fn commit(slots: Vec<Option<u32>>) -> Result<Vec<u32>, HotError> {
+    if slots.is_empty() {
+        return Err(HotError::EmptySlots);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, s)| s.ok_or(HotError::MissingSlot { index }))
+        .collect()
+}
+
+pub fn fallback(slot: Option<u32>) -> u32 {
+    // OK: non-panicking combinators are fine.
+    slot.unwrap_or(0)
+}

@@ -1,0 +1,6 @@
+// Fixture: randomness drawn through the sanctioned abstraction.
+use anonet_runtime::RandomSource;
+
+pub fn draw(src: &mut dyn RandomSource) -> bool {
+    src.next_bit()
+}

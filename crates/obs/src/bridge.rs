@@ -5,8 +5,8 @@
 //! [`Event`] log. This module maps both onto the `engine.*` metric
 //! namespace — [`record_execution`] from the aggregates (no tracing
 //! needed), [`record_events`] from a raw event log — and provides the
-//! recorder-backed [`timeline`] renderer that supersedes the deprecated
-//! `anonet_runtime::trace::render_timeline`.
+//! recorder-backed [`timeline`] renderer over the runtime's
+//! `timeline_text`.
 //!
 //! Call **either** [`record_execution`] **or** [`record_events`] for a
 //! given run, not both: they cover the same counters.
@@ -92,8 +92,8 @@ pub fn record_events(rec: &dyn Recorder, events: &[Event]) {
 }
 
 /// The recorder-backed timeline renderer: records the event log's
-/// `engine.*` metrics into `rec` and returns the same ASCII timeline the
-/// deprecated `render_timeline` produced.
+/// `engine.*` metrics into `rec` and returns the ASCII timeline of
+/// `anonet_runtime::trace::timeline_text`.
 pub fn timeline(rec: &dyn Recorder, events: &[Event]) -> String {
     record_events(rec, events);
     anonet_runtime::trace::timeline_text(events)

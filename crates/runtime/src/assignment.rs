@@ -95,7 +95,9 @@ impl BitAssignment {
         let t2 = other.simulation_length();
         t1.cmp(&t2).then_with(|| {
             for &v in node_order {
+                // anonet-lint: allow(panic-hygiene, reason = "documented precondition: node_order is a permutation of both assignments")
                 let a = self.tape(v).expect("node order in range");
+                // anonet-lint: allow(panic-hygiene, reason = "documented precondition: node_order is a permutation of both assignments")
                 let b = other.tape(v).expect("node order in range");
                 match a.as_slice().cmp(b.as_slice()) {
                     std::cmp::Ordering::Equal => continue,

@@ -61,19 +61,9 @@ impl Event {
     }
 }
 
-/// Renders an event log as an ASCII timeline: one line per round, with
-/// message counts and the nodes that output/halted.
-///
-/// Deprecated: the observability layer's recorder-backed renderer
-/// (`anonet_obs::bridge::timeline`) produces the same text and also feeds
-/// counters/histograms; this shim stays for source compatibility.
-#[deprecated(since = "0.1.0", note = "use anonet_obs::bridge::timeline instead")]
-pub fn render_timeline(events: &[Event]) -> String {
-    timeline_text(events)
-}
-
-/// The ASCII timeline rendering shared by [`render_timeline`] and
-/// [`Execution::timeline`](crate::Execution::timeline). One line per
+/// The ASCII timeline rendering behind
+/// [`Execution::timeline`](crate::Execution::timeline) (and, via the
+/// bridge, `anonet_obs::bridge::timeline`). One line per
 /// round: message count, then any outputs and halts. [`Event::BitsDrawn`]
 /// events contribute no line of their own.
 pub fn timeline_text(events: &[Event]) -> String {
@@ -138,14 +128,6 @@ mod tests {
         assert!(t.contains("round   1:    2 msgs"));
         assert!(t.contains("out: v0"));
         assert!(t.contains("halt: v0"));
-    }
-
-    #[test]
-    fn deprecated_shim_matches_renderer() {
-        let events = vec![Event::OutputSet { round: 1, node: NodeId::new(0) }];
-        #[allow(deprecated)]
-        let shim = render_timeline(&events);
-        assert_eq!(shim, timeline_text(&events));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! finer, so they stabilize after at most `n - 1` rounds — the
 //! finite-depth phenomenon that Section 3 of the paper exploits.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use anonet_graph::{Label, LabeledGraph, NodeId};
 
@@ -171,11 +171,11 @@ impl Refinement {
 }
 
 /// Sorts keys and assigns dense canonical ids by sorted order.
-fn assign_classes<K: Eq + std::hash::Hash + Ord + Clone>(keys: &[K]) -> Vec<u32> {
+fn assign_classes<K: Ord>(keys: &[K]) -> Vec<u32> {
     let mut sorted: Vec<&K> = keys.iter().collect();
     sorted.sort();
     sorted.dedup();
-    let index: HashMap<&K, u32> =
+    let index: BTreeMap<&K, u32> =
         sorted.into_iter().enumerate().map(|(i, k)| (k, i as u32)).collect();
     keys.iter().map(|k| index[k]).collect()
 }

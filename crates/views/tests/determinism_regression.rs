@@ -1,0 +1,64 @@
+//! Regression: canonical encodings are byte-stable across repeated runs.
+//!
+//! The deterministic stage promises bit-for-bit reproducible encodings
+//! (the batch cache keys on them, the conformance oracles compare them
+//! byte-for-byte). A `HashMap`/`HashSet` iterated on the way to an
+//! encoding would break this silently: `RandomState` reseeds per map, so
+//! the bug only shows up as cross-construction (or cross-process)
+//! divergence. These tests recompute every encoding-bearing artifact 100
+//! times from scratch — fresh containers, fresh hashers each run — and
+//! assert byte identity, which is exactly the observable the
+//! `anonet-lint` determinism rule exists to protect.
+
+use anonet_graph::{generators, iso, LabeledGraph};
+use anonet_views::{canonical_encoding, quotient, ViewMode};
+
+const RUNS: usize = 100;
+
+fn colored_cycle(n: usize) -> LabeledGraph<u32> {
+    let labels: Vec<u32> = (0..n).map(|i| (i % 3) as u32 + 1).collect();
+    generators::cycle(n).unwrap().with_labels(labels).unwrap()
+}
+
+#[test]
+fn quotient_encodings_are_stable_across_runs() {
+    for mode in [ViewMode::Portless, ViewMode::PortAware] {
+        for g in [colored_cycle(6), colored_cycle(9), colored_cycle(12)] {
+            let reference = {
+                let q = quotient(&g, mode).unwrap();
+                canonical_encoding(q.graph(), mode).unwrap()
+            };
+            assert!(!reference.is_empty());
+            for run in 0..RUNS {
+                let q = quotient(&g, mode).unwrap();
+                let enc = canonical_encoding(q.graph(), mode).unwrap();
+                assert_eq!(enc, reference, "run {run} diverged ({mode:?})");
+            }
+        }
+    }
+}
+
+#[test]
+fn prime_graph_encodings_are_stable_across_runs() {
+    // A path with all-distinct labels is prime: every node sees a
+    // different view, so it is its own quotient.
+    let g = generators::path(6).unwrap().with_labels(vec![1u32, 2, 3, 4, 5, 6]).unwrap();
+    let reference = canonical_encoding(&g, ViewMode::Portless).unwrap();
+    for run in 0..RUNS {
+        let enc = canonical_encoding(&g, ViewMode::Portless).unwrap();
+        assert_eq!(enc, reference, "run {run} diverged");
+    }
+}
+
+#[test]
+fn isomorphism_search_is_stable_across_runs() {
+    // iso's joint refinement used hash-keyed class maps; the mapping it
+    // finds (and whether it finds one) must not depend on hasher state.
+    let a = colored_cycle(9);
+    let b = colored_cycle(9);
+    let reference = iso::find_isomorphism(&a, &b).expect("isomorphic");
+    for run in 0..RUNS {
+        let m = iso::find_isomorphism(&a, &b).expect("isomorphic");
+        assert_eq!(m, reference, "run {run} found a different mapping");
+    }
+}
