@@ -27,13 +27,22 @@
 //! deliberately ignored (`into_inner` on poison): a panicking job in a
 //! batch must not take the cache down with it, and every value is updated
 //! atomically under the lock, so a poisoned state is still consistent.
+//!
+//! Optionally, a [`CacheBackend`] (see [`crate::persist`]) sits beneath
+//! the tables as a durable second tier: memory misses fall through to it
+//! (outside the lock), disk hits are promoted into memory, and fresh
+//! inserts write through. Backend failures never fail a lookup — they
+//! count as [`CacheStats::disk_errors`] and the cache runs memory-only.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use anonet_graph::BitString;
 use anonet_graph::{Label, LabeledGraph};
+use anonet_store::StoreError;
 use anonet_views::{canonical_encoding, quotient, ViewMode};
+
+use crate::persist::{CacheBackend, WarmEntry};
 
 /// The canonical content address `s(G_*)` of a prime labeled graph (a view
 /// quotient). Isomorphism-invariant: equal for isomorphic quotients.
@@ -70,6 +79,13 @@ pub struct CachedAssignment {
     pub simulation_rounds: usize,
 }
 
+/// Approximate resident size of one assignment entry.
+fn assignment_bytes(problem: &str, key: &[u8], cached: &CachedAssignment) -> usize {
+    key.len()
+        + problem.len()
+        + cached.tapes.iter().map(|tape| tape.len().div_ceil(8)).sum::<usize>()
+}
+
 #[derive(Debug)]
 struct QuotientEntry {
     nodes: usize,
@@ -96,6 +112,9 @@ struct Tables {
     assignment_hits: u64,
     assignment_misses: u64,
     evictions: u64,
+    disk_hits: u64,
+    disk_misses: u64,
+    disk_errors: u64,
     clock: u64,
 }
 
@@ -118,6 +137,15 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Approximate resident payload size in bytes (keys + tapes).
     pub bytes: usize,
+    /// Assignment lookups answered by the persistent tier (each also
+    /// counts in [`assignment_hits`](CacheStats::assignment_hits); memory
+    /// hits are `assignment_hits - disk_hits`).
+    pub disk_hits: u64,
+    /// Memory misses the persistent tier also missed.
+    pub disk_misses: u64,
+    /// Backend calls that failed; the cache degraded to memory-only for
+    /// that operation.
+    pub disk_errors: u64,
 }
 
 impl CacheStats {
@@ -144,15 +172,29 @@ impl CacheStats {
             assignment_hits: self.assignment_hits - before.assignment_hits,
             assignment_misses: self.assignment_misses - before.assignment_misses,
             evictions: self.evictions - before.evictions,
+            disk_hits: self.disk_hits - before.disk_hits,
+            disk_misses: self.disk_misses - before.disk_misses,
+            disk_errors: self.disk_errors - before.disk_errors,
         }
     }
 
     /// One-line rendering for reports.
     pub fn render(&self) -> String {
+        let disk = if self.disk_hits + self.disk_misses + self.disk_errors > 0 {
+            format!(
+                "; disk hits {} / memory hits {} / disk misses {}, {} disk error(s)",
+                self.disk_hits,
+                self.assignment_hits - self.disk_hits,
+                self.disk_misses,
+                self.disk_errors,
+            )
+        } else {
+            String::new()
+        };
         format!(
             "cache: {} quotient(s), {} assignment(s), {} B; \
              assignment hits {} / misses {} (hit rate {:.1}%), \
-             quotient hits {} / misses {}, {} eviction(s)",
+             quotient hits {} / misses {}, {} eviction(s){disk}",
             self.quotient_entries,
             self.assignment_entries,
             self.bytes,
@@ -194,6 +236,7 @@ impl CacheStats {
 pub struct DerandCache {
     tables: Mutex<Tables>,
     max_entries: Option<usize>,
+    backend: Option<Arc<dyn CacheBackend>>,
 }
 
 impl DerandCache {
@@ -205,7 +248,21 @@ impl DerandCache {
     /// A cache evicting least-recently-used entries beyond `max_entries`
     /// (counted across both tables).
     pub fn with_capacity(max_entries: usize) -> Self {
-        DerandCache { tables: Mutex::new(Tables::default()), max_entries: Some(max_entries) }
+        DerandCache { max_entries: Some(max_entries), ..DerandCache::default() }
+    }
+
+    /// Layers a durable [`CacheBackend`] beneath the memory tables (see
+    /// [`crate::PersistentDerandCache`] for the batteries-included
+    /// bundle). Capacity eviction only drops the memory copy — the disk
+    /// tier keeps evicted entries.
+    pub fn with_backend(mut self, backend: Arc<dyn CacheBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// `true` if a persistent tier is attached.
+    pub fn has_backend(&self) -> bool {
+        self.backend.is_some()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Tables> {
@@ -217,49 +274,98 @@ impl DerandCache {
     /// Records that a quotient with address `key` (holding `nodes` quotient
     /// nodes, observed at fiber multiplicity `multiplicity`) was seen.
     /// Returns `true` if this was the first sighting.
+    ///
+    /// With a backend attached, first sightings and multiplicity
+    /// increases write through (outside the lock; latest write wins on
+    /// disk, so the stored multiplicity is the running maximum).
     pub fn record_quotient(&self, key: &[u8], nodes: usize, multiplicity: usize) -> bool {
-        let mut t = self.lock();
-        t.clock += 1;
-        let now = t.clock;
-        if let Some(entry) = t.quotients.get_mut(key) {
-            entry.hits += 1;
-            entry.last_use = now;
-            entry.multiplicity = entry.multiplicity.max(multiplicity);
-            t.quotient_hits += 1;
-            false
-        } else {
-            t.quotients.insert(
-                key.to_vec(),
-                QuotientEntry { nodes, multiplicity, bytes: key.len(), hits: 0, last_use: now },
-            );
-            t.quotient_misses += 1;
-            self.enforce_capacity(&mut t);
-            true
+        let (first, write_multiplicity) = {
+            let mut t = self.lock();
+            t.clock += 1;
+            let now = t.clock;
+            if let Some(entry) = t.quotients.get_mut(key) {
+                entry.hits += 1;
+                entry.last_use = now;
+                let grew = multiplicity > entry.multiplicity;
+                entry.multiplicity = entry.multiplicity.max(multiplicity);
+                let max = entry.multiplicity;
+                t.quotient_hits += 1;
+                (false, grew.then_some(max))
+            } else {
+                t.quotients.insert(
+                    key.to_vec(),
+                    QuotientEntry { nodes, multiplicity, bytes: key.len(), hits: 0, last_use: now },
+                );
+                t.quotient_misses += 1;
+                self.enforce_capacity(&mut t);
+                (true, Some(multiplicity))
+            }
+        };
+        if let (Some(m), Some(backend)) = (write_multiplicity, &self.backend) {
+            if backend.record_quotient(key, nodes, m).is_err() {
+                self.lock().disk_errors += 1;
+            }
         }
+        first
     }
 
     /// Looks up the canonical simulation for `problem` on the quotient
     /// addressed by `key`. Clones the entry out so the lock is held only
     /// briefly.
+    ///
+    /// Memory answers first; with a backend attached, a memory miss falls
+    /// through to the disk tier (outside the lock), and a disk hit is
+    /// promoted into memory so it pays the read once per process. A
+    /// backend error counts as a miss plus a
+    /// [`disk_errors`](CacheStats::disk_errors) tick — persistence never
+    /// fails a lookup.
     pub fn lookup_assignment(&self, problem: &str, key: &[u8]) -> Option<CachedAssignment> {
-        let mut t = self.lock();
-        t.clock += 1;
-        let now = t.clock;
-        // Avoid allocating the owned key pair on the miss path is not
-        // worth the contortions; lookups are rare relative to simulations.
-        let k = (problem.to_string(), key.to_vec());
-        let found = t.assignments.get_mut(&k).map(|entry| {
-            entry.hits += 1;
-            entry.last_use = now;
-            entry.cached.clone()
-        });
-        match found {
-            Some(cached) => {
+        {
+            let mut t = self.lock();
+            t.clock += 1;
+            let now = t.clock;
+            // Avoid allocating the owned key pair on the miss path is not
+            // worth the contortions; lookups are rare relative to
+            // simulations.
+            let k = (problem.to_string(), key.to_vec());
+            if let Some(entry) = t.assignments.get_mut(&k) {
+                entry.hits += 1;
+                entry.last_use = now;
+                let cached = entry.cached.clone();
                 t.assignment_hits += 1;
+                return Some(cached);
+            }
+            if self.backend.is_none() {
+                t.assignment_misses += 1;
+                return None;
+            }
+        }
+        let backend = self.backend.as_ref()?;
+        match backend.load_assignment(problem, key) {
+            Ok(Some(cached)) => {
+                let mut t = self.lock();
+                t.clock += 1;
+                let now = t.clock;
+                t.assignment_hits += 1;
+                t.disk_hits += 1;
+                let bytes = assignment_bytes(problem, key, &cached);
+                // or_insert: a concurrent promoter/inserter may have won.
+                t.assignments.entry((problem.to_string(), key.to_vec())).or_insert(
+                    AssignmentEntry { cached: cached.clone(), bytes, hits: 0, last_use: now },
+                );
+                self.enforce_capacity(&mut t);
                 Some(cached)
             }
-            None => {
+            Ok(None) => {
+                let mut t = self.lock();
                 t.assignment_misses += 1;
+                t.disk_misses += 1;
+                None
+            }
+            Err(_) => {
+                let mut t = self.lock();
+                t.assignment_misses += 1;
+                t.disk_errors += 1;
                 None
             }
         }
@@ -269,21 +375,79 @@ impl DerandCache {
     /// addressed by `key`. Tapes must be in canonical-position order. First
     /// write wins: concurrent inserts of the same key keep the existing
     /// entry (both compute the same canonical object, so this only
-    /// stabilizes the per-entry hit counters).
+    /// stabilizes the per-entry hit counters). A fresh insert writes
+    /// through to the backend, if one is attached.
     pub fn insert_assignment(&self, problem: &str, key: &[u8], cached: CachedAssignment) {
-        let bytes = key.len()
-            + problem.len()
-            + cached.tapes.iter().map(|tape| tape.len().div_ceil(8)).sum::<usize>();
+        let bytes = assignment_bytes(problem, key, &cached);
+        let fresh = {
+            let mut t = self.lock();
+            t.clock += 1;
+            let now = t.clock;
+            let mut fresh = false;
+            t.assignments.entry((problem.to_string(), key.to_vec())).or_insert_with(|| {
+                fresh = true;
+                AssignmentEntry { cached: cached.clone(), bytes, hits: 0, last_use: now }
+            });
+            self.enforce_capacity(&mut t);
+            fresh
+        };
+        if fresh {
+            if let Some(backend) = &self.backend {
+                if backend.store_assignment(problem, key, &cached).is_err() {
+                    self.lock().disk_errors += 1;
+                }
+            }
+        }
+    }
+
+    /// Preloads up to `limit` entries from the backend into the memory
+    /// tables (no-op without a backend). Hit/miss counters are untouched;
+    /// already-resident entries keep their memory copy. Returns the
+    /// number of entries loaded.
+    ///
+    /// # Errors
+    ///
+    /// Backend read errors (entries decoded before the failure stay
+    /// loaded).
+    pub fn warm(&self, limit: usize) -> Result<usize, StoreError> {
+        let Some(backend) = &self.backend else { return Ok(0) };
+        let entries = backend.warm(limit)?;
         let mut t = self.lock();
-        t.clock += 1;
-        let now = t.clock;
-        t.assignments.entry((problem.to_string(), key.to_vec())).or_insert(AssignmentEntry {
-            cached,
-            bytes,
-            hits: 0,
-            last_use: now,
-        });
+        let mut loaded = 0;
+        for entry in entries {
+            t.clock += 1;
+            let now = t.clock;
+            match entry {
+                WarmEntry::Quotient { key, nodes, multiplicity } => {
+                    let bytes = key.len();
+                    t.quotients.entry(key).or_insert_with(|| {
+                        loaded += 1;
+                        QuotientEntry { nodes, multiplicity, bytes, hits: 0, last_use: now }
+                    });
+                }
+                WarmEntry::Assignment { problem, key, cached } => {
+                    let bytes = assignment_bytes(&problem, &key, &cached);
+                    t.assignments.entry((problem, key)).or_insert_with(|| {
+                        loaded += 1;
+                        AssignmentEntry { cached, bytes, hits: 0, last_use: now }
+                    });
+                }
+            }
+        }
         self.enforce_capacity(&mut t);
+        Ok(loaded)
+    }
+
+    /// Flushes the backend, if one is attached.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        match &self.backend {
+            Some(backend) => backend.flush(),
+            None => Ok(()),
+        }
     }
 
     /// Drops everything, keeping cumulative hit/miss counters.
@@ -315,6 +479,9 @@ impl DerandCache {
             assignment_hits: t.assignment_hits,
             assignment_misses: t.assignment_misses,
             evictions: t.evictions,
+            disk_hits: t.disk_hits,
+            disk_misses: t.disk_misses,
+            disk_errors: t.disk_errors,
             bytes: t.quotients.values().map(|e| e.bytes).sum::<usize>()
                 + t.assignments.values().map(|e| e.bytes).sum::<usize>(),
         }

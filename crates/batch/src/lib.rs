@@ -7,12 +7,17 @@
 //! successful bit assignment — is a function of `G_*` alone, so whole
 //! experiment sweeps over lift families redo identical work.
 //!
-//! Two cooperating parts:
+//! Three cooperating parts:
 //!
 //! * [`DerandCache`] — a thread-safe, content-addressed store keyed by the
 //!   canonical byte encoding `s(G_*)` of the quotient (and, for assignment
 //!   entries, by `(problem-id, s(G_*))`). A cache hit replaces the whole
 //!   canonical-assignment search with a single tape replay.
+//! * [`PersistentDerandCache`] — the same cache layered over the
+//!   crash-safe on-disk tier from `anonet-store` via the [`CacheBackend`]
+//!   trait: memory misses fall through to disk, fresh results write
+//!   through, and [`PersistentDerandCache::warm`] preloads a new process
+//!   from a previous run's state, so hit rates compound across restarts.
 //! * [`BatchScheduler`] — a work-queue driver over [`std::thread::scope`]
 //!   (no dependencies beyond `std`, per the DESIGN dependency policy) that
 //!   runs many instances concurrently with deterministic,
@@ -31,7 +36,9 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod persist;
 pub mod scheduler;
 
 pub use cache::{instance_key, quotient_key, CacheStats, CachedAssignment, DerandCache};
+pub use persist::{CacheBackend, PersistentDerandCache, StoreBackend, WarmEntry};
 pub use scheduler::{BatchOutcome, BatchScheduler, BatchStats, JobResult};

@@ -91,8 +91,8 @@ fn lift_families() -> ExpResult<Vec<LiftInstance>> {
 
 /// A canonical byte serialization of a run's observable fields, so
 /// "identical outputs" is checked at the byte level rather than through
-/// `PartialEq` shortcuts.
-fn run_bytes(run: &DerandomizedRun<bool>) -> Vec<u8> {
+/// `PartialEq` shortcuts (E18 reuses this for its cold/warm differential).
+pub(crate) fn run_bytes(run: &DerandomizedRun<bool>) -> Vec<u8> {
     let mut out = Vec::new();
     for &b in &run.outputs {
         out.push(b as u8);
@@ -202,6 +202,11 @@ pub fn to_json(rows: &[BatchRow], s: &BatchSummary) -> String {
                 ("assignment_misses", Json::from(s.cache.assignment_misses)),
                 ("hit_rate", Json::Num((s.cache.hit_rate() * 1e4).round() / 1e4)),
                 ("bytes", Json::from(s.cache.bytes)),
+                // Persistence counters: all zero here (E15 runs
+                // memory-only); E18 exercises the disk tier.
+                ("disk_hits", Json::from(s.cache.disk_hits)),
+                ("disk_misses", Json::from(s.cache.disk_misses)),
+                ("disk_errors", Json::from(s.cache.disk_errors)),
             ]),
         ),
         ("rows", Json::arr(row_objs)),

@@ -27,6 +27,7 @@
 //! | E15 | [`experiments::batch`] | batch engine + s(G_*) cache (Lemma 3 operationalized) |
 //! | E16 | [`experiments::obs`] | observability layer: phase breakdown, curves, noop cost |
 //! | E17 | [`experiments::astar`] | fast Update-Graph engine: pool memo, interning, threads |
+//! | E18 | [`experiments::store`] | persistent store: cold vs warm-start across processes |
 //!
 //! Run them with `cargo run -p anonet-bench --bin report -- <id>|all`.
 //! Timing benchmarks live in `benches/` (Criterion).
@@ -58,6 +59,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "batch",
     "obs",
     "astar",
+    "store",
 ];
 
 /// Runs one experiment by id, returning its rendered report.
@@ -85,6 +87,7 @@ pub fn run_experiment(id: &str) -> Result<String, Box<dyn std::error::Error>> {
         "batch" => experiments::batch::report(),
         "obs" => experiments::obs::report(),
         "astar" => experiments::astar::report(),
+        "store" => experiments::store::report(),
         other => Err(format!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}").into()),
     }
 }

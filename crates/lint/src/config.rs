@@ -63,6 +63,10 @@ impl Config {
                 "crates/batch/src/scheduler.rs",
                 "crates/core/src/astar.rs",
                 "crates/core/src/astar_cache.rs",
+                // The persistent store sits under every cached run and
+                // must degrade to errors, never aborts.
+                "crates/store/src/",
+                "crates/batch/src/persist.rs",
             ]),
             obs_names_file: "crates/obs/src/lib.rs".to_string(),
             obs_callsite_scopes: s(&["crates/", "src/"]),

@@ -118,6 +118,28 @@ pub mod names {
     /// Microseconds of wall time each job ran for.
     pub const BATCH_JOB_WALL_US: &str = "batch.job_wall_us";
 
+    // Persistent-store counters and histograms (`anonet-store`).
+    /// Frames appended to segment logs (puts and tombstones).
+    pub const STORE_SEGMENT_APPENDS: &str = "store.segment.appends";
+    /// Bytes of frames appended to segment logs.
+    pub const STORE_SEGMENT_BYTES: &str = "store.segment.bytes";
+    /// Active segments sealed and rolled to a successor.
+    pub const STORE_SEGMENT_ROLLS: &str = "store.segment.rolls";
+    /// Torn segment tails truncated during open-time recovery.
+    pub const STORE_SEGMENT_TORN: &str = "store.segment.torn";
+    /// Intact records recovered by open-time segment scans.
+    pub const STORE_SEGMENT_RECOVERED: &str = "store.segment.recovered";
+    /// Compaction runs completed.
+    pub const STORE_COMPACTION_RUNS: &str = "store.compaction.runs";
+    /// Bytes reclaimed by compaction.
+    pub const STORE_COMPACTION_RECLAIMED: &str = "store.compaction.reclaimed";
+    /// Live records surviving each compaction (histogram).
+    pub const STORE_COMPACTION_LIVE: &str = "store.compaction.live";
+    /// Entries served by warm-start scans.
+    pub const STORE_WARM_ENTRIES: &str = "store.warm.entries";
+    /// Key+value bytes served by warm-start scans.
+    pub const STORE_WARM_BYTES: &str = "store.warm.bytes";
+
     // Span leaf names (joined into paths by the backends).
     /// The whole two-stage pipeline.
     pub const SPAN_PIPELINE: &str = "pipeline";
@@ -155,4 +177,10 @@ pub mod names {
     pub const SPAN_BATCH_RUN: &str = "batch_run";
     /// One batch job, queue-claim to completion.
     pub const SPAN_JOB: &str = "job";
+    /// Opening a persistent store (segment scans, index rebuild).
+    pub const SPAN_STORE_OPEN: &str = "store_open";
+    /// Compacting one store shard.
+    pub const SPAN_STORE_COMPACT: &str = "store_compact";
+    /// Warm-start scan preloading hot entries.
+    pub const SPAN_STORE_WARM: &str = "store_warm";
 }

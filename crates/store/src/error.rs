@@ -1,0 +1,106 @@
+//! The typed error surface of the store.
+//!
+//! Segment I/O is a hot path in warm-started batch runs, and the
+//! panic-hygiene lint rule covers this crate: nothing here unwraps. Every
+//! failure is a [`StoreError`] carrying enough context (segment path, byte
+//! offset) to debug a corrupt store from the message alone.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Everything that can go wrong opening, reading, or writing a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure, with the operation that hit it.
+    Io {
+        /// What the store was doing (`"append to shard-03/seg-00000001.log"`).
+        context: String,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// A segment frame failed validation *before* the recovered tail — a
+    /// checksum or structure violation recovery could not explain as a
+    /// torn write (torn tails are truncated silently, not errors).
+    Corrupt {
+        /// The segment file.
+        segment: PathBuf,
+        /// Byte offset of the offending frame.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A record payload failed to decode (wrong length, impossible field).
+    Codec {
+        /// What was being decoded and how it failed.
+        detail: String,
+    },
+    /// The [`StoreConfig`](crate::StoreConfig) is unusable as given.
+    InvalidConfig {
+        /// Which knob and why.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Wraps an [`io::Error`] with the operation it interrupted.
+    pub fn io(context: impl Into<String>, source: io::Error) -> StoreError {
+        StoreError::Io { context: context.into(), source }
+    }
+
+    /// A decode failure.
+    pub fn codec(detail: impl Into<String>) -> StoreError {
+        StoreError::Codec { detail: detail.into() }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
+            StoreError::Corrupt { segment, offset, detail } => {
+                write!(f, "corrupt segment {} at byte {offset}: {detail}", segment.display())
+            }
+            StoreError::Codec { detail } => write!(f, "record decode failed: {detail}"),
+            StoreError::InvalidConfig { detail } => write!(f, "invalid store config: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = StoreError::io("appending frame", io::Error::other("boom"));
+        assert!(e.to_string().contains("appending frame"));
+        let c = StoreError::Corrupt {
+            segment: PathBuf::from("shard-00/seg-00000000.log"),
+            offset: 42,
+            detail: "bad magic".into(),
+        };
+        assert!(c.to_string().contains("byte 42"));
+        assert!(StoreError::codec("truncated tape").to_string().contains("tape"));
+    }
+
+    #[test]
+    fn io_errors_expose_their_source() {
+        use std::error::Error;
+        let e = StoreError::io("x", io::Error::other("inner"));
+        assert!(e.source().is_some());
+        assert!(StoreError::codec("y").source().is_none());
+    }
+}

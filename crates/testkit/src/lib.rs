@@ -10,7 +10,9 @@
 //! * **Differential oracles** — the practical derandomizer, the
 //!   infinity-model `A_∞`, the literal `A_*`, the content-addressed
 //!   cache, the Theorem-1 pipeline, and a seeded randomized run must all
-//!   tell the same story (via [`anonet_core::conformance`]);
+//!   tell the same story (via [`anonet_core::conformance`]); the
+//!   [`persist`] oracle extends the cache leg to disk: memory ≡ fresh
+//!   persistent ≡ crash-recovered persistent, byte for byte;
 //! * **Adversarial execution** — every execution-backed oracle can run
 //!   under a hostile [`RoundAdversary`](anonet_runtime::RoundAdversary)
 //!   (reverse, skewed, keyed-shuffle sweeps), which must never change
@@ -51,12 +53,14 @@ use std::fmt;
 pub mod gen;
 pub mod leader;
 pub mod oracles;
+pub mod persist;
 pub mod suite;
 pub mod testcase;
 
 pub use gen::{build_graph, build_instance, color_graph, flavored_graph, Instance};
 pub use leader::{check_leader, run_leader_suite};
 pub use oracles::{fingerprint, Failure};
+pub use persist::{check_persistence, default_persistence_cases, PersistReport};
 pub use suite::{Config, Suite};
 pub use testcase::{AdversaryKind, ColoringMode, TestCase};
 

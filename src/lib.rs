@@ -13,6 +13,7 @@
 //! * [`algorithms`] — randomized anonymous algorithms (2-hop coloring, MIS, …)
 //! * [`core`] — the paper's derandomization: `A_∞`, `A_*`, and the Theorem-1 pipeline
 //! * [`batch`] — concurrent batch execution with a content-addressed derandomization cache
+//! * [`store`] — persistent, sharded, crash-safe backing store for the derandomization cache
 //! * [`obs`] — zero-dependency tracing, metrics, and profiling (spans, counters, recorders)
 //! * [`testkit`] — metamorphic conformance harness: adversarial schedulers, differential oracles
 
@@ -25,5 +26,6 @@ pub use anonet_factor as factor;
 pub use anonet_graph as graph;
 pub use anonet_obs as obs;
 pub use anonet_runtime as runtime;
+pub use anonet_store as store;
 pub use anonet_testkit as testkit;
 pub use anonet_views as views;
