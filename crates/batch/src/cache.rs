@@ -35,6 +35,7 @@
 //! count as [`CacheStats::disk_errors`] and the cache runs memory-only.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use anonet_graph::BitString;
@@ -162,20 +163,46 @@ impl CacheStats {
     /// The accounting for a window that started at snapshot `before`:
     /// cumulative counters (hits, misses, evictions) are differenced,
     /// resident state (entries, bytes) keeps this snapshot's values.
-    pub fn delta_from(&self, before: &CacheStats) -> CacheStats {
-        CacheStats {
+    ///
+    /// # Errors
+    ///
+    /// [`CounterRegression`] if any cumulative counter in `before` exceeds
+    /// this snapshot's value. Cumulative counters are monotone within one
+    /// cache lifetime, so a backwards counter means `before` belongs to a
+    /// different (stale) lifecycle and the window delta is meaningless.
+    pub fn delta_from(&self, before: &CacheStats) -> Result<CacheStats, CounterRegression> {
+        fn window(
+            counter: &'static str,
+            after: u64,
+            before: u64,
+        ) -> Result<u64, CounterRegression> {
+            after.checked_sub(before).ok_or(CounterRegression { counter, before, after })
+        }
+        Ok(CacheStats {
             quotient_entries: self.quotient_entries,
             assignment_entries: self.assignment_entries,
             bytes: self.bytes,
-            quotient_hits: self.quotient_hits - before.quotient_hits,
-            quotient_misses: self.quotient_misses - before.quotient_misses,
-            assignment_hits: self.assignment_hits - before.assignment_hits,
-            assignment_misses: self.assignment_misses - before.assignment_misses,
-            evictions: self.evictions - before.evictions,
-            disk_hits: self.disk_hits - before.disk_hits,
-            disk_misses: self.disk_misses - before.disk_misses,
-            disk_errors: self.disk_errors - before.disk_errors,
-        }
+            quotient_hits: window("quotient_hits", self.quotient_hits, before.quotient_hits)?,
+            quotient_misses: window(
+                "quotient_misses",
+                self.quotient_misses,
+                before.quotient_misses,
+            )?,
+            assignment_hits: window(
+                "assignment_hits",
+                self.assignment_hits,
+                before.assignment_hits,
+            )?,
+            assignment_misses: window(
+                "assignment_misses",
+                self.assignment_misses,
+                before.assignment_misses,
+            )?,
+            evictions: window("evictions", self.evictions, before.evictions)?,
+            disk_hits: window("disk_hits", self.disk_hits, before.disk_hits)?,
+            disk_misses: window("disk_misses", self.disk_misses, before.disk_misses)?,
+            disk_errors: window("disk_errors", self.disk_errors, before.disk_errors)?,
+        })
     }
 
     /// One-line rendering for reports.
@@ -207,6 +234,33 @@ impl CacheStats {
         )
     }
 }
+
+/// A cumulative counter moved backwards between the `before` snapshot and
+/// the current one — the snapshots come from different cache lifecycles
+/// (e.g. a baseline taken before the cache was reopened), so no window
+/// delta exists. Returned by [`CacheStats::delta_from`] instead of a
+/// silently wrapped or saturated difference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterRegression {
+    /// Name of the offending counter field.
+    pub counter: &'static str,
+    /// The counter's value in the `before` snapshot.
+    pub before: u64,
+    /// The counter's (smaller) value in the current snapshot.
+    pub after: u64,
+}
+
+impl fmt::Display for CounterRegression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache counter {} went backwards ({} -> {}): stale baseline snapshot",
+            self.counter, self.before, self.after
+        )
+    }
+}
+
+impl std::error::Error for CounterRegression {}
 
 /// Thread-safe, content-addressed store for derandomization artifacts.
 ///
@@ -685,5 +739,31 @@ mod tests {
         let got = cache.lookup_assignment("mis", &key).unwrap();
         assert_eq!(got.tapes.len(), 3);
         assert_eq!(got.attempts, 3);
+    }
+
+    #[test]
+    fn delta_from_rejects_backwards_counters() {
+        let after =
+            CacheStats { assignment_hits: 5, assignment_misses: 2, ..CacheStats::default() };
+        // A snapshot from a previous cache lifecycle.
+        let stale = CacheStats { assignment_hits: 9, ..CacheStats::default() };
+        let err = after.delta_from(&stale).unwrap_err();
+        assert_eq!(err.counter, "assignment_hits");
+        assert_eq!(err.before, 9);
+        assert_eq!(err.after, 5);
+        assert!(err.to_string().contains("assignment_hits"));
+        assert!(err.to_string().contains("stale"));
+
+        // The monotone window still diffs cleanly.
+        let before =
+            CacheStats { assignment_hits: 2, assignment_misses: 1, ..CacheStats::default() };
+        let delta = after.delta_from(&before).unwrap();
+        assert_eq!(delta.assignment_hits, 3);
+        assert_eq!(delta.assignment_misses, 1);
+        // Identity window: every cumulative counter is zero.
+        let zero = after.delta_from(&after).unwrap();
+        assert_eq!(zero.assignment_hits, 0);
+        assert_eq!(zero.assignment_misses, 0);
+        assert_eq!(zero.evictions, 0);
     }
 }

@@ -39,6 +39,8 @@ pub mod cache;
 pub mod persist;
 pub mod scheduler;
 
-pub use cache::{instance_key, quotient_key, CacheStats, CachedAssignment, DerandCache};
+pub use cache::{
+    instance_key, quotient_key, CacheStats, CachedAssignment, CounterRegression, DerandCache,
+};
 pub use persist::{CacheBackend, PersistentDerandCache, StoreBackend, WarmEntry};
 pub use scheduler::{BatchOutcome, BatchScheduler, BatchStats, JobResult};

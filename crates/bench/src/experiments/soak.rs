@@ -1,0 +1,71 @@
+//! E19 — the seeded soak campaign: sweep the full (family × n × coloring
+//! × lift × adversary × threads) grid through the conformance oracles
+//! and the cached batch pipeline, and write the `BENCH_soak.json`
+//! baseline the regression sentinel gates against.
+//!
+//! This entry runs exactly the `anonet-soak run` default configuration
+//! (full grid, base seed `0xA11CE`, two cases per cell), so a baseline
+//! committed from either path is reproducible by the other: same seeds
+//! ⇒ identical report, modulo the timing fields. The sentinel half
+//! lives in `anonet-soak` (`cargo run -p anonet-soak -- check`).
+
+use anonet_soak::{baseline, report as soak_report, run_campaign, CampaignConfig};
+
+use crate::experiments::{common::tick, ExpResult};
+use crate::Table;
+
+/// Runs the default full-grid campaign.
+///
+/// # Errors
+///
+/// Propagates campaign failures (generator, pipeline, store, batch).
+pub fn measure() -> ExpResult<anonet_soak::SoakReport> {
+    Ok(run_campaign(&CampaignConfig::full())?)
+}
+
+/// Renders the E19 report and writes `BENCH_soak.json`.
+///
+/// # Errors
+///
+/// Propagates measurement errors; a failed baseline write is an error.
+pub fn report() -> ExpResult<String> {
+    let run = measure()?;
+    baseline::save(std::path::Path::new("BENCH_soak.json"), &run)?;
+    let mut t = Table::new(
+        "E19 / soak campaign — full grid, per-cell medians over the cached batch pipeline",
+        &["cells", "cases", "oracle failures", "byte-identical", "warm hits = jobs", "wall"],
+    );
+    let all_identical = run.cells.iter().all(|c| c.byte_identical);
+    let all_warm = run.cells.iter().all(|c| c.warm_hits == c.cases && c.warm_misses == 0);
+    t.row(vec![
+        run.cells.len().to_string(),
+        run.cells.iter().map(|c| c.cases).sum::<u64>().to_string(),
+        run.failures.len().to_string(),
+        tick(all_identical),
+        tick(all_warm),
+        format!("{:.2?}", run.total_wall),
+    ]);
+    Ok(format!(
+        "{t}\n{detail}wrote BENCH_soak.json (gate: cargo run -p anonet-soak -- check)\n",
+        t = t,
+        detail = soak_report::render_table(&run),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The smoke-grid version of the E19 pipeline: campaign → serialize
+    /// → parse → identity diff must gate clean.
+    #[test]
+    fn smoke_campaign_gates_clean_against_itself() {
+        let run = run_campaign(&CampaignConfig::smoke()).expect("smoke campaign runs");
+        assert!(run.failures.is_empty(), "oracles pass: {:?}", run.failures);
+        let json = soak_report::to_json(&run);
+        let parsed = baseline::from_json(std::path::Path::new("mem.json"), &json)
+            .expect("own serialization parses");
+        let outcome = anonet_soak::diff::diff(&parsed, &run, anonet_soak::DEFAULT_BAND);
+        assert!(outcome.passed(), "identity gate: {:?}", outcome.regressions);
+    }
+}

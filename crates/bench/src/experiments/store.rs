@@ -101,7 +101,7 @@ fn run_phase(
         name,
         warmed,
         wall: outcome.stats.wall,
-        cache: pdc.cache_stats().delta_from(&before),
+        cache: pdc.cache_stats().delta_from(&before)?,
         recovered_records: opened.recovered_records,
     };
     let disk = pdc.store_stats();

@@ -28,6 +28,7 @@
 //! | E16 | [`experiments::obs`] | observability layer: phase breakdown, curves, noop cost |
 //! | E17 | [`experiments::astar`] | fast Update-Graph engine: pool memo, interning, threads |
 //! | E18 | [`experiments::store`] | persistent store: cold vs warm-start across processes |
+//! | E19 | [`experiments::soak`] | seeded soak campaign + the `BENCH_soak.json` regression baseline |
 //!
 //! Run them with `cargo run -p anonet-bench --bin report -- <id>|all`.
 //! Timing benchmarks live in `benches/` (Criterion).
@@ -60,6 +61,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "obs",
     "astar",
     "store",
+    "soak",
 ];
 
 /// Runs one experiment by id, returning its rendered report.
@@ -88,6 +90,7 @@ pub fn run_experiment(id: &str) -> Result<String, Box<dyn std::error::Error>> {
         "obs" => experiments::obs::report(),
         "astar" => experiments::astar::report(),
         "store" => experiments::store::report(),
+        "soak" => experiments::soak::report(),
         other => Err(format!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}").into()),
     }
 }

@@ -97,7 +97,10 @@ where
         ],
     );
     if let (Some(cache), Some(before)) = (cache, before) {
-        outcome.stats.cache = Some(cache.stats().delta_from(&before));
+        // Both snapshots come from the same live cache within this call, so
+        // the window is monotone; an (unreachable) regression yields `None`
+        // rather than fabricated numbers.
+        outcome.stats.cache = cache.stats().delta_from(&before).ok();
     }
     outcome
 }
@@ -131,7 +134,10 @@ where
         ],
     );
     if let (Some(cache), Some(before)) = (cache, before) {
-        outcome.stats.cache = Some(cache.stats().delta_from(&before));
+        // Both snapshots come from the same live cache within this call, so
+        // the window is monotone; an (unreachable) regression yields `None`
+        // rather than fabricated numbers.
+        outcome.stats.cache = cache.stats().delta_from(&before).ok();
     }
     outcome
 }

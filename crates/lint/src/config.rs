@@ -67,6 +67,9 @@ impl Config {
                 // must degrade to errors, never aborts.
                 "crates/store/src/",
                 "crates/batch/src/persist.rs",
+                // The soak driver is itself a gate: a panic mid-campaign
+                // loses the replay strings the gate exists to report.
+                "crates/soak/src/",
             ]),
             obs_names_file: "crates/obs/src/lib.rs".to_string(),
             obs_callsite_scopes: s(&["crates/", "src/"]),

@@ -127,6 +127,8 @@ pub mod names {
     pub const STORE_SEGMENT_ROLLS: &str = "store.segment.rolls";
     /// Torn segment tails truncated during open-time recovery.
     pub const STORE_SEGMENT_TORN: &str = "store.segment.torn";
+    /// Mid-file damaged regions quarantined by CRC resynchronization.
+    pub const STORE_SEGMENT_QUARANTINED: &str = "store.segment.quarantined";
     /// Intact records recovered by open-time segment scans.
     pub const STORE_SEGMENT_RECOVERED: &str = "store.segment.recovered";
     /// Compaction runs completed.
@@ -139,6 +141,20 @@ pub mod names {
     pub const STORE_WARM_ENTRIES: &str = "store.warm.entries";
     /// Key+value bytes served by warm-start scans.
     pub const STORE_WARM_BYTES: &str = "store.warm.bytes";
+
+    // Soak-campaign counters and histograms (`anonet-soak`).
+    /// Campaign cells completed by a soak run.
+    pub const SOAK_CELLS: &str = "soak.cells";
+    /// Test cases executed across all campaign cells.
+    pub const SOAK_CASES: &str = "soak.cases";
+    /// Oracle failures observed during a soak campaign.
+    pub const SOAK_ORACLE_FAILURES: &str = "soak.oracle_failures";
+    /// Cells skipped because the campaign's time budget ran out.
+    pub const SOAK_CELLS_SKIPPED: &str = "soak.cells_skipped";
+    /// Wall microseconds per campaign cell (histogram).
+    pub const SOAK_CELL_WALL_US: &str = "soak.cell_wall_us";
+    /// Regressions flagged by a sentinel `check` run.
+    pub const SOAK_REGRESSIONS: &str = "soak.regressions";
 
     // Span leaf names (joined into paths by the backends).
     /// The whole two-stage pipeline.
@@ -183,4 +199,8 @@ pub mod names {
     pub const SPAN_STORE_COMPACT: &str = "store_compact";
     /// Warm-start scan preloading hot entries.
     pub const SPAN_STORE_WARM: &str = "store_warm";
+    /// One whole soak campaign.
+    pub const SPAN_SOAK_CAMPAIGN: &str = "soak_campaign";
+    /// One campaign cell (oracles + batch passes + probes).
+    pub const SPAN_SOAK_CELL: &str = "soak_cell";
 }

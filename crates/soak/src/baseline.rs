@@ -1,0 +1,262 @@
+//! Reading and writing `BENCH_soak.json` baselines.
+//!
+//! A baseline is just a serialized [`SoakReport`] (see
+//! [`report::to_json`](crate::report::to_json)); this module parses one
+//! back into the in-memory form so the sentinel can diff two reports
+//! with ordinary field access instead of poking at JSON trees. Schema
+//! problems surface as typed [`SoakError::Baseline`] values naming the
+//! offending file and key.
+
+use std::path::Path;
+use std::time::Duration;
+
+use anonet_obs::Json;
+
+use crate::campaign::{CellReport, OracleFailure, SoakReport};
+use crate::report::{to_json, SCHEMA_VERSION};
+use crate::{Result, SoakError};
+
+fn bad(path: &Path, detail: impl Into<String>) -> SoakError {
+    SoakError::Baseline { path: path.to_path_buf(), detail: detail.into() }
+}
+
+fn req<'a>(path: &Path, json: &'a Json, key: &str) -> Result<&'a Json> {
+    json.get(key).ok_or_else(|| bad(path, format!("missing key `{key}`")))
+}
+
+fn num(path: &Path, json: &Json, key: &str) -> Result<f64> {
+    req(path, json, key)?.as_f64().ok_or_else(|| bad(path, format!("key `{key}` is not a number")))
+}
+
+fn uint(path: &Path, json: &Json, key: &str) -> Result<u64> {
+    let v = num(path, json, key)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(bad(path, format!("key `{key}` is not a non-negative integer ({v})")));
+    }
+    Ok(v as u64)
+}
+
+fn boolean(path: &Path, json: &Json, key: &str) -> Result<bool> {
+    req(path, json, key)?
+        .as_bool()
+        .ok_or_else(|| bad(path, format!("key `{key}` is not a boolean")))
+}
+
+fn string(path: &Path, json: &Json, key: &str) -> Result<String> {
+    Ok(req(path, json, key)?
+        .as_str()
+        .ok_or_else(|| bad(path, format!("key `{key}` is not a string")))?
+        .to_string())
+}
+
+fn duration(path: &Path, json: &Json, key: &str) -> Result<Duration> {
+    let v = num(path, json, key)?;
+    Duration::try_from_secs_f64(v)
+        .map_err(|e| bad(path, format!("key `{key}` is not a duration ({v}): {e}")))
+}
+
+fn cell(path: &Path, json: &Json) -> Result<CellReport> {
+    Ok(CellReport {
+        id: string(path, json, "id")?,
+        replay: string(path, json, "replay")?,
+        cases: uint(path, json, "cases")?,
+        quotient_nodes: uint(path, json, "quotient_nodes")?,
+        byte_identical: boolean(path, json, "byte_identical")?,
+        cold_hits: uint(path, json, "cold_hits")?,
+        cold_misses: uint(path, json, "cold_misses")?,
+        warm_hits: uint(path, json, "warm_hits")?,
+        warm_misses: uint(path, json, "warm_misses")?,
+        disk_hits: uint(path, json, "disk_hits")?,
+        messages: uint(path, json, "messages")?,
+        message_bytes: uint(path, json, "message_bytes")?,
+        wall: duration(path, json, "wall_secs")?,
+        warm_wall: duration(path, json, "warm_wall_secs")?,
+        job_wall_median: duration(path, json, "job_wall_median_secs")?,
+        job_wall_p95: duration(path, json, "job_wall_p95_secs")?,
+        update_graph: duration(path, json, "update_graph_secs")?,
+    })
+}
+
+fn failure(path: &Path, json: &Json) -> Result<OracleFailure> {
+    Ok(OracleFailure {
+        cell: string(path, json, "cell")?,
+        replay: string(path, json, "replay")?,
+        oracle: string(path, json, "oracle")?,
+        detail: string(path, json, "detail")?,
+    })
+}
+
+/// Parses a `BENCH_soak.json` tree back into a [`SoakReport`].
+///
+/// # Errors
+///
+/// [`SoakError::Baseline`] naming the missing/mistyped key, or a schema
+/// version this build does not understand.
+pub fn from_json(path: &Path, json: &Json) -> Result<SoakReport> {
+    let version = uint(path, json, "schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(bad(
+            path,
+            format!("schema version {version} (this build reads {SCHEMA_VERSION})"),
+        ));
+    }
+    let cells = req(path, json, "cells")?
+        .items()
+        .ok_or_else(|| bad(path, "key `cells` is not an array"))?
+        .iter()
+        .map(|c| cell(path, c))
+        .collect::<Result<Vec<_>>>()?;
+    let skipped = req(path, json, "skipped_cells")?
+        .items()
+        .ok_or_else(|| bad(path, "key `skipped_cells` is not an array"))?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| bad(path, "`skipped_cells` entry is not a string"))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let failures = req(path, json, "oracle_failures")?
+        .items()
+        .ok_or_else(|| bad(path, "key `oracle_failures` is not an array"))?
+        .iter()
+        .map(|f| failure(path, f))
+        .collect::<Result<Vec<_>>>()?;
+    let totals = req(path, json, "totals")?;
+    let budget_secs = match req(path, json, "budget_secs")? {
+        Json::Null => None,
+        other => Some(
+            other
+                .as_f64()
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .ok_or_else(|| bad(path, "key `budget_secs` is not null or an integer"))?
+                as u64,
+        ),
+    };
+    Ok(SoakReport {
+        base_seed: uint(path, json, "base_seed")?,
+        reps: uint(path, json, "reps_per_cell")?,
+        budget_secs,
+        truncated: boolean(path, json, "truncated")?,
+        cells,
+        skipped,
+        failures,
+        total_wall: duration(path, totals, "wall_secs")?,
+    })
+}
+
+/// Loads and parses a baseline file.
+///
+/// # Errors
+///
+/// [`SoakError::Io`] if the file cannot be read, [`SoakError::Baseline`]
+/// if it is not valid JSON or does not match the schema. Callers that
+/// want "missing baseline is fine" check [`Path::exists`] first (the
+/// CLI does).
+pub fn load(path: &Path) -> Result<SoakReport> {
+    let text = std::fs::read_to_string(path).map_err(|source| SoakError::Io {
+        context: format!("reading baseline {}", path.display()),
+        source,
+    })?;
+    let json = Json::parse(&text).map_err(|e| bad(path, format!("invalid JSON: {e}")))?;
+    from_json(path, &json)
+}
+
+/// Serializes a report and writes it to `path`.
+///
+/// # Errors
+///
+/// [`SoakError::Io`] on write failure.
+pub fn save(path: &Path, report: &SoakReport) -> Result<()> {
+    let mut text = to_json(report).pretty();
+    text.push('\n');
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|source| SoakError::Io {
+                context: format!("creating {}", parent.display()),
+                source,
+            })?;
+        }
+    }
+    std::fs::write(path, text).map_err(|source| SoakError::Io {
+        context: format!("writing report {}", path.display()),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn report() -> SoakReport {
+        SoakReport {
+            base_seed: 0xA11CE,
+            reps: 2,
+            budget_secs: Some(120),
+            truncated: true,
+            cells: vec![CellReport {
+                id: "family=cycle,n=3,color=greedy,lift=1,adv=fair,threads=1".into(),
+                replay: "tc1:family=cycle,n=3,seed=9,color=greedy,lift=1,adv=fair".into(),
+                cases: 2,
+                quotient_nodes: 3,
+                byte_identical: true,
+                cold_hits: 1,
+                cold_misses: 1,
+                warm_hits: 2,
+                warm_misses: 0,
+                disk_hits: 1,
+                messages: 18,
+                message_bytes: 144,
+                wall: Duration::from_micros(4200),
+                warm_wall: Duration::from_micros(1100),
+                job_wall_median: Duration::from_micros(400),
+                job_wall_p95: Duration::from_micros(900),
+                update_graph: Duration::from_micros(150),
+            }],
+            skipped: vec!["family=gnp,n=7,color=pipeline,lift=2,adv=shuffled,threads=2".into()],
+            failures: vec![OracleFailure {
+                cell: "family=cycle,n=3,color=greedy,lift=1,adv=fair,threads=1".into(),
+                replay: "tc1:family=cycle,n=3,seed=9,color=greedy,lift=1,adv=fair".into(),
+                oracle: "renumbering-invariance".into(),
+                detail: "outputs differ at node 2".into(),
+            }],
+            total_wall: Duration::from_micros(9900),
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let path =
+            std::env::temp_dir().join(format!("anonet-soak-baseline-{}.json", std::process::id()));
+        let original = report();
+        save(&path, &original).expect("save succeeds");
+        let loaded = load(&path).expect("load succeeds");
+        assert_eq!(loaded, original);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn schema_violations_name_the_key() {
+        let path = Path::new("x.json");
+        let mut json = to_json(&report());
+        // Drop `warm_hits` from the only cell.
+        if let Json::Obj(pairs) = &mut json {
+            for (k, v) in pairs.iter_mut() {
+                if k == "cells" {
+                    if let Json::Arr(cells) = v {
+                        if let Some(Json::Obj(cell)) = cells.first_mut() {
+                            cell.retain(|(k, _)| k != "warm_hits");
+                        }
+                    }
+                }
+            }
+        }
+        let err = from_json(path, &json).expect_err("missing key must fail");
+        assert!(err.to_string().contains("warm_hits"), "got: {err}");
+
+        let err = from_json(path, &Json::obj([("schema_version", Json::Num(99.0))]))
+            .expect_err("future schema must fail");
+        assert!(err.to_string().contains("schema version 99"), "got: {err}");
+    }
+}

@@ -1,0 +1,198 @@
+//! `BENCH_soak.json`: the machine-readable serialization of a
+//! [`SoakReport`] through the workspace's shared [`Json`] tree.
+//!
+//! The schema is versioned ([`SCHEMA_VERSION`]) and split the same way
+//! [`CellReport`](crate::CellReport) is: configuration-determined fields
+//! (ids, replay strings, case counts, hit counts, byte-identity,
+//! messages, bytes) that the sentinel exact-matches, and timing fields
+//! (`*_secs`) that it noise-bands. Seconds are rounded to microseconds so
+//! a report survives a serialize/parse round trip bit-for-bit.
+
+use anonet_obs::Json;
+
+use crate::campaign::{median, percentile, CellReport, OracleFailure, SoakReport};
+
+/// Version stamp written to (and required of) every `BENCH_soak.json`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The experiment id stamped into the report, matching the bench
+/// registry's `E19`.
+pub const EXPERIMENT: &str = "E19-soak";
+
+/// Seconds with microsecond resolution — stable under JSON round trips.
+pub(crate) fn secs(d: std::time::Duration) -> f64 {
+    (d.as_secs_f64() * 1e6).round() / 1e6
+}
+
+fn cell_json(c: &CellReport) -> Json {
+    Json::obj([
+        ("id", Json::str(&c.id)),
+        ("replay", Json::str(&c.replay)),
+        ("cases", Json::Num(c.cases as f64)),
+        ("quotient_nodes", Json::Num(c.quotient_nodes as f64)),
+        ("byte_identical", Json::Bool(c.byte_identical)),
+        ("cold_hits", Json::Num(c.cold_hits as f64)),
+        ("cold_misses", Json::Num(c.cold_misses as f64)),
+        ("warm_hits", Json::Num(c.warm_hits as f64)),
+        ("warm_misses", Json::Num(c.warm_misses as f64)),
+        ("disk_hits", Json::Num(c.disk_hits as f64)),
+        ("messages", Json::Num(c.messages as f64)),
+        ("message_bytes", Json::Num(c.message_bytes as f64)),
+        ("hit_rate_warm", Json::Num(hit_rate(c.warm_hits, c.warm_misses))),
+        ("wall_secs", Json::Num(secs(c.wall))),
+        ("warm_wall_secs", Json::Num(secs(c.warm_wall))),
+        ("job_wall_median_secs", Json::Num(secs(c.job_wall_median))),
+        ("job_wall_p95_secs", Json::Num(secs(c.job_wall_p95))),
+        ("update_graph_secs", Json::Num(secs(c.update_graph))),
+    ])
+}
+
+fn failure_json(f: &OracleFailure) -> Json {
+    Json::obj([
+        ("cell", Json::str(&f.cell)),
+        ("replay", Json::str(&f.replay)),
+        ("oracle", Json::str(&f.oracle)),
+        ("detail", Json::str(&f.detail)),
+    ])
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        return 0.0;
+    }
+    ((hits as f64 / total as f64) * 1e6).round() / 1e6
+}
+
+/// Serializes a report to the versioned `BENCH_soak.json` schema.
+pub fn to_json(report: &SoakReport) -> Json {
+    let walls: Vec<std::time::Duration> = report.cells.iter().map(|c| c.wall).collect();
+    let totals = Json::obj([
+        ("cells", Json::Num(report.cells.len() as f64)),
+        ("cases", Json::Num(report.cells.iter().map(|c| c.cases).sum::<u64>() as f64)),
+        ("wall_secs", Json::Num(secs(report.total_wall))),
+        ("cell_wall_median_secs", Json::Num(secs(median(&walls)))),
+        ("cell_wall_p95_secs", Json::Num(secs(percentile(&walls, 95)))),
+    ]);
+    Json::obj([
+        ("experiment", Json::str(EXPERIMENT)),
+        ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+        ("base_seed", Json::Num(report.base_seed as f64)),
+        ("reps_per_cell", Json::Num(report.reps as f64)),
+        ("budget_secs", report.budget_secs.map_or(Json::Null, |b| Json::Num(b as f64))),
+        ("truncated", Json::Bool(report.truncated)),
+        ("totals", totals),
+        ("cells", Json::arr(report.cells.iter().map(cell_json))),
+        ("skipped_cells", Json::arr(report.skipped.iter().map(Json::str))),
+        ("oracle_failures", Json::arr(report.failures.iter().map(failure_json))),
+    ])
+}
+
+/// Renders the human-readable summary table printed after a run.
+pub fn render_table(report: &SoakReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "soak campaign: {} cells, {} cases, {:.2}s wall{}\n",
+        report.cells.len(),
+        report.cells.iter().map(|c| c.cases).sum::<u64>(),
+        report.total_wall.as_secs_f64(),
+        if report.truncated {
+            format!(" (budget hit; {} cells skipped)", report.skipped.len())
+        } else {
+            String::new()
+        },
+    ));
+    out.push_str(
+        "cell                                                         wall_ms  warm  byte  msgs\n",
+    );
+    for c in &report.cells {
+        out.push_str(&format!(
+            "{:<60} {:>7.2} {:>5} {:>5} {:>5}\n",
+            c.id,
+            c.wall.as_secs_f64() * 1e3,
+            c.warm_hits,
+            if c.byte_identical { "ok" } else { "DIFF" },
+            c.messages,
+        ));
+    }
+    if !report.failures.is_empty() {
+        out.push_str(&format!("oracle FAILURES: {}\n", report.failures.len()));
+        for f in &report.failures {
+            out.push_str(&format!(
+                "  {} [{}]: {} (replay: {})\n",
+                f.cell, f.oracle, f.detail, f.replay
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn cell(id: &str, wall_ms: u64) -> CellReport {
+        CellReport {
+            id: id.into(),
+            replay: "tc1:family=cycle,n=3,seed=7,color=greedy,lift=1,adv=fair".into(),
+            cases: 2,
+            quotient_nodes: 3,
+            byte_identical: true,
+            cold_hits: 1,
+            cold_misses: 1,
+            warm_hits: 2,
+            warm_misses: 0,
+            disk_hits: 0,
+            messages: 12,
+            message_bytes: 96,
+            wall: Duration::from_millis(wall_ms),
+            warm_wall: Duration::from_millis(wall_ms),
+            job_wall_median: Duration::from_micros(400),
+            job_wall_p95: Duration::from_micros(900),
+            update_graph: Duration::from_micros(150),
+        }
+    }
+
+    fn report() -> SoakReport {
+        SoakReport {
+            base_seed: 0xA11CE,
+            reps: 2,
+            budget_secs: None,
+            truncated: false,
+            cells: vec![cell("a", 4), cell("b", 6)],
+            skipped: vec![],
+            failures: vec![],
+            total_wall: Duration::from_millis(11),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_shared_parser() {
+        let json = to_json(&report());
+        let text = json.pretty();
+        let back = Json::parse(&text).expect("own output parses");
+        assert_eq!(back.get("schema_version").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(back.get("experiment").and_then(Json::as_str), Some(EXPERIMENT));
+        let cells = back.get("cells").and_then(Json::items).expect("cells array");
+        let first = cells.first().expect("first cell");
+        assert_eq!(first.get("warm_hits").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(first.get("byte_identical").and_then(Json::as_bool), Some(true));
+        assert_eq!(first.get("wall_secs").and_then(Json::as_f64), Some(0.004));
+        assert_eq!(back.get("budget_secs"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn seconds_are_microsecond_stable() {
+        assert_eq!(secs(Duration::from_nanos(1_234_567_890)), 1.234568);
+        assert_eq!(secs(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn table_mentions_every_cell() {
+        let table = render_table(&report());
+        assert!(table.contains("2 cells"));
+        assert!(table.contains('a'));
+        assert!(table.contains('b'));
+    }
+}

@@ -9,13 +9,22 @@
 //! ```
 //!
 //! The CRC covers the payload only; the length prefix plus checksum is
-//! what makes recovery possible: a crash can tear at most the **tail** of
-//! the active segment (appends are sequential), so on open the store scans
-//! each segment frame by frame and truncates at the first frame that is
-//! incomplete or fails its checksum. Every frame before the cut is intact
-//! by construction — that is the crash-safety contract the
-//! `crash_recovery` integration tests drive with kill-during-write and
-//! arbitrary-byte truncation.
+//! what makes recovery possible. Two distinct kinds of damage are told
+//! apart on open:
+//!
+//! * **Torn tail** — a crash can tear at most the tail of the active
+//!   segment (appends are sequential), so a damaged frame with *no* valid
+//!   frame anywhere after it marks the torn tail: everything from it on
+//!   is truncated. That is the crash-safety contract the `crash_recovery`
+//!   integration tests drive with kill-during-write and arbitrary-byte
+//!   truncation.
+//! * **Mid-file corruption** (bit rot, a flipped bit in a closed
+//!   segment) — a damaged frame *followed* by intact frames cannot be a
+//!   torn write. The scan resynchronizes: it searches forward for the
+//!   next offset at which a fully valid frame begins, quarantines the
+//!   damaged region (only the keys whose latest frame sat inside it are
+//!   lost), and keeps every frame after it. The `corruption` integration
+//!   tests pin this with random single-bit flips.
 //!
 //! Writes build the full frame in memory and hand it to the OS as a
 //! single `write_all`, so a frame is either entirely in the file, torn at
@@ -229,6 +238,16 @@ pub(crate) struct ScannedFrame {
     pub frame_len: u32,
 }
 
+/// A damaged byte range the scan skipped over because intact frames
+/// follow it (mid-file corruption, not a torn tail).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct QuarantinedRegion {
+    /// Offset of the first damaged byte (the failed frame's prefix).
+    pub offset: u64,
+    /// Length of the skipped region in bytes.
+    pub len: u64,
+}
+
 /// The result of scanning a segment on open.
 #[derive(Debug)]
 pub(crate) struct ScanOutcome {
@@ -236,16 +255,44 @@ pub(crate) struct ScanOutcome {
     pub frames: Vec<ScannedFrame>,
     /// If the tail was torn: the offset the file must be truncated to.
     pub truncate_to: Option<u64>,
+    /// Mid-file regions quarantined by CRC resynchronization.
+    pub quarantined: Vec<QuarantinedRegion>,
+}
+
+/// Searches forward from `from` for the next offset at which a fully
+/// valid frame begins: plausible length, in-bounds payload, matching
+/// CRC, *and* a decodable record (so a run of zero bytes cannot pose as
+/// an empty frame). A false positive needs a 32-bit CRC collision at a
+/// misaligned offset — ~2⁻³² per candidate byte.
+fn resync(bytes: &[u8], from: usize) -> Option<usize> {
+    let mut pos = from;
+    while pos + FRAME_PREFIX as usize <= bytes.len() {
+        let payload_len =
+            u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        let stored_crc =
+            u32::from_le_bytes([bytes[pos + 4], bytes[pos + 5], bytes[pos + 6], bytes[pos + 7]]);
+        let payload_start = pos + FRAME_PREFIX as usize;
+        if payload_len <= MAX_PAYLOAD && payload_start + payload_len as usize <= bytes.len() {
+            let payload = &bytes[payload_start..payload_start + payload_len as usize];
+            if crc32(payload) == stored_crc && Record::decode_payload(payload).is_ok() {
+                return Some(pos);
+            }
+        }
+        pos += 1;
+    }
+    None
 }
 
 /// Scans a segment file, validating the header and every frame.
 ///
 /// A file shorter than its header (a crash during creation) scans as
 /// empty with `truncate_to: Some(0)` — the caller rewrites it. A frame
-/// that is incomplete or fails its CRC marks the torn tail: everything
-/// before it is returned, everything from it on is to be truncated.
-/// A *valid* header with the wrong magic or version is a hard
-/// [`StoreError::Corrupt`] — that is not a torn write.
+/// that is incomplete or fails its CRC is damage; if a valid frame
+/// follows ([`resync`]) the damaged region is quarantined and the scan
+/// continues, otherwise it marks the torn tail: everything before it is
+/// returned, everything from it on is to be truncated. A *valid* header
+/// with the wrong magic or version is a hard [`StoreError::Corrupt`] —
+/// that is not a torn write.
 pub(crate) fn scan(path: &Path) -> Result<ScanOutcome> {
     let mut file = File::open(path)
         .map_err(|e| StoreError::io(format!("opening segment {}", path.display()), e))?;
@@ -254,7 +301,11 @@ pub(crate) fn scan(path: &Path) -> Result<ScanOutcome> {
         .map_err(|e| StoreError::io(format!("reading segment {}", path.display()), e))?;
 
     if (bytes.len() as u64) < HEADER_LEN {
-        return Ok(ScanOutcome { frames: Vec::new(), truncate_to: Some(0) });
+        return Ok(ScanOutcome {
+            frames: Vec::new(),
+            truncate_to: Some(0),
+            quarantined: Vec::new(),
+        });
     }
     if bytes[..4] != MAGIC {
         return Err(StoreError::Corrupt {
@@ -273,25 +324,39 @@ pub(crate) fn scan(path: &Path) -> Result<ScanOutcome> {
     }
 
     let mut frames = Vec::new();
+    let mut quarantined = Vec::new();
     let mut pos = HEADER_LEN as usize;
     while pos < bytes.len() {
-        // Frame prefix complete?
+        // Frame prefix complete? Fewer than prefix-many trailing bytes
+        // cannot hold any frame, so there is nothing to resync to.
         if bytes.len() - pos < FRAME_PREFIX as usize {
-            return Ok(ScanOutcome { frames, truncate_to: Some(pos as u64) });
+            return Ok(ScanOutcome { frames, truncate_to: Some(pos as u64), quarantined });
         }
         let payload_len =
             u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
         let stored_crc =
             u32::from_le_bytes([bytes[pos + 4], bytes[pos + 5], bytes[pos + 6], bytes[pos + 7]]);
         let payload_start = pos + FRAME_PREFIX as usize;
-        // Payload complete and plausible?
-        if payload_len > MAX_PAYLOAD || payload_start + payload_len as usize > bytes.len() {
-            return Ok(ScanOutcome { frames, truncate_to: Some(pos as u64) });
+        let damaged = payload_len > MAX_PAYLOAD
+            || payload_start + payload_len as usize > bytes.len()
+            || crc32(&bytes[payload_start..payload_start + payload_len as usize]) != stored_crc;
+        if damaged {
+            // An intact frame further on means this is mid-file
+            // corruption: quarantine the damaged region and continue.
+            // No intact frame after it means a torn tail: truncate.
+            match resync(&bytes, pos + 1) {
+                Some(next) => {
+                    quarantined
+                        .push(QuarantinedRegion { offset: pos as u64, len: (next - pos) as u64 });
+                    pos = next;
+                    continue;
+                }
+                None => {
+                    return Ok(ScanOutcome { frames, truncate_to: Some(pos as u64), quarantined })
+                }
+            }
         }
         let payload = &bytes[payload_start..payload_start + payload_len as usize];
-        if crc32(payload) != stored_crc {
-            return Ok(ScanOutcome { frames, truncate_to: Some(pos as u64) });
-        }
         // A frame whose checksum holds but whose payload is gibberish is
         // corruption, not a torn write (the CRC covers the whole payload).
         let record = Record::decode_payload(payload).map_err(|e| StoreError::Corrupt {
@@ -303,7 +368,7 @@ pub(crate) fn scan(path: &Path) -> Result<ScanOutcome> {
         frames.push(ScannedFrame { record, offset: pos as u64, frame_len });
         pos = payload_start + payload_len as usize;
     }
-    Ok(ScanOutcome { frames, truncate_to: None })
+    Ok(ScanOutcome { frames, truncate_to: None, quarantined })
 }
 
 /// Reads and decodes the frame at `offset` (of `frame_len` bytes) from an
@@ -423,6 +488,48 @@ mod tests {
         let path = dir.join("seg-00000000.log");
         std::fs::write(&path, b"NOTASEGMENTFILE!").unwrap();
         assert!(matches!(scan(&path), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_quarantines_only_the_damaged_frame() {
+        let dir = std::env::temp_dir().join(format!("anonet-seg-quar-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut w = SegmentWriter::create(&dir, 0, 0).unwrap();
+        let records: Vec<Record> =
+            (0..5u8).map(|i| rec(1, &[i; 4], &vec![i; 16 + i as usize])).collect();
+        let mut boundaries = vec![HEADER_LEN];
+        for r in &records {
+            w.append(&r.encode_frame()).unwrap();
+            boundaries.push(w.len);
+        }
+        w.sync().unwrap();
+        let full = std::fs::read(&w.path).unwrap();
+
+        // Flip one bit in every byte of frame 2 in turn (prefix and
+        // payload): frames 0, 1, 3, 4 must always survive.
+        let (start, end) = (boundaries[2] as usize, boundaries[3] as usize);
+        for byte in start..end {
+            let mut bytes = full.clone();
+            bytes[byte] ^= 1 << (byte % 8);
+            std::fs::write(&w.path, &bytes).unwrap();
+            let outcome = scan(&w.path).unwrap();
+            let kept: Vec<&Record> = outcome.frames.iter().map(|f| &f.record).collect();
+            assert_eq!(
+                kept,
+                vec![&records[0], &records[1], &records[3], &records[4]],
+                "flip at byte {byte}"
+            );
+            assert_eq!(outcome.truncate_to, None, "flip at byte {byte}");
+            assert_eq!(
+                outcome.quarantined,
+                vec![QuarantinedRegion {
+                    offset: boundaries[2],
+                    len: boundaries[3] - boundaries[2]
+                }],
+                "flip at byte {byte}"
+            );
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -111,6 +111,8 @@ struct ShardCounters {
     appends: u64,
     rolls: u64,
     torn_truncations: u64,
+    quarantined_regions: u64,
+    quarantined_bytes: u64,
     recovered_records: u64,
     compactions: u64,
     reclaimed_bytes: u64,
@@ -155,6 +157,11 @@ pub struct StoreStats {
     pub rolls: u64,
     /// Torn tails truncated during recovery.
     pub torn_truncations: u64,
+    /// Mid-file damaged regions quarantined by CRC resynchronization
+    /// during recovery (closed-segment corruption, not torn tails).
+    pub quarantined_regions: u64,
+    /// Bytes inside quarantined regions.
+    pub quarantined_bytes: u64,
     /// Intact records recovered by open-time scans.
     pub recovered_records: u64,
     /// Compaction runs.
@@ -228,6 +235,7 @@ impl Store {
                 let state = open_shard(&cfg, s)?;
                 rec.counter(names::STORE_SEGMENT_RECOVERED, state.counters.recovered_records);
                 rec.counter(names::STORE_SEGMENT_TORN, state.counters.torn_truncations);
+                rec.counter(names::STORE_SEGMENT_QUARANTINED, state.counters.quarantined_regions);
                 shards.push(Mutex::new(state));
             }
         }
@@ -600,6 +608,8 @@ impl Store {
             stats.appends += guard.counters.appends;
             stats.rolls += guard.counters.rolls;
             stats.torn_truncations += guard.counters.torn_truncations;
+            stats.quarantined_regions += guard.counters.quarantined_regions;
+            stats.quarantined_bytes += guard.counters.quarantined_bytes;
             stats.recovered_records += guard.counters.recovered_records;
             stats.compactions += guard.counters.compactions;
             stats.reclaimed_bytes += guard.counters.reclaimed_bytes;
@@ -623,6 +633,8 @@ impl Store {
             ("appends", Json::from(s.appends)),
             ("rolls", Json::from(s.rolls)),
             ("torn_truncations", Json::from(s.torn_truncations)),
+            ("quarantined_regions", Json::from(s.quarantined_regions)),
+            ("quarantined_bytes", Json::from(s.quarantined_bytes as usize)),
             ("recovered_records", Json::from(s.recovered_records)),
             ("compactions", Json::from(s.compactions)),
             ("reclaimed_bytes", Json::from(s.reclaimed_bytes as usize)),
@@ -684,6 +696,13 @@ fn open_shard(cfg: &StoreConfig, s: usize) -> Result<ShardState> {
         let outcome = segment::scan(&path)?;
         let valid_len =
             outcome.frames.last().map(|f| f.offset + u64::from(f.frame_len)).unwrap_or(HEADER_LEN);
+        for region in &outcome.quarantined {
+            counters.quarantined_regions += 1;
+            counters.quarantined_bytes += region.len;
+            // Quarantined bytes stay in the file until compaction; they
+            // are dead weight, like superseded frames.
+            dead_bytes += region.len;
+        }
         if let Some(cut) = outcome.truncate_to {
             counters.torn_truncations += 1;
             if cut < HEADER_LEN {
@@ -856,6 +875,41 @@ mod tests {
         assert!(store.get(0, b"b").unwrap().is_none());
         assert!(store.get(0, b"a").unwrap().is_some());
         assert!(store.get(0, b"c").unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eviction_order_pins_lru_with_read_and_overwrite_refresh() {
+        let dir = tmp("evict-order");
+        // Same geometry as `budget_evicts_lru`: ~55B frames, 120B budget,
+        // so two entries are resident and every third put evicts. This
+        // test pins the *order* of victims: strict LRU, with both reads
+        // and overwrites refreshing recency.
+        let cfg =
+            StoreConfig::new(&dir).with_shards(1).with_segment_bytes(4096).with_budget_bytes(120);
+        let store = Store::open(cfg).unwrap();
+        store.put(0, b"a", &[1; 40]).unwrap();
+        store.put(0, b"b", &[2; 40]).unwrap();
+        // A read refreshes "a", so "b" is the first victim.
+        store.get(0, b"a").unwrap();
+        store.put(0, b"c", &[3; 40]).unwrap();
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.get(0, b"b").unwrap().is_none());
+        // Resident {a, c}; reading "c" makes "a" the second victim.
+        store.get(0, b"c").unwrap();
+        store.put(0, b"d", &[4; 40]).unwrap();
+        assert_eq!(store.stats().evictions, 2);
+        assert!(store.get(0, b"a").unwrap().is_none());
+        // Overwriting a resident key evicts nothing (the superseded frame
+        // turns dead, live stays at two entries) and refreshes "c" —
+        // leaving "d" as the third victim.
+        store.put(0, b"c", &[5; 40]).unwrap();
+        assert_eq!(store.stats().evictions, 2);
+        store.put(0, b"e", &[6; 40]).unwrap();
+        assert_eq!(store.stats().evictions, 3);
+        assert!(store.get(0, b"d").unwrap().is_none());
+        assert_eq!(store.get(0, b"c").unwrap().as_deref(), Some(&[5u8; 40][..]));
+        assert!(store.get(0, b"e").unwrap().is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 

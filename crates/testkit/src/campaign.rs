@@ -1,0 +1,214 @@
+//! Campaign-cell enumeration for soak runs: a [`CampaignGrid`] is the
+//! cross product (family × n × coloring × lift × adversary × threads),
+//! and each [`CampaignCell`] derives a deterministic stream of
+//! [`TestCase`]s whose `tc1:…` replay strings are the campaign's failure
+//! currency — any cell a sentinel flags can be re-run in isolation by
+//! feeding a case's `Display` form to `ANONET_TESTKIT_REPLAY`.
+//!
+//! Everything here is a pure function of the grid and a base seed: cells
+//! enumerate in a fixed cross-product order, and per-cell case seeds come
+//! from folding the cell's coordinate string into the base seed before
+//! drawing with the testkit's SplitMix64 stream. Same grid + same seed ⇒
+//! the same campaign, on every machine.
+
+use anonet_graph::generators::Family;
+
+use crate::testcase::{splitmix64, AdversaryKind, ColoringMode, TestCase};
+
+/// One cell of a campaign grid: the full coordinate of a measured
+/// configuration, including the batch-scheduler thread count (which must
+/// never change outputs — that is one of the invariants soak pins).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CampaignCell {
+    /// Graph family sampled in this cell.
+    pub family: Family,
+    /// Requested node count (families clamp to their feasible range).
+    pub n: usize,
+    /// How the 2-hop coloring is produced.
+    pub coloring: ColoringMode,
+    /// Lift multiplicity (`1` = run the sampled base unlifted).
+    pub lift: usize,
+    /// Scheduler adversary for execution-backed oracles.
+    pub adversary: AdversaryKind,
+    /// Batch-scheduler worker threads used for this cell's runs.
+    pub threads: usize,
+}
+
+impl CampaignCell {
+    /// The cell's stable coordinate string — the key baselines and diffs
+    /// join on. Deliberately mirrors the `tc1:` field syntax minus the
+    /// seed (which varies per rep) plus the thread count.
+    pub fn id(&self) -> String {
+        format!(
+            "family={},n={},color={},lift={},adv={},threads={}",
+            self.family, self.n, self.coloring, self.lift, self.adversary, self.threads
+        )
+    }
+
+    /// The deterministic seed stream rooted at `base_seed` for this cell:
+    /// the coordinate string is folded into the state (FNV-1a style), so
+    /// distinct cells draw decorrelated streams from the same base seed.
+    pub fn cases(&self, base_seed: u64, reps: usize) -> Vec<TestCase> {
+        let mut state = base_seed ^ 0x534F_414B_9E37_79B9;
+        for byte in self.id().bytes() {
+            state = (state ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (0..reps)
+            .map(|_| TestCase {
+                family: self.family,
+                n: self.n,
+                seed: splitmix64(&mut state),
+                coloring: self.coloring,
+                lift: self.lift,
+                adversary: self.adversary,
+            })
+            .collect()
+    }
+}
+
+/// A campaign grid: the axis values whose cross product forms the cells.
+/// Cells enumerate with `family` as the outermost axis and `threads` as
+/// the innermost, in the order the axis vectors list their values.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CampaignGrid {
+    /// Graph families swept.
+    pub families: Vec<Family>,
+    /// Node counts swept.
+    pub ns: Vec<usize>,
+    /// Coloring modes swept.
+    pub colorings: Vec<ColoringMode>,
+    /// Lift multiplicities swept.
+    pub lifts: Vec<usize>,
+    /// Adversaries swept.
+    pub adversaries: Vec<AdversaryKind>,
+    /// Batch thread counts swept.
+    pub threads: Vec<usize>,
+}
+
+impl CampaignGrid {
+    /// The default soak grid: 96 cells over three structurally distinct
+    /// families (vertex-transitive cycle, random G(n,p), random tree),
+    /// two sizes, both coloring modes, unlifted and 2-lifted instances,
+    /// the fair and keyed-shuffle adversaries, and two thread counts.
+    pub fn full() -> CampaignGrid {
+        CampaignGrid {
+            families: vec![Family::Cycle, Family::Gnp, Family::Tree],
+            ns: vec![4, 7],
+            colorings: vec![ColoringMode::Greedy, ColoringMode::Pipeline],
+            lifts: vec![1, 2],
+            adversaries: vec![AdversaryKind::Fair, AdversaryKind::Shuffled],
+            threads: vec![1, 2],
+        }
+    }
+
+    /// A three-cell mini-grid for the default test suite: tiny cycles at
+    /// lift 1, 2, and 3 — enough to cross the lift-projection oracle and
+    /// the cache without noticeable wall time.
+    pub fn smoke() -> CampaignGrid {
+        CampaignGrid {
+            families: vec![Family::Cycle],
+            ns: vec![3],
+            colorings: vec![ColoringMode::Greedy],
+            lifts: vec![1, 2, 3],
+            adversaries: vec![AdversaryKind::Fair],
+            threads: vec![1],
+        }
+    }
+
+    /// Number of cells in the cross product.
+    pub fn len(&self) -> usize {
+        self.families.len()
+            * self.ns.len()
+            * self.colorings.len()
+            * self.lifts.len()
+            * self.adversaries.len()
+            * self.threads.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cells in deterministic cross-product order.
+    pub fn cells(&self) -> Vec<CampaignCell> {
+        let mut out = Vec::with_capacity(self.len());
+        for &family in &self.families {
+            for &n in &self.ns {
+                for &coloring in &self.colorings {
+                    for &lift in &self.lifts {
+                        for &adversary in &self.adversaries {
+                            for &threads in &self.threads {
+                                out.push(CampaignCell {
+                                    family,
+                                    n,
+                                    coloring,
+                                    lift,
+                                    adversary,
+                                    threads,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_enumeration_is_deterministic_and_complete() {
+        let grid = CampaignGrid::full();
+        let cells = grid.cells();
+        assert_eq!(cells.len(), grid.len());
+        assert_eq!(cells.len(), 96);
+        assert_eq!(cells, grid.cells());
+        // Ids are unique coordinates.
+        let mut ids: Vec<String> = cells.iter().map(CampaignCell::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), cells.len());
+        // Outermost axis moves slowest.
+        assert_eq!(cells[0].family, Family::Cycle);
+        assert_eq!(cells[0].threads, 1);
+        assert_eq!(cells[1].threads, 2);
+    }
+
+    #[test]
+    fn smoke_grid_is_three_cheap_cells() {
+        let cells = CampaignGrid::smoke().cells();
+        assert_eq!(cells.len(), 3);
+        assert!(cells.iter().all(|c| c.n == 3 && c.threads == 1));
+        assert_eq!(cells.iter().map(|c| c.lift).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn case_streams_are_deterministic_and_replayable() {
+        let cell = CampaignGrid::full().cells()[17].clone();
+        let a = cell.cases(0xA11CE, 4);
+        let b = cell.cases(0xA11CE, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        // Every case carries the cell's coordinates and a distinct seed.
+        let mut seeds: Vec<u64> = a.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4);
+        for case in &a {
+            assert_eq!(case.family, cell.family);
+            assert_eq!(case.lift, cell.lift);
+            // The replay string round-trips through the tc1 parser.
+            let replayed: TestCase = case.to_string().parse().unwrap();
+            assert_eq!(&replayed, case);
+        }
+        // A different base seed or a different cell draws different seeds.
+        assert_ne!(cell.cases(0xB0B, 4), a);
+        let other = CampaignGrid::full().cells()[18].clone();
+        assert_ne!(other.cases(0xA11CE, 4)[0].seed, a[0].seed);
+    }
+}

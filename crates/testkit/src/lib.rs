@@ -50,6 +50,7 @@
 
 use std::fmt;
 
+pub mod campaign;
 pub mod gen;
 pub mod leader;
 pub mod oracles;
@@ -57,6 +58,7 @@ pub mod persist;
 pub mod suite;
 pub mod testcase;
 
+pub use campaign::{CampaignCell, CampaignGrid};
 pub use gen::{build_graph, build_instance, color_graph, flavored_graph, Instance};
 pub use leader::{check_leader, run_leader_suite};
 pub use oracles::{fingerprint, Failure};

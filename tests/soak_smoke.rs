@@ -1,0 +1,95 @@
+//! Smoke test for the soak campaign + sentinel stack: the three-cell
+//! mini-campaign must finish fast, serialize to the versioned
+//! `BENCH_soak.json` schema through the workspace's shared JSON layer,
+//! survive a parse round trip, and gate clean against itself.
+
+use std::time::{Duration, Instant};
+
+use anonet_obs::Json;
+use anonet_soak::{baseline, diff, report, run_campaign, CampaignConfig, DEFAULT_BAND};
+
+/// Every key the machine-readable schema promises, top level and per cell.
+const TOP_KEYS: &[&str] = &[
+    "experiment",
+    "schema_version",
+    "base_seed",
+    "reps_per_cell",
+    "budget_secs",
+    "truncated",
+    "totals",
+    "cells",
+    "skipped_cells",
+    "oracle_failures",
+];
+const TOTALS_KEYS: &[&str] =
+    &["cells", "cases", "wall_secs", "cell_wall_median_secs", "cell_wall_p95_secs"];
+const CELL_KEYS: &[&str] = &[
+    "id",
+    "replay",
+    "cases",
+    "quotient_nodes",
+    "byte_identical",
+    "cold_hits",
+    "cold_misses",
+    "warm_hits",
+    "warm_misses",
+    "disk_hits",
+    "messages",
+    "message_bytes",
+    "hit_rate_warm",
+    "wall_secs",
+    "warm_wall_secs",
+    "job_wall_median_secs",
+    "job_wall_p95_secs",
+    "update_graph_secs",
+];
+
+#[test]
+fn mini_campaign_emits_the_full_schema_and_gates_clean() {
+    let started = Instant::now();
+    let run = run_campaign(&CampaignConfig::smoke()).expect("smoke campaign runs");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "three-cell smoke campaign must stay fast, took {:?}",
+        started.elapsed()
+    );
+
+    assert_eq!(run.cells.len(), 3);
+    assert!(run.failures.is_empty(), "conformance oracles pass: {:?}", run.failures);
+    assert!(!run.truncated);
+    for cell in &run.cells {
+        assert!(cell.byte_identical, "warm pass replays cold pass in {}", cell.id);
+        assert!(cell.replay.starts_with("tc1:"), "replay string in {}", cell.id);
+        assert_eq!(cell.warm_hits, cell.cases, "warm pass fully cached in {}", cell.id);
+        assert_eq!(cell.warm_misses, 0);
+        assert!(cell.messages > 0, "message probe recorded traffic in {}", cell.id);
+    }
+
+    // Serialize, then parse back through the shared JSON layer.
+    let text = report::to_json(&run).pretty();
+    let parsed = Json::parse(&text).expect("report is valid JSON");
+    for key in TOP_KEYS {
+        assert!(parsed.get(key).is_some(), "schema key `{key}` present");
+    }
+    let totals = parsed.get("totals").expect("totals object");
+    for key in TOTALS_KEYS {
+        assert!(totals.get(key).is_some(), "totals key `{key}` present");
+    }
+    let cells = parsed.get("cells").and_then(Json::items).expect("cells array");
+    assert_eq!(cells.len(), 3);
+    for cell in cells {
+        for key in CELL_KEYS {
+            assert!(cell.get(key).is_some(), "cell key `{key}` present");
+        }
+    }
+
+    // The serialized form is a fixed point: parsing and re-serializing
+    // reproduces the exact text (timings are µs-rounded on write, so the
+    // first serialization already canonicalized them).
+    let reparsed =
+        baseline::from_json(std::path::Path::new("mem.json"), &parsed).expect("schema parses");
+    assert_eq!(report::to_json(&reparsed).pretty(), text);
+    let outcome = diff::diff(&reparsed, &run, DEFAULT_BAND);
+    assert!(outcome.passed(), "identity gate passes: {:?}", outcome.regressions);
+    assert!(outcome.notes.is_empty(), "identity gate is silent: {:?}", outcome.notes);
+}
