@@ -214,7 +214,11 @@ impl BatchScheduler {
         type Slot<O> = Mutex<Option<(JobResult<O>, Duration)>>;
         let rec: &dyn Recorder = &*self.recorder;
         let observing = rec.is_enabled();
-        let _batch_span = Span::new(rec, names::SPAN_BATCH_RUN);
+        let batch_span = Span::new(rec, names::SPAN_BATCH_RUN);
+        // Workers parent their job spans under the batch span via this
+        // Copy + Send context — causality survives the thread hop instead
+        // of every worker starting a fresh root.
+        let batch_ctx = batch_span.context();
         let started = Instant::now();
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Slot<O>> = inputs.iter().map(|_| Mutex::new(None)).collect();
@@ -227,15 +231,16 @@ impl BatchScheduler {
                     if i >= inputs.len() {
                         break;
                     }
+                    // Queue wait: batch start to the moment a worker
+                    // claimed this job.
+                    let queue_wait_us =
+                        if observing { started.elapsed().as_micros() as u64 } else { 0 };
                     if observing {
-                        // Queue wait: batch start to the moment a worker
-                        // claimed this job.
-                        rec.histogram(
-                            names::BATCH_QUEUE_WAIT_US,
-                            started.elapsed().as_micros() as u64,
-                        );
+                        rec.histogram(names::BATCH_QUEUE_WAIT_US, queue_wait_us);
                     }
-                    let job_span = Span::new(rec, names::SPAN_JOB);
+                    let job_span = Span::child_of(rec, names::SPAN_JOB, batch_ctx);
+                    job_span.attr("job", i as u64);
+                    job_span.attr("queue_wait_us", queue_wait_us);
                     let t0 = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| job(i, &inputs[i])));
                     let elapsed = t0.elapsed();
@@ -429,6 +434,27 @@ mod tests {
         assert_eq!(snap.histogram(names::BATCH_JOB_WALL_US).unwrap().count(), 6);
         assert_eq!(snap.span(names::SPAN_BATCH_RUN).unwrap().count, 1);
         assert_eq!(snap.span_total(names::SPAN_JOB).count, 6);
+        // Causal parenting: every worker-executed job span nests under
+        // the submitting batch span — no fresh per-thread roots.
+        assert_eq!(snap.span("batch_run/job").unwrap().count, 6);
+        assert!(snap.span("job").is_none(), "orphan job roots");
+    }
+
+    #[test]
+    fn job_spans_stay_parented_under_an_outer_span() {
+        use std::sync::Arc;
+        let rec = Arc::new(anonet_obs::MemoryRecorder::new());
+        let inputs: Vec<usize> = (0..4).collect();
+        {
+            let _outer = anonet_obs::Span::new(&*rec, "soak_cell");
+            BatchScheduler::with_threads(4)
+                .with_recorder(rec.clone())
+                .run(&inputs, |_, &x| Ok::<usize, String>(x));
+        }
+        let snap = rec.snapshot();
+        // The whole chain survives two hops: outer (caller thread) →
+        // batch_run (same thread) → job (worker threads).
+        assert_eq!(snap.span("soak_cell/batch_run/job").unwrap().count, 4);
     }
 
     #[test]

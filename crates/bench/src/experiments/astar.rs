@@ -24,7 +24,7 @@ use anonet_algorithms::problems::MisProblem;
 use anonet_core::astar::{
     run_astar_observed, run_astar_reference_observed, run_astar_threaded, AStarConfig, AStarRun,
 };
-use anonet_obs::{names, MemoryRecorder, NoopRecorder};
+use anonet_obs::{names, MemoryRecorder};
 use anonet_runtime::Problem;
 
 use crate::experiments::{common::tick, ExpResult, Family};
@@ -127,6 +127,7 @@ fn runs_equal<O: PartialEq>(a: &AStarRun<O>, b: &AStarRun<O>) -> bool {
 pub fn measure() -> ExpResult<AstarMeasurement> {
     let alg = RandomizedMis::new();
     let cfg = AStarConfig::default();
+    let noop_shared = anonet_obs::noop();
     let mut rows = Vec::new();
 
     for (n, colored) in Family::figure2_tower() {
@@ -148,7 +149,7 @@ pub fn measure() -> ExpResult<AstarMeasurement> {
         for &threads in THREAD_SWEEP {
             let start = Instant::now();
             let par =
-                run_astar_threaded(&alg, &MisProblem, &instance, &cfg, threads, &NoopRecorder)?;
+                run_astar_threaded(&alg, &MisProblem, &instance, &cfg, threads, &noop_shared)?;
             threaded.push((threads, start.elapsed()));
             byte_identical &= runs_equal(&par, &reference);
         }

@@ -19,6 +19,7 @@ pub mod store;
 pub mod thm1_faithful;
 pub mod thm1_pipeline;
 pub mod thm2;
+pub mod trace;
 pub mod twohop;
 
 pub use common::Family;

@@ -9,6 +9,7 @@
 //! [`Json`] serializer, like E15) and `BENCH_obs_trace.jsonl`, one
 //! streamed JSON line per metric event of a representative run.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -19,7 +20,7 @@ use anonet_core::astar::{run_astar_observed, AStarConfig};
 use anonet_core::pipeline::{run_pipeline, run_pipeline_observed};
 use anonet_core::SearchStrategy;
 use anonet_graph::generators;
-use anonet_obs::{names, JsonlRecorder, MemoryRecorder, MemorySnapshot, SharedRecorder};
+use anonet_obs::{names, Histogram, JsonlRecorder, MemoryRecorder, MemorySnapshot, SharedRecorder};
 use anonet_runtime::{run, ExecConfig, Oblivious, Problem, RngSource};
 
 use crate::experiments::{common::tick, ExpResult, Family};
@@ -229,6 +230,18 @@ fn round3(x: f64) -> f64 {
     (x * 1e3).round() / 1e3
 }
 
+/// Histograms merged across the per-family snapshots — the quantile
+/// surfacing both the JSON artifact and the report table draw from.
+pub fn merged_histograms(m: &ObsMeasurement) -> BTreeMap<String, Histogram> {
+    let mut merged: BTreeMap<String, Histogram> = BTreeMap::new();
+    for r in &m.rows {
+        for (name, h) in r.snapshot.histograms() {
+            merged.entry(name.to_string()).or_default().merge(h);
+        }
+    }
+    merged
+}
+
 /// Builds `BENCH_obs.json` through the shared serializer.
 pub fn to_json(m: &ObsMeasurement, trace_lines: usize) -> String {
     let phase_breakdown = Json::obj(m.phases.iter().map(|&(name, total)| (name, secs(total))));
@@ -246,10 +259,24 @@ pub fn to_json(m: &ObsMeasurement, trace_lines: usize) -> String {
             ("bits_per_round", Json::arr(r.bits_per_round.iter().map(|&v| Json::from(v)))),
         ])
     });
+    let histograms = Json::obj(merged_histograms(m).into_iter().map(|(name, h)| {
+        let (p50, p90, p99) = h.quantiles().unwrap_or((0, 0, 0));
+        (
+            name,
+            Json::obj([
+                ("count", Json::from(h.count())),
+                ("p50", Json::from(p50)),
+                ("p90", Json::from(p90)),
+                ("p99", Json::from(p99)),
+                ("max", Json::from(h.max().unwrap_or(0))),
+            ]),
+        )
+    }));
     Json::obj([
         ("experiment", Json::str("obs")),
         ("seed", Json::from(SEED)),
         ("phase_breakdown", phase_breakdown),
+        ("histograms", histograms),
         ("plain_secs", secs(m.plain)),
         ("noop_secs", secs(m.noop)),
         ("memory_secs", secs(m.memory)),
@@ -301,6 +328,23 @@ pub fn report() -> ExpResult<String> {
         phase_table.row(vec![name.to_string(), format!("{total:.2?}")]);
     }
 
+    let mut hist_table = Table::new(
+        "E16 / observability — histogram quantiles (bucket upper bounds, merged across \
+         families)",
+        &["histogram", "n", "p50", "p90", "p99", "max"],
+    );
+    for (name, h) in merged_histograms(&m) {
+        let (p50, p90, p99) = h.quantiles().unwrap_or((0, 0, 0));
+        hist_table.row(vec![
+            name,
+            h.count().to_string(),
+            p50.to_string(),
+            p90.to_string(),
+            p99.to_string(),
+            h.max().unwrap_or(0).to_string(),
+        ]);
+    }
+
     // Stream the representative run's metric events as JSONL.
     let jsonl = Arc::new(JsonlRecorder::create("BENCH_obs_trace.jsonl")?);
     let shared: SharedRecorder = jsonl.clone();
@@ -317,7 +361,7 @@ pub fn report() -> ExpResult<String> {
     std::fs::write("BENCH_obs.json", &json)?;
 
     Ok(format!(
-        "{fam_table}\n{phase_table}\n\
+        "{fam_table}\n{phase_table}\n{hist_table}\n\
          petersen pipeline (min of 5): plain {plain:.3?}, noop-observed {noop:.3?} \
          ({noop_x:.3}x), memory-observed {mem:.3?} ({mem_x:.3}x)\n\
          noop overhead under 5%: {ok}\n\
@@ -401,6 +445,9 @@ mod tests {
         let v = Json::parse(&json).unwrap();
         assert_eq!(v.get("experiment").unwrap().as_str(), Some("obs"));
         assert!(v.get("phase_breakdown").unwrap().get("coloring").unwrap().as_f64().is_some());
+        let depth = v.get("histograms").unwrap().get("derand.view_depth").unwrap();
+        assert!(depth.get("p99").unwrap().as_f64().is_some(), "quantiles surfaced");
+        assert_eq!(depth.get("count").unwrap().as_f64(), Some(FAMILY_NAMES.len() as f64));
         assert!(v.get("noop_overhead").unwrap().as_f64().unwrap() > 0.0);
         assert_eq!(v.get("trace_lines").unwrap().as_f64(), Some(123.0));
         let fams = v.get("families").unwrap().items().unwrap();

@@ -29,6 +29,7 @@
 //! | E17 | [`experiments::astar`] | fast Update-Graph engine: pool memo, interning, threads |
 //! | E18 | [`experiments::store`] | persistent store: cold vs warm-start across processes |
 //! | E19 | [`experiments::soak`] | seeded soak campaign + the `BENCH_soak.json` regression baseline |
+//! | E20 | [`experiments::trace`] | causal tracing: noop/flight overhead + the anonet-trace round trip |
 //!
 //! Run them with `cargo run -p anonet-bench --bin report -- <id>|all`.
 //! Timing benchmarks live in `benches/` (Criterion).
@@ -62,6 +63,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "astar",
     "store",
     "soak",
+    "trace",
 ];
 
 /// Runs one experiment by id, returning its rendered report.
@@ -91,6 +93,7 @@ pub fn run_experiment(id: &str) -> Result<String, Box<dyn std::error::Error>> {
         "astar" => experiments::astar::report(),
         "store" => experiments::store::report(),
         "soak" => experiments::soak::report(),
+        "trace" => experiments::trace::report(),
         other => Err(format!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}").into()),
     }
 }

@@ -52,7 +52,7 @@
 
 use anonet_batch::{BatchScheduler, JobResult};
 use anonet_graph::{distance, BitString, Label, LabeledGraph, NodeId};
-use anonet_obs::{names, NoopRecorder, Recorder, Span};
+use anonet_obs::{names, NoopRecorder, Recorder, SharedRecorder, Span};
 use anonet_runtime::{
     run, BitAssignment, ExecConfig, Oblivious, ObliviousAlgorithm, Problem, TapeSource,
 };
@@ -180,8 +180,13 @@ where
 /// steps only read shared phase state and write their own slot, and the
 /// coordinator commits results in node order, so the run is
 /// **byte-identical** to [`run_astar`] at every thread count (`threads ==
-/// 0` is treated as 1). Spans opened on worker threads are recorded under
-/// their leaf names rather than nested below `astar`.
+/// 0` is treated as 1). Tracing is causal across the fan-out: the
+/// scheduler adopts the `astar` span as parent (via
+/// [`anonet_obs::TraceContext`]), so worker-side `update_*` spans nest
+/// below `astar/batch_run/job` instead of becoming fresh per-thread
+/// roots, and the per-phase tree reduces to the sequential one once the
+/// scheduler segments are erased
+/// ([`MemorySnapshot::reduced_span_paths`][anonet_obs::MemorySnapshot::reduced_span_paths]).
 ///
 /// # Errors
 ///
@@ -197,7 +202,7 @@ pub fn run_astar_threaded<A, P, C>(
     instance: &LabeledGraph<(A::Input, C)>,
     cfg: &AStarConfig,
     threads: usize,
-    rec: &dyn Recorder,
+    recorder: &SharedRecorder,
 ) -> Result<AStarRun<A::Output>>
 where
     A: ObliviousAlgorithm + Clone + Sync,
@@ -206,12 +211,14 @@ where
     P: Problem<Input = A::Input>,
     C: Label + Sync,
 {
+    let rec: &dyn Recorder = &**recorder;
     let _astar_span = Span::new(rec, names::SPAN_ASTAR);
     let g = instance.graph();
     let n = g.node_count();
     let mut state = AStarState::new(n);
     let mut cache: AstarCache<A::Input, C> = AstarCache::new();
-    let scheduler = BatchScheduler::with_threads(threads.max(1));
+    let scheduler =
+        BatchScheduler::with_threads(threads.max(1)).with_recorder(std::sync::Arc::clone(recorder));
     let nodes: Vec<NodeId> = g.nodes().collect();
 
     for p in 1..=cfg.max_phases {
@@ -746,7 +753,7 @@ mod tests {
                 &inst,
                 &cfg,
                 threads,
-                &NoopRecorder,
+                &anonet_obs::noop(),
             )
             .unwrap();
             assert_runs_identical(&par, &sequential);

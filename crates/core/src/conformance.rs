@@ -214,7 +214,7 @@ where
     };
     compare_astar_runs(ORACLE, "fast", &fast, &reference)?;
     for &t in threads {
-        match run_astar_threaded(alg, problem, instance, astar_cfg, t, &anonet_obs::NoopRecorder) {
+        match run_astar_threaded(alg, problem, instance, astar_cfg, t, &anonet_obs::noop()) {
             Ok(par) => compare_astar_runs(ORACLE, &format!("threaded({t})"), &par, &reference)?,
             Err(e) => {
                 return Err(mismatch(

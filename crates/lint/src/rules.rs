@@ -337,10 +337,11 @@ pub fn panic_hygiene(tokens: &[Tok]) -> Vec<RawFinding> {
 }
 
 /// **obs-naming** — metric/span naming discipline:
-/// literal metric names at `counter`/`histogram`/`Span::new` call sites
-/// (must use `anonet_obs::names` constants), and, in the names module
-/// itself, constant values violating the `subsystem.noun[.verb]`
-/// convention (span constants are bare lowercase leaf names).
+/// literal metric names at `counter`/`histogram`/`Span::new`/
+/// `Span::child_of` call sites (must use `anonet_obs::names` constants),
+/// and, in the names module itself, constant values violating the
+/// `subsystem.noun[.verb]` convention (span constants are bare lowercase
+/// leaf names).
 pub fn obs_naming(rel_path: &str, tokens: &[Tok], cfg: &Config) -> Vec<RawFinding> {
     let mut out = Vec::new();
 
@@ -362,12 +363,13 @@ pub fn obs_naming(rel_path: &str, tokens: &[Tok], cfg: &Config) -> Vec<RawFindin
                 ),
             ));
         }
-        // `Span::new(rec, "…")`: a literal as the second argument.
+        // `Span::new(rec, "…")` / `Span::child_of(rec, "…", ctx)`: a
+        // literal as the second argument (the span name in both).
         if tokens[i].is_ident("Span")
             && i + 4 < tokens.len()
             && tokens[i + 1].is_punct(':')
             && tokens[i + 2].is_punct(':')
-            && tokens[i + 3].is_ident("new")
+            && (tokens[i + 3].is_ident("new") || tokens[i + 3].is_ident("child_of"))
             && tokens[i + 4].is_punct('(')
         {
             let mut depth = 1i32;
@@ -550,12 +552,14 @@ fn f(rec: &dyn Recorder) {
     rec.histogram(names::GOOD, 2);
     let _s = Span::new(rec, "raw_span");
     let _t = Span::new(rec, names::SPAN_GOOD);
+    let _u = Span::child_of(rec, "raw_child", _t.context());
+    let _v = Span::child_of(rec, names::SPAN_GOOD, _t.context());
 }
 "#;
         let f = obs_naming("crates/obs/src/lib.rs", &lex(src).tokens, &cfg);
-        assert_eq!(f.len(), 4, "{f:?}");
+        assert_eq!(f.len(), 5, "{f:?}");
         // Same file but not the names file: only call sites flagged.
         let f2 = obs_naming("crates/core/src/x.rs", &lex(src).tokens, &cfg);
-        assert_eq!(f2.len(), 2, "{f2:?}");
+        assert_eq!(f2.len(), 3, "{f2:?}");
     }
 }

@@ -1,0 +1,59 @@
+//! A process-wide panic-hook registry for observability sinks.
+//!
+//! [`on_panic`] chains one hook into [`std::panic::set_hook`] (installed
+//! once, preserving whatever hook was there before) and runs every
+//! registered closure each time any thread panics — including panics the
+//! batch scheduler later catches and isolates. Sinks register *weak*
+//! self-references (see [`JsonlRecorder::flush_on_panic`](crate::JsonlRecorder::flush_on_panic)
+//! and [`FlightRecorder::install_crash_dump`](crate::FlightRecorder::install_crash_dump)),
+//! so a dropped sink leaves a no-op entry behind rather than a dangling
+//! one. Hooks must never panic themselves; the provided ones swallow I/O
+//! errors.
+
+use std::sync::{Mutex, Once, OnceLock};
+
+type Hook = Box<dyn Fn() + Send + Sync>;
+
+static HOOKS: OnceLock<Mutex<Vec<Hook>>> = OnceLock::new();
+static INSTALL: Once = Once::new();
+
+/// Registers `hook` to run on every panic in the process, after which the
+/// previously installed panic hook (normally the default backtrace
+/// printer) still runs. Entries are never unregistered — register
+/// closures that capture [`std::sync::Weak`] handles so dropped sinks
+/// degrade to no-ops.
+pub fn on_panic(hook: impl Fn() + Send + Sync + 'static) {
+    let hooks = HOOKS.get_or_init(|| Mutex::new(Vec::new()));
+    hooks.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).push(Box::new(hook));
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(hooks) = HOOKS.get() {
+                for hook in hooks.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).iter() {
+                    hook();
+                }
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn hooks_run_on_caught_panics() {
+        let fired = Arc::new(AtomicU64::new(0));
+        let handle = Arc::clone(&fired);
+        on_panic(move || {
+            handle.fetch_add(1, Ordering::SeqCst);
+        });
+        let before = fired.load(Ordering::SeqCst);
+        let result = std::panic::catch_unwind(|| panic!("crash-hook test"));
+        assert!(result.is_err());
+        assert!(fired.load(Ordering::SeqCst) > before);
+    }
+}

@@ -1,0 +1,360 @@
+//! The bounded flight-recorder backend: always-on capture of the most
+//! recent events, dumped on demand or from a panic hook.
+//!
+//! [`FlightRecorder`] keeps a fixed-size ring of slots. Writers claim a
+//! slot with one `fetch_add` on an atomic cursor and store the event
+//! under that slot's own `try_lock` — they **never block**: if a writer
+//! catches a slot mid-overwrite (the cursor has lapped the ring within
+//! one store's duration), the event is counted in `dropped()` and
+//! discarded instead. The crate forbids `unsafe`, so this is the honest
+//! bounded-overhead design available — per-event cost is one atomic
+//! increment, one uncontended try-lock, and one small clone; memory is
+//! `capacity` slots, forever.
+//!
+//! Unlike the JSONL backend, span *opens* are recorded too, so a crash
+//! dump shows spans that were still in flight when the process died.
+//! [`FlightRecorder::install_crash_dump`] registers a panic hook (weak
+//! self-reference, chained via [`crate::crash`]) that writes the ring to
+//! a JSONL file — the conventional path is `target/trace-crash.jsonl` —
+//! using the same line schema the [`JsonlRecorder`](crate::JsonlRecorder)
+//! emits, plus `"ev":"span_open"` lines and a trailing `"ev":"flight"`
+//! summary line (`captured`/`dropped`/`capacity`), so `anonet-trace`
+//! reads crash dumps and live traces alike.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::recorder::Recorder;
+use crate::trace::{thread_ordinal, SpanId};
+
+/// Default ring capacity (events).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+#[derive(Clone, Debug)]
+enum EventKind {
+    Open { id: u64, parent: Option<u64>, name: String },
+    Close { id: u64, parent: Option<u64>, name: String, wall_us: u64 },
+    Attr { id: u64, key: String, value: Json },
+    Counter { name: String, delta: u64 },
+    Hist { name: String, value: u64 },
+}
+
+#[derive(Clone, Debug)]
+struct Event {
+    /// Global claim order — survives ring wrap, so dumps sort correctly.
+    seq: u64,
+    us: u64,
+    tid: u64,
+    kind: EventKind,
+}
+
+/// A bounded ring-buffer [`Recorder`] for always-on capture. See the
+/// [module docs](self) for the overhead contract.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<Event>>>,
+    cursor: AtomicUsize,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+impl FlightRecorder {
+    /// A ring of [`DEFAULT_FLIGHT_CAPACITY`] events.
+    pub fn new() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// A ring of `capacity` events (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events discarded because their slot was mid-overwrite (writers
+    /// never block) — the documented accuracy cost of boundedness.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total events ever claimed (retained + overwritten + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed) as u64
+    }
+
+    fn push(&self, kind: EventKind) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed) as u64;
+        let event =
+            Event { seq, us: self.epoch.elapsed().as_micros() as u64, tid: thread_ordinal(), kind };
+        let slot = &self.slots[(seq as usize) % self.slots.len()];
+        match slot.try_lock() {
+            Ok(mut slot) => *slot = Some(event),
+            // A writer lapped the ring into this slot mid-store; dropping
+            // one stale-adjacent event beats ever blocking the hot path.
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The retained events as JSONL lines in claim order, ending with the
+    /// `"ev":"flight"` summary line.
+    pub fn dump_lines(&self) -> Vec<String> {
+        let mut events: Vec<Event> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().unwrap_or_else(|p| p.into_inner()).clone())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        let captured = events.len();
+        let mut lines: Vec<String> = events.into_iter().map(|e| render(&e).to_string()).collect();
+        lines.push(
+            Json::obj([
+                ("ev", Json::str("flight")),
+                ("captured", Json::from(captured as u64)),
+                ("dropped", Json::from(self.dropped())),
+                ("capacity", Json::from(self.capacity() as u64)),
+            ])
+            .to_string(),
+        );
+        lines
+    }
+
+    /// Writes [`FlightRecorder::dump_lines`] to `path` (creating parent
+    /// directories), returning the number of lines written.
+    ///
+    /// # Errors
+    ///
+    /// File creation or write failures.
+    pub fn dump_to(&self, path: impl AsRef<Path>) -> std::io::Result<usize> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let lines = self.dump_lines();
+        let mut file = std::fs::File::create(path)?;
+        for line in &lines {
+            writeln!(file, "{line}")?;
+        }
+        file.flush()?;
+        Ok(lines.len())
+    }
+
+    /// Registers a process-wide panic hook that dumps the ring to `path`
+    /// (conventionally `target/trace-crash.jsonl`). The hook holds a
+    /// [`Weak`] self-reference and swallows I/O errors — a dropped
+    /// recorder or an unwritable path must never compound a panic.
+    pub fn install_crash_dump(self: &Arc<Self>, path: impl Into<PathBuf>) {
+        let weak: Weak<FlightRecorder> = Arc::downgrade(self);
+        let path = path.into();
+        crate::crash::on_panic(move || {
+            if let Some(rec) = weak.upgrade() {
+                let _ = rec.dump_to(&path);
+            }
+        });
+    }
+}
+
+fn render(event: &Event) -> Json {
+    let base = |ev: &str| {
+        vec![
+            ("us".to_string(), Json::from(event.us)),
+            ("ev".to_string(), Json::str(ev)),
+            ("tid".to_string(), Json::from(event.tid)),
+        ]
+    };
+    let opt = |id: Option<u64>| id.map(Json::from).unwrap_or(Json::Null);
+    let pairs = match &event.kind {
+        EventKind::Open { id, parent, name } => {
+            let mut p = base("span_open");
+            p.push(("id".to_string(), Json::from(*id)));
+            p.push(("parent".to_string(), opt(*parent)));
+            p.push(("name".to_string(), Json::str(name.as_str())));
+            p
+        }
+        EventKind::Close { id, parent, name, wall_us } => {
+            let mut p = base("span");
+            p.push(("id".to_string(), Json::from(*id)));
+            p.push(("parent".to_string(), opt(*parent)));
+            p.push(("name".to_string(), Json::str(name.as_str())));
+            p.push(("wall_us".to_string(), Json::from(*wall_us)));
+            p
+        }
+        EventKind::Attr { id, key, value } => {
+            let mut p = base("attr");
+            p.push(("id".to_string(), Json::from(*id)));
+            p.push(("key".to_string(), Json::str(key.as_str())));
+            p.push(("value".to_string(), value.clone()));
+            p
+        }
+        EventKind::Counter { name, delta } => {
+            let mut p = base("counter");
+            p.push(("name".to_string(), Json::str(name.as_str())));
+            p.push(("delta".to_string(), Json::from(*delta)));
+            p
+        }
+        EventKind::Hist { name, value } => {
+            let mut p = base("hist");
+            p.push(("name".to_string(), Json::str(name.as_str())));
+            p.push(("value".to_string(), Json::from(*value)));
+            p
+        }
+    };
+    Json::Obj(pairs)
+}
+
+impl Recorder for FlightRecorder {
+    fn span_open(&self, id: SpanId, parent: Option<SpanId>, name: &str) {
+        self.push(EventKind::Open {
+            id: id.get(),
+            parent: parent.map(SpanId::get),
+            name: name.to_string(),
+        });
+    }
+
+    fn span_close(&self, id: SpanId, parent: Option<SpanId>, name: &str, wall: Duration) {
+        self.push(EventKind::Close {
+            id: id.get(),
+            parent: parent.map(SpanId::get),
+            name: name.to_string(),
+            wall_us: wall.as_micros() as u64,
+        });
+    }
+
+    fn span_attr(&self, id: SpanId, key: &str, value: &Json) {
+        self.push(EventKind::Attr { id: id.get(), key: key.to_string(), value: value.clone() });
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        self.push(EventKind::Counter { name: name.to_string(), delta });
+    }
+
+    fn histogram(&self, name: &str, value: u64) {
+        self.push(EventKind::Hist { name: name.to_string(), value });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Span;
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_events() {
+        let rec = FlightRecorder::with_capacity(8);
+        for i in 0..100u64 {
+            rec.counter("tick", i);
+        }
+        assert_eq!(rec.recorded(), 100);
+        let lines = rec.dump_lines();
+        assert_eq!(lines.len(), 8 + 1); // ring + summary
+                                        // The retained events are the *latest* eight, in order.
+        let deltas: Vec<f64> = lines[..8]
+            .iter()
+            .map(|l| Json::parse(l).unwrap().get("delta").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(deltas, (92..100).map(|d| d as f64).collect::<Vec<_>>());
+        let summary = Json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(summary.get("ev").unwrap().as_str(), Some("flight"));
+        assert_eq!(summary.get("capacity").unwrap().as_f64(), Some(8.0));
+    }
+
+    #[test]
+    fn spans_record_opens_and_closes_with_links() {
+        let rec = FlightRecorder::with_capacity(64);
+        {
+            let outer = Span::new(&rec, "astar");
+            let _inner = Span::child_of(&rec, "update_graph", outer.context());
+        }
+        let lines = rec.dump_lines();
+        let parsed: Vec<Json> = lines.iter().map(|l| Json::parse(l).unwrap()).collect();
+        let opens: Vec<&Json> = parsed
+            .iter()
+            .filter(|l| l.get("ev").and_then(Json::as_str) == Some("span_open"))
+            .collect();
+        let closes: Vec<&Json> =
+            parsed.iter().filter(|l| l.get("ev").and_then(Json::as_str) == Some("span")).collect();
+        assert_eq!(opens.len(), 2);
+        assert_eq!(closes.len(), 2);
+        let outer_id = opens[0].get("id").unwrap().as_f64().unwrap();
+        assert_eq!(opens[1].get("parent").unwrap().as_f64(), Some(outer_id));
+    }
+
+    #[test]
+    fn in_flight_spans_appear_in_the_dump() {
+        let rec = FlightRecorder::with_capacity(16);
+        let _open = Span::new(&rec, "pipeline");
+        let lines = rec.dump_lines();
+        assert!(lines.iter().any(|l| l.contains("span_open") && l.contains("pipeline")));
+    }
+
+    #[test]
+    fn dump_to_writes_parseable_jsonl() {
+        let rec = FlightRecorder::with_capacity(16);
+        rec.counter("c", 1);
+        let path = std::env::temp_dir()
+            .join(format!("anonet-flight-{}", std::process::id()))
+            .join("dump.jsonl");
+        let written = rec.dump_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+        assert_eq!(text.lines().count(), written);
+        for line in text.lines() {
+            Json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn crash_dump_fires_from_the_panic_hook() {
+        let rec = Arc::new(FlightRecorder::with_capacity(32));
+        let path =
+            std::env::temp_dir().join(format!("anonet-flight-crash-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        rec.install_crash_dump(&path);
+        rec.counter("pre_crash", 7);
+        let result = std::panic::catch_unwind(|| panic!("flight-dump test"));
+        assert!(result.is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("pre_crash"));
+        assert!(text.contains("\"ev\": \"flight\""));
+    }
+
+    #[test]
+    fn concurrent_writers_never_block_or_lose_count() {
+        let rec = FlightRecorder::with_capacity(32);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..1000u64 {
+                        rec.counter("spin", i);
+                    }
+                });
+            }
+        });
+        // Every claim is accounted: retained in the ring or counted dropped.
+        assert_eq!(rec.recorded(), 4000);
+        let retained = rec.dump_lines().len() as u64 - 1;
+        assert!(retained <= 32);
+        assert!(rec.dropped() <= 4000 - retained);
+    }
+}

@@ -102,6 +102,27 @@ impl Histogram {
         }
         Some(self.max)
     }
+
+    /// Median upper-bound estimate ([`Histogram::quantile_bound`] at 0.5).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile_bound(0.50)
+    }
+
+    /// 90th-percentile upper-bound estimate.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile_bound(0.90)
+    }
+
+    /// 99th-percentile upper-bound estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile_bound(0.99)
+    }
+
+    /// The `(p50, p90, p99)` bucket-bound estimates surfaced by snapshot
+    /// renders and the E16/E20 reports, or `None` while empty.
+    pub fn quantiles(&self) -> Option<(u64, u64, u64)> {
+        Some((self.p50()?, self.p90()?, self.p99()?))
+    }
 }
 
 impl fmt::Debug for Histogram {
@@ -172,6 +193,20 @@ mod tests {
         let median = h.quantile_bound(0.5).unwrap();
         assert!((49..=63).contains(&median), "median bound {median}");
         assert_eq!(h.quantile_bound(1.0), Some(99)); // clamped to max
+    }
+
+    #[test]
+    fn named_quantiles_are_ordered_bounds() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantiles(), None);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99) = h.quantiles().unwrap();
+        assert_eq!((p50, p90, p99), (h.p50().unwrap(), h.p90().unwrap(), h.p99().unwrap()));
+        assert!(p50 <= p90 && p90 <= p99, "quantile bounds must be monotone");
+        assert!(p50 >= 500, "p50 bound {p50} must cover the true median");
+        assert!(p99 <= 1000, "bounds clamp to the observed max");
     }
 
     #[test]

@@ -1,39 +1,54 @@
 //! The streaming JSONL backend.
 //!
 //! [`JsonlRecorder`] writes one JSON object per line to any `Write + Send`
-//! sink as metrics arrive: span closings (with their `/`-joined path and
-//! wall time in microseconds), counter bumps, and histogram samples, each
-//! stamped with microseconds since the recorder was created. Lines are
-//! self-describing (`"ev"` discriminates), so traces can be grepped,
-//! tailed, or re-parsed with [`Json::parse`](crate::json::Json::parse).
+//! sink as metrics arrive: span closings (with stable `id`/`parent`
+//! links, the `/`-joined causal path, wall time in microseconds, and the
+//! recording thread's ordinal), span attributes, counter bumps, and
+//! histogram samples, each stamped with microseconds since the recorder
+//! was created. Lines are self-describing (`"ev"` discriminates), so
+//! traces can be grepped, tailed, re-parsed with
+//! [`Json::parse`](crate::json::Json::parse), or fed to the
+//! `anonet-trace` toolchain (Perfetto export, flamegraphs, critical
+//! paths). A span's start time is reconstructable as `us - wall_us`; no
+//! separate open line is emitted, which halves trace volume.
+//!
+//! # Durability
+//!
+//! Write errors are swallowed mid-run (observability must never fail the
+//! observed computation); call [`JsonlRecorder::flush`] to learn whether
+//! the sink is still healthy. Dropping the recorder flushes whatever the
+//! sink buffered, so a dropped recorder leaves no truncated final line,
+//! and [`JsonlRecorder::flush_on_panic`] registers a panic-hook flush for
+//! traces that must survive a crash. *Flush is not fsync*: buffered bytes
+//! reach the OS, but no `File::sync_all` is issued — a kernel crash or
+//! power loss can still lose the tail. The store owns fsync policy for
+//! data; traces deliberately stay cheap.
 
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::{Arc, Mutex, MutexGuard};
-use std::thread::ThreadId;
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::recorder::Recorder;
+use crate::trace::{thread_ordinal, SpanId};
 
 struct Inner {
     writer: Box<dyn Write + Send>,
-    stacks: HashMap<ThreadId, Vec<String>>,
+    /// Open span id → its full `/`-joined path, removed on close.
+    open: HashMap<SpanId, String>,
 }
 
 impl std::fmt::Debug for Inner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Inner").field("stacks", &self.stacks).finish_non_exhaustive()
+        f.debug_struct("Inner").field("open", &self.open.len()).finish_non_exhaustive()
     }
 }
 
-/// A [`Recorder`] that streams every metric event as one JSON line.
-///
-/// Write errors are swallowed (observability must never fail the
-/// observed computation); call [`JsonlRecorder::flush`] to learn whether
-/// the sink is still healthy.
+/// A [`Recorder`] that streams every metric event as one JSON line. See
+/// the [module docs](self) for the line schema and durability contract.
 #[derive(Debug)]
 pub struct JsonlRecorder {
     inner: Mutex<Inner>,
@@ -44,7 +59,7 @@ impl JsonlRecorder {
     /// Streams to an arbitrary sink.
     pub fn new(writer: impl Write + Send + 'static) -> Self {
         JsonlRecorder {
-            inner: Mutex::new(Inner { writer: Box::new(writer), stacks: HashMap::new() }),
+            inner: Mutex::new(Inner { writer: Box::new(writer), open: HashMap::new() }),
             epoch: Instant::now(),
         }
     }
@@ -65,13 +80,27 @@ impl JsonlRecorder {
         (JsonlRecorder::new(buf.clone()), buf)
     }
 
-    /// Flushes the underlying sink.
+    /// Flushes the underlying sink (to the OS — not fsync; see the
+    /// [module docs](self)).
     ///
     /// # Errors
     ///
     /// Propagates the sink's flush failure.
     pub fn flush(&self) -> io::Result<()> {
         self.lock().writer.flush()
+    }
+
+    /// Registers a process-wide panic hook that flushes this recorder, so
+    /// the trace of a crashing run is complete up to the panic. The hook
+    /// holds only a [`Weak`] reference: dropping the recorder (which
+    /// flushes anyway) leaves a no-op behind.
+    pub fn flush_on_panic(self: &Arc<Self>) {
+        let weak: Weak<JsonlRecorder> = Arc::downgrade(self);
+        crate::crash::on_panic(move || {
+            if let Some(rec) = weak.upgrade() {
+                let _ = rec.flush();
+            }
+        });
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -87,26 +116,52 @@ impl JsonlRecorder {
     }
 }
 
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        // Best-effort: a dropped recorder leaves no truncated final line.
+        let _ = self.lock().writer.flush();
+    }
+}
+
+fn id_json(id: Option<SpanId>) -> Json {
+    match id {
+        Some(id) => Json::from(id.get()),
+        None => Json::Null,
+    }
+}
+
 impl Recorder for JsonlRecorder {
-    fn span_open(&self, name: &str) {
+    fn span_open(&self, id: SpanId, parent: Option<SpanId>, name: &str) {
         let mut inner = self.lock();
-        inner.stacks.entry(std::thread::current().id()).or_default().push(name.to_string());
+        let path = match parent.and_then(|p| inner.open.get(&p)) {
+            Some(parent_path) => format!("{parent_path}/{name}"),
+            None => name.to_string(),
+        };
+        inner.open.insert(id, path);
     }
 
-    fn span_close(&self, name: &str, wall: Duration) {
+    fn span_close(&self, id: SpanId, parent: Option<SpanId>, name: &str, wall: Duration) {
         let mut inner = self.lock();
-        let stack = inner.stacks.entry(std::thread::current().id()).or_default();
-        let path = if stack.last().map(String::as_str) == Some(name) {
-            let joined = stack.join("/");
-            stack.pop();
-            joined
-        } else {
-            name.to_string()
-        };
+        let path = inner.open.remove(&id).unwrap_or_else(|| name.to_string());
         let fields = vec![
             ("ev", Json::str("span")),
+            ("id", Json::from(id.get())),
+            ("parent", id_json(parent)),
+            ("name", Json::str(name)),
             ("path", Json::str(path)),
             ("wall_us", Json::from(wall.as_micros() as u64)),
+            ("tid", Json::from(thread_ordinal())),
+        ];
+        self.emit(&mut inner, fields);
+    }
+
+    fn span_attr(&self, id: SpanId, key: &str, value: &Json) {
+        let mut inner = self.lock();
+        let fields = vec![
+            ("ev", Json::str("attr")),
+            ("id", Json::from(id.get())),
+            ("key", Json::str(key)),
+            ("value", value.clone()),
         ];
         self.emit(&mut inner, fields);
     }
@@ -180,16 +235,47 @@ mod tests {
         for line in &lines {
             assert!(line.get("us").is_some());
         }
-        let spans: Vec<&str> = lines
-            .iter()
-            .filter(|l| l.get("ev").and_then(Json::as_str) == Some("span"))
-            .map(|l| l.get("path").unwrap().as_str().unwrap())
-            .collect();
-        assert_eq!(spans, ["pipeline/coloring", "pipeline"]);
+        let spans: Vec<&Json> =
+            lines.iter().filter(|l| l.get("ev").and_then(Json::as_str) == Some("span")).collect();
+        let paths: Vec<&str> =
+            spans.iter().map(|l| l.get("path").unwrap().as_str().unwrap()).collect();
+        assert_eq!(paths, ["pipeline/coloring", "pipeline"]);
+        // id/parent links: the inner close's parent is the outer close's id.
+        let inner_parent = spans[0].get("parent").unwrap().as_f64().unwrap();
+        let outer_id = spans[1].get("id").unwrap().as_f64().unwrap();
+        assert_eq!(inner_parent, outer_id);
+        assert_eq!(spans[1].get("parent"), Some(&Json::Null));
+        for span in &spans {
+            assert!(span.get("wall_us").is_some());
+            assert!(span.get("tid").unwrap().as_f64().unwrap() >= 1.0);
+            assert!(span.get("name").is_some());
+        }
         let counter =
             lines.iter().find(|l| l.get("ev").and_then(Json::as_str) == Some("counter")).unwrap();
         assert_eq!(counter.get("name").unwrap().as_str(), Some("engine.messages"));
         assert_eq!(counter.get("delta").unwrap().as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn attrs_attach_to_span_ids() {
+        let (rec, buf) = JsonlRecorder::buffered();
+        {
+            let span = Span::new(&rec, "soak_cell");
+            span.attr("replay", "tc1:abc");
+            span.attr("threads", 8u64);
+        }
+        rec.flush().unwrap();
+        let lines = buf.parsed_lines().unwrap();
+        let attrs: Vec<&Json> =
+            lines.iter().filter(|l| l.get("ev").and_then(Json::as_str) == Some("attr")).collect();
+        assert_eq!(attrs.len(), 2);
+        let span =
+            lines.iter().find(|l| l.get("ev").and_then(Json::as_str) == Some("span")).unwrap();
+        for attr in &attrs {
+            assert_eq!(attr.get("id"), span.get("id"));
+        }
+        assert_eq!(attrs[0].get("value").unwrap().as_str(), Some("tc1:abc"));
+        assert_eq!(attrs[1].get("value").unwrap().as_f64(), Some(8.0));
     }
 
     #[test]
@@ -203,5 +289,38 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         assert_eq!(text.lines().count(), 1);
         Json::parse(text.lines().next().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn drop_flushes_no_truncated_final_line() {
+        let path = std::env::temp_dir()
+            .join(format!("anonet_obs_jsonl_drop_{}.jsonl", std::process::id()));
+        {
+            // Buffered file sink, *no* explicit flush: only Drop runs.
+            let rec = JsonlRecorder::create(&path).unwrap();
+            for i in 0..200u64 {
+                rec.counter("c", i);
+            }
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text.lines().count(), 200);
+        assert!(text.ends_with('\n'), "final line must be newline-terminated");
+        for line in text.lines() {
+            Json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn panic_hook_flushes_registered_recorders() {
+        let (rec, buf) = JsonlRecorder::buffered();
+        let rec = Arc::new(rec);
+        rec.flush_on_panic();
+        rec.counter("before_panic", 1);
+        let result = std::panic::catch_unwind(|| panic!("boom for the trace flush"));
+        assert!(result.is_err());
+        // SharedBuffer is unbuffered, so the observable effect is just
+        // that the hook ran without deadlocking and the line is intact.
+        assert!(buf.contents().contains("before_panic"));
     }
 }

@@ -15,15 +15,26 @@
 //!   observationally free (outputs, traces, and cache bytes stay
 //!   identical — the differential tests pin this down).
 //! * [`MemoryRecorder`] — aggregates counters, histograms, and span
-//!   wall-times in memory; snapshot, compare, render.
+//!   wall-times in memory; snapshot, compare, render, and rebuild the
+//!   span tree ([`MemorySnapshot::tree`]).
 //! * [`JsonlRecorder`] — streams every metric event as one JSON line to
-//!   a file or buffer, for tailing and offline analysis.
+//!   a file or buffer, for tailing, offline analysis, and the
+//!   `anonet-trace` toolchain.
 //!
-//! Span nesting is tracked per thread by the backends: instrumentation
-//! names only the leaf (`"views"`), and aggregates land under the
-//! `/`-joined path of the opening thread's live spans
-//! (`"pipeline/derandomize/views"`). Metric names are centralized in
-//! [`names`].
+//! A fourth, [`FlightRecorder`], is the always-on bounded ring: the most
+//! recent events, dumpable on demand or from a panic hook
+//! (`target/trace-crash.jsonl`).
+//!
+//! Tracing is **causal**: every enabled span carries a stable [`SpanId`]
+//! and an explicit parent link. On one thread, [`Span::new`] nests under
+//! the innermost open span of the same recorder; across threads, a
+//! [`TraceContext`] captured from the submitting span ([`Span::context`])
+//! and adopted with [`Span::child_of`] keeps scheduler jobs and fanned-out
+//! phase work parented under their submitter instead of becoming fresh
+//! per-thread roots. Instrumentation still names only the leaf
+//! (`"views"`); aggregates land under the `/`-joined path of the parent
+//! chain (`"pipeline/derandomize/views"`). Metric names are centralized
+//! in [`names`].
 //!
 //! The [`json`] module is the workspace's one shared JSON
 //! serializer/parser — the bench harness builds its `BENCH_*.json`
@@ -49,17 +60,22 @@
 #![warn(missing_docs)]
 
 pub mod bridge;
+pub mod crash;
+mod flight;
 mod hist;
 pub mod json;
 mod jsonl;
 mod memory;
 mod recorder;
+mod trace;
 
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use hist::{Histogram, BUCKETS};
 pub use json::Json;
 pub use jsonl::{JsonlRecorder, SharedBuffer};
-pub use memory::{MemoryRecorder, MemorySnapshot, SpanStat};
+pub use memory::{MemoryRecorder, MemorySnapshot, SpanNode, SpanStat};
 pub use recorder::{noop, NoopRecorder, Recorder, SharedRecorder, Span};
+pub use trace::{thread_ordinal, SpanId, TraceContext};
 
 /// The canonical metric and span names every instrumented layer uses.
 ///
@@ -125,6 +141,10 @@ pub mod names {
     pub const STORE_SEGMENT_BYTES: &str = "store.segment.bytes";
     /// Active segments sealed and rolled to a successor.
     pub const STORE_SEGMENT_ROLLS: &str = "store.segment.rolls";
+    /// Point reads answered by segment logs.
+    pub const STORE_SEGMENT_READS: &str = "store.segment.reads";
+    /// Value bytes returned by segment point reads.
+    pub const STORE_SEGMENT_READ_BYTES: &str = "store.segment.read_bytes";
     /// Torn segment tails truncated during open-time recovery.
     pub const STORE_SEGMENT_TORN: &str = "store.segment.torn";
     /// Mid-file damaged regions quarantined by CRC resynchronization.
@@ -195,6 +215,12 @@ pub mod names {
     pub const SPAN_JOB: &str = "job";
     /// Opening a persistent store (segment scans, index rebuild).
     pub const SPAN_STORE_OPEN: &str = "store_open";
+    /// One point read against a segment log.
+    pub const SPAN_SEGMENT_READ: &str = "segment_read";
+    /// One frame append to a segment log.
+    pub const SPAN_SEGMENT_WRITE: &str = "segment_write";
+    /// Open-time recovery scan of one segment log.
+    pub const SPAN_SEGMENT_RECOVER: &str = "segment_recover";
     /// Compacting one store shard.
     pub const SPAN_STORE_COMPACT: &str = "store_compact";
     /// Warm-start scan preloading hot entries.

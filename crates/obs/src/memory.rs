@@ -1,19 +1,23 @@
 //! The in-memory aggregating backend.
 //!
 //! [`MemoryRecorder`] keeps counters, histograms, and span aggregates in
-//! `BTreeMap`s behind one mutex, with a per-thread span stack so concurrent
-//! batch workers nest independently. [`MemoryRecorder::snapshot`] clones
-//! the aggregates out as a [`MemorySnapshot`] — an inert, comparable,
-//! renderable value used by the experiments and the differential tests.
+//! `BTreeMap`s behind one mutex. Spans arrive with explicit ids and
+//! parent links (see [`crate::trace`]), so aggregation is *causal*: each
+//! closing lands under the `/`-joined path of its parent chain — even
+//! when the child closed on a different thread than its parent opened on.
+//! [`MemoryRecorder::snapshot`] clones the aggregates out as a
+//! [`MemorySnapshot`] — an inert, comparable, renderable value used by
+//! the experiments and the differential tests, which can also rebuild the
+//! nested span tree ([`MemorySnapshot::tree`]).
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::sync::Mutex;
-use std::thread::ThreadId;
 use std::time::Duration;
 
 use crate::hist::Histogram;
 use crate::recorder::Recorder;
+use crate::trace::SpanId;
 
 /// Aggregate of all closings of one span path.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -29,7 +33,8 @@ struct State {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
     spans: BTreeMap<String, SpanStat>,
-    stacks: HashMap<ThreadId, Vec<String>>,
+    /// Open span id → its full `/`-joined path, removed on close.
+    open: HashMap<SpanId, String>,
 }
 
 /// An aggregating in-memory [`Recorder`].
@@ -74,7 +79,7 @@ impl MemoryRecorder {
         }
     }
 
-    /// Drops all aggregates (open span stacks survive).
+    /// Drops all aggregates (open spans keep their paths and survive).
     pub fn reset(&self) {
         let mut s = self.lock();
         s.counters.clear();
@@ -84,23 +89,20 @@ impl MemoryRecorder {
 }
 
 impl Recorder for MemoryRecorder {
-    fn span_open(&self, name: &str) {
+    fn span_open(&self, id: SpanId, parent: Option<SpanId>, name: &str) {
         let mut s = self.lock();
-        s.stacks.entry(std::thread::current().id()).or_default().push(name.to_string());
+        // A parent that is not open here (already closed, or recorded by
+        // another backend) degrades to a root — never a lost event.
+        let path = match parent.and_then(|p| s.open.get(&p)) {
+            Some(parent_path) => format!("{parent_path}/{name}"),
+            None => name.to_string(),
+        };
+        s.open.insert(id, path);
     }
 
-    fn span_close(&self, name: &str, wall: Duration) {
+    fn span_close(&self, id: SpanId, _parent: Option<SpanId>, name: &str, wall: Duration) {
         let mut s = self.lock();
-        let stack = s.stacks.entry(std::thread::current().id()).or_default();
-        // Tolerate a mismatched close (a span guard moved across threads):
-        // fall back to the bare name rather than corrupting the stack.
-        let path = if stack.last().map(String::as_str) == Some(name) {
-            let joined = stack.join("/");
-            stack.pop();
-            joined
-        } else {
-            name.to_string()
-        };
+        let path = s.open.remove(&id).unwrap_or_else(|| name.to_string());
         let stat = s.spans.entry(path).or_default();
         stat.count += 1;
         stat.total += wall;
@@ -123,6 +125,20 @@ pub struct MemorySnapshot {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
     spans: BTreeMap<String, SpanStat>,
+}
+
+/// One node of a reconstructed span tree ([`MemorySnapshot::tree`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The leaf name.
+    pub name: String,
+    /// The full `/`-joined path.
+    pub path: String,
+    /// Aggregate closings at exactly this path (zero for a synthesized
+    /// intermediate whose own closings were never recorded).
+    pub stat: SpanStat,
+    /// Child nodes, sorted by name.
+    pub children: Vec<SpanNode>,
 }
 
 impl MemorySnapshot {
@@ -170,12 +186,69 @@ impl MemorySnapshot {
         out
     }
 
+    /// Reconstructs the nested span tree from the aggregated paths.
+    /// Intermediate nodes that never closed themselves (still open at
+    /// snapshot time, or closed only under other parents) are synthesized
+    /// with zero stats so their children still hang in the right place.
+    pub fn tree(&self) -> Vec<SpanNode> {
+        fn insert(nodes: &mut Vec<SpanNode>, prefix: &str, segments: &[&str], stat: &SpanStat) {
+            let name = segments[0];
+            let path =
+                if prefix.is_empty() { name.to_string() } else { format!("{prefix}/{name}") };
+            let pos = match nodes.iter().position(|n| n.name == name) {
+                Some(pos) => pos,
+                None => {
+                    nodes.push(SpanNode {
+                        name: name.to_string(),
+                        path: path.clone(),
+                        stat: SpanStat::default(),
+                        children: Vec::new(),
+                    });
+                    nodes.len() - 1
+                }
+            };
+            if segments.len() == 1 {
+                nodes[pos].stat.count += stat.count;
+                nodes[pos].stat.total += stat.total;
+            } else {
+                insert(&mut nodes[pos].children, &path, &segments[1..], stat);
+            }
+        }
+        let mut roots = Vec::new();
+        for (path, stat) in &self.spans {
+            let segments: Vec<&str> = path.split('/').collect();
+            insert(&mut roots, "", &segments, stat);
+        }
+        roots
+    }
+
+    /// Span path → close count with the named segments erased — the
+    /// *phase structure* of a run with scheduler plumbing (`batch_run`,
+    /// `job`) removed. Spans whose own leaf is an erased name vanish
+    /// entirely; deeper descendants splice up to the surviving ancestor
+    /// (`astar/batch_run/job/update_graph` → `astar/update_graph`). The
+    /// testkit's causality oracle compares these maps across thread
+    /// counts.
+    pub fn reduced_span_paths(&self, erase: &[&str]) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for (path, stat) in &self.spans {
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            if erase.contains(&leaf) {
+                continue;
+            }
+            let kept: Vec<&str> = path.split('/').filter(|seg| !erase.contains(seg)).collect();
+            *out.entry(kept.join("/")).or_default() += stat.count;
+        }
+        out
+    }
+
     /// `true` if nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
     }
 
-    /// Multi-line human-readable rendering (spans, counters, histograms).
+    /// Multi-line human-readable rendering (spans, counters, histograms
+    /// with p50/p90/p99 bucket-bound estimates).
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (path, stat) in &self.spans {
@@ -187,10 +260,13 @@ impl MemorySnapshot {
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "histogram {name:<40} n={} min={} mean={:.2} max={}",
+                "histogram {name:<40} n={} min={} mean={:.2} p50={} p90={} p99={} max={}",
                 h.count(),
                 h.min().unwrap_or(0),
                 h.mean().unwrap_or(0.0),
+                h.p50().unwrap_or(0),
+                h.p90().unwrap_or(0),
+                h.p99().unwrap_or(0),
                 h.max().unwrap_or(0),
             );
         }
@@ -240,6 +316,66 @@ mod tests {
     }
 
     #[test]
+    fn contexts_link_worker_spans_to_their_submitter() {
+        let rec = MemoryRecorder::new();
+        {
+            let batch = Span::new(&rec, "batch_run");
+            let ctx = batch.context();
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    scope.spawn(|| {
+                        let job = Span::child_of(&rec, "job", ctx);
+                        let _inner = Span::child_of(&rec, "step", job.context());
+                    });
+                }
+            });
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.span("batch_run").unwrap().count, 1);
+        assert_eq!(snap.span("batch_run/job").unwrap().count, 3);
+        assert_eq!(snap.span("batch_run/job/step").unwrap().count, 3);
+        assert!(snap.span("job").is_none(), "no orphan per-thread roots");
+    }
+
+    #[test]
+    fn tree_reconstructs_nesting_and_synthesizes_open_parents() {
+        let rec = MemoryRecorder::new();
+        let root = Span::new(&rec, "campaign");
+        {
+            let _cell = Span::new(&rec, "cell");
+            let _work = Span::new(&rec, "work");
+        }
+        // `campaign` is still open at snapshot time.
+        let snap = rec.snapshot();
+        let tree = snap.tree();
+        assert_eq!(tree.len(), 1);
+        let campaign = &tree[0];
+        assert_eq!(campaign.name, "campaign");
+        assert_eq!(campaign.stat.count, 0, "open parent is synthesized");
+        assert_eq!(campaign.children.len(), 1);
+        let cell = &campaign.children[0];
+        assert_eq!((cell.path.as_str(), cell.stat.count), ("campaign/cell", 1));
+        assert_eq!(cell.children[0].path, "campaign/cell/work");
+        drop(root);
+    }
+
+    #[test]
+    fn reduced_paths_erase_scheduler_segments() {
+        let rec = MemoryRecorder::new();
+        {
+            let astar = Span::new(&rec, "astar");
+            let batch = Span::child_of(&rec, "batch_run", astar.context());
+            let job = Span::child_of(&rec, "job", batch.context());
+            let _step = Span::child_of(&rec, "update_graph", astar.context());
+            drop(job);
+        }
+        let reduced = rec.snapshot().reduced_span_paths(&["batch_run", "job"]);
+        let expected: BTreeMap<String, u64> =
+            [("astar".to_string(), 1), ("astar/update_graph".to_string(), 1)].into();
+        assert_eq!(reduced, expected);
+    }
+
+    #[test]
     fn counters_and_histograms_aggregate() {
         let rec = MemoryRecorder::new();
         rec.counter("c", 1);
@@ -253,6 +389,7 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.sum(), 30);
         assert!(snap.render().contains("counter   c"));
+        assert!(snap.render().contains("p50="));
         assert!(!snap.is_empty());
     }
 

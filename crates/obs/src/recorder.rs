@@ -2,21 +2,27 @@
 //! writes to — plus the default [`NoopRecorder`] and the RAII
 //! [`Span`] guard.
 //!
-//! Backends implement four primitives: open/close a span, bump a counter,
-//! record a histogram sample. Span *nesting* is the backend's concern
-//! (both provided aggregating backends keep a per-thread stack and key
-//! aggregates by the `/`-joined path), so instrumentation sites only name
-//! the leaf: a `views` span opened while a `derandomize` span is live on
-//! the same thread lands at `derandomize/views`.
+//! Backends implement five primitives: open/close a span (each carrying
+//! the span's [`SpanId`] and explicit parent), attach an attribute to an
+//! open span, bump a counter, record a histogram sample. Causality is the
+//! *frontend*'s concern now: [`Span::new`] adopts the innermost span the
+//! same recorder has open on the calling thread, and [`Span::child_of`]
+//! adopts an explicit [`TraceContext`] handed across a thread boundary —
+//! so backends see a fully parent-linked event stream and never need
+//! per-thread stacks of their own.
 //!
 //! The no-op recorder reports [`Recorder::is_enabled`]` == false`, which
 //! every emission helper checks first — an instrumented hot path with the
 //! no-op recorder costs one virtual call per *span*, and nothing per
-//! counter or histogram sample behind the [`Span::new`] gate.
+//! counter or histogram sample behind the [`Span::new`] gate. Disabled
+//! spans allocate no id, touch no thread-local, and never read the clock.
 
 use std::fmt::Debug;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::trace::{self, SpanId, TraceContext};
 
 /// A structured-observability sink: spans, counters, histograms.
 ///
@@ -30,12 +36,20 @@ pub trait Recorder: Send + Sync + Debug {
         true
     }
 
-    /// Opens a span named `name` on the calling thread.
-    fn span_open(&self, name: &str);
+    /// Opens span `id` named `name`, parented under `parent` (`None` for
+    /// a root). Called on the thread that opens the span.
+    fn span_open(&self, id: SpanId, parent: Option<SpanId>, name: &str);
 
-    /// Closes the innermost open span on the calling thread, which was
-    /// opened as `name`, after `wall` of wall time.
-    fn span_close(&self, name: &str, wall: Duration);
+    /// Closes span `id` (previously opened as `name` under `parent`)
+    /// after `wall` of wall time. Usually — but not necessarily — called
+    /// on the opening thread; the id keeps the pairing unambiguous.
+    fn span_close(&self, id: SpanId, parent: Option<SpanId>, name: &str, wall: Duration);
+
+    /// Attaches `key = value` to the open span `id`. Default: discarded —
+    /// aggregating backends may not have anywhere to put per-span values.
+    fn span_attr(&self, id: SpanId, key: &str, value: &Json) {
+        let _ = (id, key, value);
+    }
 
     /// Adds `delta` to the counter `name`.
     fn counter(&self, name: &str, delta: u64);
@@ -61,8 +75,8 @@ impl Recorder for NoopRecorder {
         false
     }
 
-    fn span_open(&self, _name: &str) {}
-    fn span_close(&self, _name: &str, _wall: Duration) {}
+    fn span_open(&self, _id: SpanId, _parent: Option<SpanId>, _name: &str) {}
+    fn span_close(&self, _id: SpanId, _parent: Option<SpanId>, _name: &str, _wall: Duration) {}
     fn counter(&self, _name: &str, _delta: u64) {}
     fn histogram(&self, _name: &str, _value: u64) {}
 }
@@ -73,8 +87,8 @@ pub fn noop() -> SharedRecorder {
 }
 
 /// An RAII span guard: measures wall time from creation to drop and
-/// reports it to the recorder, with nesting tracked per thread by the
-/// backend.
+/// reports it to the recorder with a stable [`SpanId`] and explicit
+/// parent link.
 ///
 /// # Example
 ///
@@ -93,32 +107,84 @@ pub fn noop() -> SharedRecorder {
 pub struct Span<'a> {
     rec: Option<&'a dyn Recorder>,
     name: &'a str,
+    id: Option<SpanId>,
+    parent: Option<SpanId>,
     start: Instant,
 }
 
 impl<'a> Span<'a> {
-    /// Opens a span on `rec`; a disabled recorder makes this (and the
-    /// matching close) a no-op that never reads the clock.
+    /// Opens a span on `rec`, parented under the innermost span the same
+    /// recorder has open on this thread (ambient nesting). A disabled
+    /// recorder makes this (and the matching close) a no-op that never
+    /// reads the clock or allocates an id.
     pub fn new(rec: &'a dyn Recorder, name: &'a str) -> Span<'a> {
         if rec.is_enabled() {
-            rec.span_open(name);
-            Span { rec: Some(rec), name, start: Instant::now() }
+            let parent = trace::ambient_parent(trace::recorder_key(rec));
+            Span::open(rec, name, parent)
         } else {
-            // `start` is never read on the disabled path; any value does.
-            Span { rec: None, name, start: Instant::now() }
+            Span::disabled(name)
         }
+    }
+
+    /// Opens a span parented under `ctx` — the cross-thread form. Capture
+    /// a [`TraceContext`] from the submitting span with [`Span::context`],
+    /// move it into the job, and the job's spans stay linked to their
+    /// submitter instead of becoming fresh per-thread roots.
+    pub fn child_of(rec: &'a dyn Recorder, name: &'a str, ctx: TraceContext) -> Span<'a> {
+        if rec.is_enabled() {
+            Span::open(rec, name, ctx.parent())
+        } else {
+            Span::disabled(name)
+        }
+    }
+
+    fn open(rec: &'a dyn Recorder, name: &'a str, parent: Option<SpanId>) -> Span<'a> {
+        let id = SpanId::fresh();
+        rec.span_open(id, parent, name);
+        // Push after the open so the backend never sees a self-parent.
+        trace::push_ambient(trace::recorder_key(rec), id);
+        Span { rec: Some(rec), name, id: Some(id), parent, start: Instant::now() }
+    }
+
+    fn disabled(name: &'a str) -> Span<'a> {
+        // `start` is never read on the disabled path; any value does.
+        Span { rec: None, name, id: None, parent: None, start: Instant::now() }
     }
 
     /// The span's leaf name.
     pub fn name(&self) -> &str {
         self.name
     }
+
+    /// The span's identity, `None` when the recorder is disabled.
+    pub fn id(&self) -> Option<SpanId> {
+        self.id
+    }
+
+    /// A `Copy + Send` handle parenting new work under this span; pass it
+    /// across thread boundaries and open children with [`Span::child_of`].
+    /// Disabled spans yield [`TraceContext::NONE`].
+    pub fn context(&self) -> TraceContext {
+        match self.id {
+            Some(id) => TraceContext::under(id),
+            None => TraceContext::NONE,
+        }
+    }
+
+    /// Attaches `key = value` to this span (dropped by backends without
+    /// per-span storage; free when the recorder is disabled).
+    pub fn attr(&self, key: &str, value: impl Into<Json>) {
+        if let (Some(rec), Some(id)) = (self.rec, self.id) {
+            rec.span_attr(id, key, &value.into());
+        }
+    }
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
-        if let Some(rec) = self.rec {
-            rec.span_close(self.name, self.start.elapsed());
+        if let (Some(rec), Some(id)) = (self.rec, self.id) {
+            trace::pop_ambient(trace::recorder_key(rec), id);
+            rec.span_close(id, self.parent, self.name, self.start.elapsed());
         }
     }
 }
@@ -135,6 +201,9 @@ mod tests {
         rec.histogram("y", 2);
         let span = Span::new(&rec, "z");
         assert_eq!(span.name(), "z");
+        assert_eq!(span.id(), None);
+        assert_eq!(span.context(), TraceContext::NONE);
+        span.attr("k", 1u64); // must not allocate an id or emit
         drop(span); // must not panic or emit
     }
 
@@ -142,5 +211,33 @@ mod tests {
     fn shared_noop_handle() {
         let rec = noop();
         assert!(!rec.is_enabled());
+    }
+
+    #[test]
+    fn enabled_spans_expose_identity_and_context() {
+        let rec = crate::MemoryRecorder::new();
+        let outer = Span::new(&rec, "outer");
+        let id = outer.id().unwrap();
+        assert_eq!(outer.context().parent(), Some(id));
+        let inner = Span::new(&rec, "inner");
+        assert_ne!(inner.id(), outer.id());
+        drop(inner);
+        drop(outer);
+    }
+
+    #[test]
+    fn two_recorders_on_one_thread_nest_independently() {
+        let a = crate::MemoryRecorder::new();
+        let b = crate::MemoryRecorder::new();
+        {
+            let _oa = Span::new(&a, "root_a");
+            let _ob = Span::new(&b, "root_b");
+            // Each inner span must nest under *its own* recorder's root,
+            // not the innermost span of the interleaved stack.
+            let _ia = Span::new(&a, "leaf");
+            let _ib = Span::new(&b, "leaf");
+        }
+        assert_eq!(a.snapshot().span("root_a/leaf").unwrap().count, 1);
+        assert_eq!(b.snapshot().span("root_b/leaf").unwrap().count, 1);
     }
 }

@@ -1,0 +1,105 @@
+//! Property coverage for the shared JSON layer: arbitrary [`Json`] trees
+//! must survive `render → parse` exactly, in both the compact rendering
+//! (what the JSONL recorder streams) and the pretty rendering (what the
+//! `BENCH_*.json` artifacts use).
+//!
+//! The vendored proptest drives only integer strategies, so the trees
+//! are grown from a seeded ChaCha stream inside the test body — the
+//! same idiom as the batch crate's key-invariance properties.
+
+use anonet_obs::Json;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Strings that exercise the escaper: quotes, backslashes, control
+/// characters, multi-byte code points, and plain ASCII runs.
+fn arbitrary_string(rng: &mut ChaCha8Rng) -> String {
+    const POOL: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', '/', 'é', 'λ', '網',
+        '🦀', '{', '}', '[', ']', ':', ',',
+    ];
+    let len = rng.gen_range(0..12);
+    (0..len).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
+}
+
+/// Numbers the renderer round-trips: integers in the exact-`i64` window
+/// and dyadic fractions (both print via `{}` which is shortest-exact).
+fn arbitrary_number(rng: &mut ChaCha8Rng) -> f64 {
+    match rng.gen_range(0..4u8) {
+        0 => rng.gen_range(-1_000_000i64..1_000_000) as f64,
+        1 => rng.gen_range(-8_000_000_000_000_000i64..8_000_000_000_000_000) as f64,
+        2 => rng.gen_range(-1_000_000i64..1_000_000) as f64 / 64.0,
+        _ => f64::from_bits(rng.gen::<u64>() & 0x7fef_ffff_ffff_ffff), // finite by mask
+    }
+}
+
+fn arbitrary_json(rng: &mut ChaCha8Rng, depth: usize) -> Json {
+    let max = if depth == 0 { 4 } else { 6 };
+    match rng.gen_range(0..max as u8) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen()),
+        2 => Json::Num(arbitrary_number(rng)),
+        3 => Json::Str(arbitrary_string(rng)),
+        4 => {
+            let len = rng.gen_range(0..5);
+            Json::Arr((0..len).map(|_| arbitrary_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0..5);
+            Json::Obj(
+                (0..len).map(|_| (arbitrary_string(rng), arbitrary_json(rng, depth - 1))).collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Compact rendering parses back to the identical tree.
+    #[test]
+    fn compact_rendering_round_trips(seed in 0u64..100_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let value = arbitrary_json(&mut rng, 3);
+        let text = value.to_string();
+        let back = Json::parse(&text)
+            .map_err(|e| format!("{e} in {text}"))?;
+        prop_assert_eq!(&back, &value, "compact text: {}", text);
+    }
+
+    /// Pretty rendering parses back to the identical tree, and
+    /// re-rendering the parse is a fixed point (canonical artifacts).
+    #[test]
+    fn pretty_rendering_round_trips_and_is_a_fixed_point(seed in 0u64..100_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        let value = arbitrary_json(&mut rng, 3);
+        let text = value.pretty();
+        let back = Json::parse(&text)
+            .map_err(|e| format!("{e} in {text}"))?;
+        prop_assert_eq!(&back, &value, "pretty text: {}", text);
+        prop_assert_eq!(back.pretty(), text, "pretty is canonical");
+    }
+
+    /// Every escaped string comes back byte-identical.
+    #[test]
+    fn strings_survive_escaping(seed in 0u64..100_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED);
+        let s = arbitrary_string(&mut rng);
+        let rendered = Json::str(s.clone()).to_string();
+        let back = Json::parse(&rendered)
+            .map_err(|e| format!("{e} in {rendered}"))?;
+        prop_assert_eq!(back.as_str(), Some(s.as_str()));
+    }
+}
+
+/// Non-finite numbers have no JSON rendering; the serializer writes
+/// `null` instead of emitting unparseable text.
+#[test]
+fn non_finite_numbers_render_as_null() {
+    for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let text = Json::Num(x).to_string();
+        assert_eq!(text, "null");
+        assert_eq!(Json::parse(&text).unwrap(), Json::Null);
+    }
+}

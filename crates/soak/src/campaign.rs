@@ -25,6 +25,7 @@ use anonet_core::{derandomize_batch, DerandomizedRun, SearchStrategy};
 use anonet_graph::LabeledGraph;
 use anonet_obs::{names, MemoryRecorder, Recorder, SharedRecorder, Span};
 use anonet_runtime::ExecConfig;
+use anonet_store::StoreConfig;
 use anonet_testkit::{build_instance, CampaignCell, CampaignGrid, Suite, TestCase};
 
 use crate::{Result, SoakError};
@@ -204,9 +205,10 @@ fn run_cell(
     pdc: &PersistentDerandCache,
     suite: &Suite<RandomizedMis, MisProblem, fn(u32)>,
     failures: &mut Vec<OracleFailure>,
-    rec: &dyn Recorder,
+    recorder: &SharedRecorder,
 ) -> Result<CellReport> {
-    let _cell_span = Span::new(rec, names::SPAN_SOAK_CELL);
+    let rec: &dyn Recorder = &**recorder;
+    let cell_span = Span::new(rec, names::SPAN_SOAK_CELL);
     let id = cell.id();
     let first = cases.first().ok_or_else(|| SoakError::Cell {
         cell: id.clone(),
@@ -214,6 +216,11 @@ fn run_cell(
         detail: "cell has no cases (reps = 0)".into(),
     })?;
     let replay = first.to_string();
+    // The replay string on the root span is what lets a trace-analysis
+    // pass name the exact failing case without the report JSON.
+    cell_span.attr("cell", id.as_str());
+    cell_span.attr("replay", replay.as_str());
+    cell_span.attr("threads", cell.threads as u64);
 
     // 1. Conformance oracles over the whole case stream.
     for case in cases {
@@ -240,7 +247,7 @@ fn run_cell(
     let alg = RandomizedMis::new();
     let strategy = SearchStrategy::default();
     let config = ExecConfig::default();
-    let scheduler = BatchScheduler::with_threads(cell.threads);
+    let scheduler = BatchScheduler::with_threads(cell.threads).with_recorder(Arc::clone(recorder));
     let cache = Arc::clone(pdc.cache());
 
     let cold = derandomize_batch(&alg, &instances, strategy, &config, &scheduler, Some(&cache));
@@ -334,11 +341,16 @@ fn run_cell(
     })
 }
 
-/// Runs a whole campaign, emitting `soak.*` metrics to `rec`.
+/// Runs a whole campaign, emitting `soak.*` metrics and a causal span
+/// tree to `recorder`.
 ///
 /// The persistent cache lives in a throwaway directory for the duration
 /// of the campaign, so disk-tier behavior is exercised without coupling
-/// runs to each other.
+/// runs to each other. The recorder is shared with the cache's store and
+/// every cell's batch scheduler, so one trace carries the whole chain:
+/// `soak_campaign` → `soak_cell` (with its `tc1:` replay string as an
+/// attribute) → `batch_run` → worker `job`s, plus `segment_*` spans from
+/// the disk tier.
 ///
 /// # Errors
 ///
@@ -346,7 +358,11 @@ fn run_cell(
 /// Oracle *violations* are not errors — they land in
 /// [`SoakReport::failures`] with replay strings, and the sentinel turns
 /// them into a failing check.
-pub fn run_campaign_observed(cfg: &CampaignConfig, rec: &dyn Recorder) -> Result<SoakReport> {
+pub fn run_campaign_observed(
+    cfg: &CampaignConfig,
+    recorder: &SharedRecorder,
+) -> Result<SoakReport> {
+    let rec: &dyn Recorder = &**recorder;
     let _campaign_span = Span::new(rec, names::SPAN_SOAK_CAMPAIGN);
     let started = Instant::now();
     // Process id + in-process counter: campaigns never share (or clobber)
@@ -356,7 +372,10 @@ pub fn run_campaign_observed(cfg: &CampaignConfig, rec: &dyn Recorder) -> Result
     let dir =
         std::env::temp_dir().join(format!("anonet-soak-cache-{}-{stamp}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let pdc = PersistentDerandCache::open(&dir)?;
+    let pdc = PersistentDerandCache::open_with(
+        StoreConfig::new(&dir).with_recorder(Arc::clone(recorder)),
+        None,
+    )?;
     let suite: Suite<RandomizedMis, MisProblem, fn(u32)> =
         Suite::new("soak-mis", RandomizedMis::new(), MisProblem, (|_| ()) as fn(u32)).with_astar();
 
@@ -373,7 +392,7 @@ pub fn run_campaign_observed(cfg: &CampaignConfig, rec: &dyn Recorder) -> Result
             }
         }
         let cases = cell.cases(cfg.base_seed, cfg.reps);
-        cells.push(run_cell(&cell, &cases, &pdc, &suite, &mut failures, rec)?);
+        cells.push(run_cell(&cell, &cases, &pdc, &suite, &mut failures, recorder)?);
     }
     pdc.flush()?;
     let _ = std::fs::remove_dir_all(&dir);
@@ -399,7 +418,7 @@ pub fn run_campaign_observed(cfg: &CampaignConfig, rec: &dyn Recorder) -> Result
 ///
 /// See [`run_campaign_observed`].
 pub fn run_campaign(cfg: &CampaignConfig) -> Result<SoakReport> {
-    run_campaign_observed(cfg, &anonet_obs::NoopRecorder)
+    run_campaign_observed(cfg, &anonet_obs::noop())
 }
 
 #[cfg(test)]
@@ -414,6 +433,23 @@ mod tests {
         assert_eq!(percentile(&ms, 100), Duration::from_millis(10));
         assert_eq!(percentile(&[], 50), Duration::ZERO);
         assert_eq!(median(&[Duration::from_millis(7)]), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn campaign_trace_is_one_causal_tree() {
+        let mem = Arc::new(MemoryRecorder::new());
+        let shared: SharedRecorder = Arc::<MemoryRecorder>::clone(&mem);
+        run_campaign_observed(&CampaignConfig::smoke(), &shared).unwrap();
+        let snap = mem.snapshot();
+        assert_eq!(snap.span(names::SPAN_SOAK_CAMPAIGN).unwrap().count, 1);
+        assert_eq!(snap.span("soak_campaign/soak_cell").unwrap().count, 3);
+        assert!(
+            snap.span("soak_campaign/soak_cell/batch_run/job").unwrap().count > 0,
+            "worker jobs must stay parented under their cell"
+        );
+        assert!(snap.span("soak_campaign/store_open").is_some(), "store shares the trace");
+        assert!(snap.span(names::SPAN_SOAK_CELL).is_none(), "cells must not be orphan roots");
+        assert!(snap.span(names::SPAN_JOB).is_none(), "jobs must not be orphan roots");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! anonet-soak run   [--grid full|smoke] [--seed N] [--reps N]
-//!                   [--budget-secs N] [--out PATH]
+//!                   [--budget-secs N] [--out PATH] [--trace PATH]
 //! anonet-soak check [--baseline PATH] [--current PATH] [--band-pct P]
 //!                   [--bench-dir DIR] [run options for the fresh run]
 //! ```
@@ -35,6 +35,7 @@ struct Options {
     current: Option<PathBuf>,
     band: f64,
     bench_dir: PathBuf,
+    trace: Option<PathBuf>,
 }
 
 impl Options {
@@ -50,6 +51,7 @@ impl Options {
             current: None,
             band: diff::DEFAULT_BAND,
             bench_dir: PathBuf::from("."),
+            trace: None,
         }
     }
 
@@ -65,7 +67,7 @@ impl Options {
 
 fn usage() -> String {
     "usage: anonet-soak run   [--grid full|smoke] [--seed N] [--reps N] \
-     [--budget-secs N] [--out PATH]\n       anonet-soak check [--baseline PATH] \
+     [--budget-secs N] [--out PATH] [--trace PATH]\n       anonet-soak check [--baseline PATH] \
      [--current PATH] [--band-pct P] [--bench-dir DIR] [run options]"
         .to_string()
 }
@@ -109,6 +111,9 @@ fn parse(args: &mut std::env::Args, opts: &mut Options) -> Result<(), String> {
             "--bench-dir" => {
                 opts.bench_dir = PathBuf::from(parse_value::<String>("--bench-dir", args.next())?);
             }
+            "--trace" => {
+                opts.trace = Some(PathBuf::from(parse_value::<String>("--trace", args.next())?));
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -116,7 +121,29 @@ fn parse(args: &mut std::env::Args, opts: &mut Options) -> Result<(), String> {
 }
 
 fn cmd_run(opts: &Options) -> Result<ExitCode, SoakError> {
-    let run = anonet_soak::run_campaign(&opts.campaign_config())?;
+    let run = match &opts.trace {
+        Some(path) => {
+            // Stream the campaign's causal trace as JSONL for the
+            // `anonet-trace` toolchain; a panic mid-campaign still
+            // flushes what was buffered.
+            let io_err = |e| SoakError::Io {
+                context: format!("writing trace {}", path.display()),
+                source: e,
+            };
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent).map_err(io_err)?;
+            }
+            let jsonl =
+                std::sync::Arc::new(anonet_obs::JsonlRecorder::create(path).map_err(io_err)?);
+            jsonl.flush_on_panic();
+            let shared: anonet_obs::SharedRecorder = jsonl.clone();
+            let run = anonet_soak::run_campaign_observed(&opts.campaign_config(), &shared)?;
+            jsonl.flush().map_err(io_err)?;
+            println!("trace written to {}", path.display());
+            run
+        }
+        None => anonet_soak::run_campaign(&opts.campaign_config())?,
+    };
     baseline::save(&opts.out, &run)?;
     print!("{}", report::render_table(&run));
     println!("report written to {}", opts.out.display());

@@ -232,7 +232,10 @@ impl Store {
                 StoreError::io(format!("creating store dir {}", cfg.dir.display()), e)
             })?;
             for s in 0..cfg.shards {
+                let recover_span = Span::new(rec, names::SPAN_SEGMENT_RECOVER);
                 let state = open_shard(&cfg, s)?;
+                recover_span.attr("shard", s as u64);
+                recover_span.attr("recovered", state.counters.recovered_records);
                 rec.counter(names::STORE_SEGMENT_RECOVERED, state.counters.recovered_records);
                 rec.counter(names::STORE_SEGMENT_TORN, state.counters.torn_truncations);
                 rec.counter(names::STORE_SEGMENT_QUARANTINED, state.counters.quarantined_regions);
@@ -281,6 +284,8 @@ impl Store {
             )));
         }
         let rec: &dyn Recorder = &*self.cfg.recorder;
+        let write_span = Span::new(rec, names::SPAN_SEGMENT_WRITE);
+        write_span.attr("bytes", frame.len() as u64);
         let s = self.shard_of(key);
         let mut guard = self.lock_shard(s);
         let st = &mut *guard;
@@ -319,6 +324,8 @@ impl Store {
     /// checksum or no longer matches the key (either indicates damage
     /// *behind* the index, which recovery would have caught on open).
     pub fn get(&self, ns: u8, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let rec: &dyn Recorder = &*self.cfg.recorder;
+        let read_span = Span::new(rec, names::SPAN_SEGMENT_READ);
         let s = self.shard_of(key);
         let mut guard = self.lock_shard(s);
         let st = &mut *guard;
@@ -345,6 +352,9 @@ impl Store {
                 detail: "frame key does not match the index (internal invariant)".into(),
             });
         }
+        read_span.attr("bytes", record.value.len() as u64);
+        rec.counter(names::STORE_SEGMENT_READS, 1);
+        rec.counter(names::STORE_SEGMENT_READ_BYTES, record.value.len() as u64);
         Ok(Some(record.value))
     }
 
@@ -951,6 +961,27 @@ mod tests {
         store.put(0, &[1, 1], b"s1").unwrap();
         assert!(dir.join("shard-00").join("seg-00000000.log").exists());
         assert!(dir.join("shard-01").join("seg-00000000.log").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reads_and_writes_emit_segment_spans_and_counters() {
+        use std::sync::Arc;
+        let dir = tmp("obs");
+        let rec = Arc::new(anonet_obs::MemoryRecorder::new());
+        let store = Store::open(small(&dir).with_recorder(rec.clone())).unwrap();
+        store.put(0, b"k", b"value-bytes").unwrap();
+        assert_eq!(store.get(0, b"k").unwrap().as_deref(), Some(&b"value-bytes"[..]));
+        assert!(store.get(0, b"missing").unwrap().is_none());
+        let snap = rec.snapshot();
+        // Recovery scans nest under the open span, one per shard.
+        assert_eq!(snap.span("store_open/segment_recover").unwrap().count, 4);
+        assert_eq!(snap.span(names::SPAN_SEGMENT_WRITE).unwrap().count, 1);
+        // Both the hit and the miss open a read span...
+        assert_eq!(snap.span(names::SPAN_SEGMENT_READ).unwrap().count, 2);
+        // ...but only the hit reaches a segment frame and counts bytes.
+        assert_eq!(snap.counter(names::STORE_SEGMENT_READS), 1);
+        assert_eq!(snap.counter(names::STORE_SEGMENT_READ_BYTES), 11);
         std::fs::remove_dir_all(&dir).ok();
     }
 

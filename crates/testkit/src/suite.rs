@@ -18,14 +18,14 @@ use anonet_runtime::{
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use anonet_core::astar::AStarConfig;
+use anonet_core::astar::{run_astar_observed, run_astar_threaded, AStarConfig};
 use anonet_core::conformance::{
     astar_fast_reference_agreement, astar_infinity_agreement, replay_on_full_instance,
     view_graph_agreement,
 };
 use anonet_core::pipeline::run_pipeline;
 use anonet_core::{CoreError, Derandomizer, SearchStrategy};
-use anonet_obs::{bridge, names, MemoryRecorder};
+use anonet_obs::{bridge, names, MemoryRecorder, SharedRecorder};
 
 use crate::gen::{self, Instance};
 use crate::oracles::Failure;
@@ -414,6 +414,58 @@ where
                     return Err(Failure::new("astar-fast-vs-reference", e.to_string()));
                 }
                 Err(_) => {}
+            }
+
+            // Causality 7 — causal tracing is thread-invariant: the span
+            // tree of the threaded engine at any worker count, with the
+            // scheduler segments (`batch_run`, `job`) erased, must equal
+            // the sequential engine's phase tree, and no worker span may
+            // escape as a fresh per-thread root.
+            let seq_rec = MemoryRecorder::new();
+            if run_astar_observed(
+                &self.alg,
+                &self.problem,
+                &instance,
+                &AStarConfig::default(),
+                &seq_rec,
+            )
+            .is_ok()
+            {
+                let erase = [names::SPAN_BATCH_RUN, names::SPAN_JOB];
+                let want = seq_rec.snapshot().reduced_span_paths(&erase);
+                for t in [1usize, 2, 8] {
+                    let mem = Arc::new(MemoryRecorder::new());
+                    let shared: SharedRecorder = mem.clone();
+                    if run_astar_threaded(
+                        &self.alg,
+                        &self.problem,
+                        &instance,
+                        &AStarConfig::default(),
+                        t,
+                        &shared,
+                    )
+                    .is_err()
+                    {
+                        continue; // budget — out of scope here
+                    }
+                    let snap = mem.snapshot();
+                    if snap.span(names::SPAN_JOB).is_some() {
+                        return Err(Failure::new(
+                            "span-causality",
+                            format!("threaded({t}): job spans surfaced as orphan roots"),
+                        ));
+                    }
+                    let got = snap.reduced_span_paths(&erase);
+                    if got != want {
+                        return Err(Failure::new(
+                            "span-causality",
+                            format!(
+                                "threaded({t}) phase tree diverged from sequential:\n\
+                                 sequential: {want:?}\nthreaded:   {got:?}"
+                            ),
+                        ));
+                    }
+                }
             }
         }
 

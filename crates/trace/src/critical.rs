@@ -1,0 +1,220 @@
+//! Critical-path extraction.
+//!
+//! The **critical path** of a trace is the heaviest root-to-leaf chain
+//! by wall time: start at the root span with the largest wall, and at
+//! every level descend into the child with the largest wall (ties break
+//! to the smaller span id, so reports are deterministic). Each step
+//! reports its wall, its **self** time (wall minus children, clamped),
+//! and — separately — its scheduler **queue wait**: the `queue_wait_us`
+//! attribute the batch layer attaches to `job` spans. Queue wait is time
+//! the work item existed but no worker had claimed it; attributing it
+//! apart from compute is what distinguishes "the pool is too small"
+//! from "the job is slow".
+//!
+//! The report also carries the trace's hygiene numbers — root count,
+//! orphan count, in-flight count — which is what the toolchain's
+//! acceptance test gates on (a complete campaign trace has exactly one
+//! root and zero orphans).
+
+use anonet_obs::Json;
+
+use crate::model::{SpanRec, Trace};
+
+/// One step along the critical path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CriticalStep {
+    /// Span id.
+    pub id: u64,
+    /// Leaf name.
+    pub name: String,
+    /// Full causal path.
+    pub path: String,
+    /// Wall microseconds.
+    pub wall_us: u64,
+    /// Wall minus children (clamped at zero).
+    pub self_us: u64,
+    /// The `queue_wait_us` attribute, zero when absent.
+    pub queue_wait_us: u64,
+    /// Recording thread ordinal.
+    pub tid: u64,
+}
+
+/// The critical path plus trace hygiene accounting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CriticalReport {
+    /// Spans in the trace.
+    pub spans: usize,
+    /// Root spans (`parent: null`).
+    pub roots: usize,
+    /// Spans whose parent is missing from the trace.
+    pub orphans: usize,
+    /// Spans still open at the end of the trace (crash dumps).
+    pub in_flight: usize,
+    /// Root-to-leaf steps, heaviest chain first element = root.
+    pub chain: Vec<CriticalStep>,
+    /// The chain's total wall (= the root step's wall).
+    pub chain_wall_us: u64,
+    /// Total queue wait attributed along the chain.
+    pub chain_queue_wait_us: u64,
+}
+
+fn queue_wait(span: &SpanRec) -> u64 {
+    span.attr("queue_wait_us").and_then(Json::as_f64).map(|x| x as u64).unwrap_or(0)
+}
+
+/// Extracts the critical path of `trace`.
+pub fn critical_path(trace: &Trace) -> CriticalReport {
+    let children = trace.children();
+    let child_wall = |id: u64| -> u64 {
+        children.get(&id).map(|ix| ix.iter().map(|&i| trace.spans[i].wall_us).sum()).unwrap_or(0)
+    };
+    let step = |span: &SpanRec| CriticalStep {
+        id: span.id,
+        name: span.name.clone(),
+        path: span.path.clone(),
+        wall_us: span.wall_us,
+        self_us: span.wall_us.saturating_sub(child_wall(span.id)),
+        queue_wait_us: queue_wait(span),
+        tid: span.tid,
+    };
+
+    let mut report = CriticalReport {
+        spans: trace.spans.len(),
+        roots: trace.roots().len(),
+        orphans: trace.orphans().len(),
+        in_flight: trace.spans.iter().filter(|s| s.in_flight).count(),
+        ..CriticalReport::default()
+    };
+
+    // Heaviest root (ties to smaller id, deterministically).
+    let Some(root) =
+        trace.roots().into_iter().max_by(|a, b| a.wall_us.cmp(&b.wall_us).then(b.id.cmp(&a.id)))
+    else {
+        return report;
+    };
+    report.chain_wall_us = root.wall_us;
+
+    let mut cursor = root;
+    loop {
+        report.chain_queue_wait_us += queue_wait(cursor);
+        report.chain.push(step(cursor));
+        let Some(next) = children
+            .get(&cursor.id)
+            .into_iter()
+            .flatten()
+            .map(|&i| &trace.spans[i])
+            .max_by(|a, b| a.wall_us.cmp(&b.wall_us).then(b.id.cmp(&a.id)))
+        else {
+            break;
+        };
+        cursor = next;
+    }
+    report
+}
+
+/// Renders the report as a plain-text table.
+pub fn render(report: &CriticalReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "spans {}  roots {}  orphans {}  in-flight {}\n",
+        report.spans, report.roots, report.orphans, report.in_flight
+    ));
+    out.push_str(&format!(
+        "critical path: {} us wall, {} us queued\n",
+        report.chain_wall_us, report.chain_queue_wait_us
+    ));
+    for (depth, s) in report.chain.iter().enumerate() {
+        out.push_str(&format!(
+            "{:indent$}{}  wall {} us  self {} us  queued {} us  (tid {})\n",
+            "",
+            s.name,
+            s.wall_us,
+            s.self_us,
+            s.queue_wait_us,
+            s.tid,
+            indent = depth * 2
+        ));
+    }
+    out
+}
+
+/// The report as [`Json`], for machine consumption (the E20 gate reads
+/// `orphans` and `roots` from this).
+pub fn to_json(report: &CriticalReport) -> Json {
+    Json::obj([
+        ("spans", Json::from(report.spans)),
+        ("roots", Json::from(report.roots)),
+        ("orphans", Json::from(report.orphans)),
+        ("in_flight", Json::from(report.in_flight)),
+        ("chain_wall_us", Json::from(report.chain_wall_us)),
+        ("chain_queue_wait_us", Json::from(report.chain_queue_wait_us)),
+        (
+            "chain",
+            Json::Arr(
+                report
+                    .chain
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("name", Json::str(s.name.as_str())),
+                            ("path", Json::str(s.path.as_str())),
+                            ("wall_us", Json::from(s.wall_us)),
+                            ("self_us", Json::from(s.self_us)),
+                            ("queue_wait_us", Json::from(s.queue_wait_us)),
+                            ("tid", Json::from(s.tid)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_obs::{JsonlRecorder, Span};
+
+    #[test]
+    fn follows_the_heaviest_chain_and_attributes_queue_wait() {
+        let (rec, buf) = JsonlRecorder::buffered();
+        {
+            let run = Span::new(&rec, "batch_run");
+            {
+                let fast = Span::child_of(&rec, "job", run.context());
+                fast.attr("queue_wait_us", 1u64);
+            }
+            {
+                let slow = Span::child_of(&rec, "job", run.context());
+                slow.attr("queue_wait_us", 7u64);
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+        }
+        let trace = Trace::parse(&buf.contents()).unwrap();
+        let report = critical_path(&trace);
+        assert_eq!(report.roots, 1);
+        assert_eq!(report.orphans, 0);
+        assert_eq!(report.chain.len(), 2);
+        assert_eq!(report.chain[0].name, "batch_run");
+        assert_eq!(report.chain[1].name, "job");
+        assert!(report.chain[1].wall_us >= 3000, "the slow job wins the chain");
+        assert_eq!(report.chain_queue_wait_us, 7, "the slow job's wait, not the fast one's");
+        assert_eq!(report.chain_wall_us, report.chain[0].wall_us);
+        assert!(report.chain[0].self_us <= report.chain[0].wall_us);
+        let rendered = render(&report);
+        assert!(rendered.contains("critical path"));
+        assert!(rendered.contains("batch_run"));
+        let json = to_json(&report);
+        let reparsed = Json::parse(&json.pretty()).unwrap();
+        assert_eq!(reparsed.get("orphans").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(reparsed.get("chain").unwrap().items().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_trace_yields_an_empty_report() {
+        let report = critical_path(&Trace::default());
+        assert_eq!(report.chain.len(), 0);
+        assert_eq!(report.chain_wall_us, 0);
+        assert_eq!(render(&report).lines().count(), 2);
+    }
+}

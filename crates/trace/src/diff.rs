@@ -1,0 +1,167 @@
+//! Cross-run trace diffing.
+//!
+//! Aggregates both traces per causal path — span count and total wall —
+//! and lines the aggregates up over the union of paths, so a run can be
+//! compared against a saved baseline: which phase got slower, which
+//! spans appeared or vanished, how the job count shifted. The ratio
+//! column is `total_us / base_total_us` (infinite when the path is new,
+//! zero when it vanished), which makes regressions greppable.
+//!
+//! In-flight spans carry no wall time and are excluded — a crash dump
+//! diffed against a healthy baseline should show where time *stopped*
+//! accruing, not fabricate durations.
+
+use std::collections::BTreeMap;
+
+use anonet_obs::Json;
+
+use crate::model::Trace;
+
+/// One path's aggregates in the current trace vs the baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffRow {
+    /// The `/`-joined causal path.
+    pub path: String,
+    /// Span count in the current trace.
+    pub count: u64,
+    /// Total wall in the current trace, microseconds.
+    pub total_us: u64,
+    /// Span count in the baseline.
+    pub base_count: u64,
+    /// Total wall in the baseline, microseconds.
+    pub base_total_us: u64,
+}
+
+impl DiffRow {
+    /// `total_us / base_total_us`; infinite for new paths, zero for
+    /// vanished ones, 1.0 when both sides are empty.
+    pub fn ratio(&self) -> f64 {
+        match (self.total_us, self.base_total_us) {
+            (0, 0) => 1.0,
+            (_, 0) => f64::INFINITY,
+            (t, b) => t as f64 / b as f64,
+        }
+    }
+}
+
+fn aggregate(trace: &Trace) -> BTreeMap<String, (u64, u64)> {
+    let mut agg: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for span in trace.spans.iter().filter(|s| !s.in_flight) {
+        let entry = agg.entry(span.path.clone()).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += span.wall_us;
+    }
+    agg
+}
+
+/// Diffs `trace` against `baseline`, one row per path in either trace,
+/// sorted by path (deterministic).
+pub fn diff_traces(trace: &Trace, baseline: &Trace) -> Vec<DiffRow> {
+    let cur = aggregate(trace);
+    let base = aggregate(baseline);
+    let mut paths: Vec<&String> = cur.keys().chain(base.keys()).collect();
+    paths.sort();
+    paths.dedup();
+    paths
+        .into_iter()
+        .map(|path| {
+            let (count, total_us) = cur.get(path).copied().unwrap_or((0, 0));
+            let (base_count, base_total_us) = base.get(path).copied().unwrap_or((0, 0));
+            DiffRow { path: path.clone(), count, total_us, base_count, base_total_us }
+        })
+        .collect()
+}
+
+/// Renders diff rows as a plain-text table, worst ratio first.
+pub fn render(rows: &[DiffRow]) -> String {
+    let mut sorted: Vec<&DiffRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| b.ratio().total_cmp(&a.ratio()).then(a.path.cmp(&b.path)));
+    let mut out = String::from("ratio     current(us x count)  baseline(us x count)  path\n");
+    for row in sorted {
+        let ratio = if row.ratio().is_infinite() {
+            "     new".to_string()
+        } else {
+            format!("{:8.2}", row.ratio())
+        };
+        out.push_str(&format!(
+            "{}  {:>12} x{:<5}  {:>13} x{:<5}  {}\n",
+            ratio, row.total_us, row.count, row.base_total_us, row.base_count, row.path
+        ));
+    }
+    out
+}
+
+/// The rows as [`Json`] (an array, in path order).
+pub fn to_json(rows: &[DiffRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| {
+                Json::obj([
+                    ("path", Json::str(row.path.as_str())),
+                    ("count", Json::from(row.count)),
+                    ("total_us", Json::from(row.total_us)),
+                    ("base_count", Json::from(row.base_count)),
+                    ("base_total_us", Json::from(row.base_total_us)),
+                    (
+                        "ratio",
+                        if row.ratio().is_finite() { Json::from(row.ratio()) } else { Json::Null },
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_obs::{JsonlRecorder, Span};
+
+    fn trace_with(jobs: usize, sleep_ms: u64) -> Trace {
+        let (rec, buf) = JsonlRecorder::buffered();
+        {
+            let run = Span::new(&rec, "batch_run");
+            for _ in 0..jobs {
+                let _job = Span::child_of(&rec, "job", run.context());
+                std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+            }
+        }
+        Trace::parse(&buf.contents()).unwrap()
+    }
+
+    #[test]
+    fn unions_paths_and_computes_ratios() {
+        let current = trace_with(4, 2);
+        let baseline = trace_with(2, 1);
+        let rows = diff_traces(&current, &baseline);
+        assert_eq!(rows.len(), 2);
+        let job = rows.iter().find(|r| r.path == "batch_run/job").unwrap();
+        assert_eq!((job.count, job.base_count), (4, 2));
+        assert!(job.ratio() > 1.0, "4x2ms vs 2x1ms must regress");
+        let text = render(&rows);
+        assert!(text.lines().count() == 3 && text.contains("batch_run/job"));
+        let json = to_json(&rows);
+        let reparsed = Json::parse(&json.pretty()).unwrap();
+        assert_eq!(reparsed.items().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn new_and_vanished_paths_are_kept() {
+        let current = trace_with(1, 0);
+        let baseline = {
+            let (rec, buf) = JsonlRecorder::buffered();
+            {
+                let _old = Span::new(&rec, "legacy_phase");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Trace::parse(&buf.contents()).unwrap()
+        };
+        let rows = diff_traces(&current, &baseline);
+        let legacy = rows.iter().find(|r| r.path == "legacy_phase").unwrap();
+        assert_eq!(legacy.count, 0);
+        assert_eq!(legacy.ratio(), 0.0, "vanished path ratio is zero");
+        let fresh = rows.iter().find(|r| r.path == "batch_run").unwrap();
+        assert_eq!(fresh.base_count, 0);
+        assert!(fresh.ratio().is_infinite() || fresh.total_us == 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Folded-stack flamegraph output.
+//!
+//! The classic `flamegraph.pl` / `inferno` input format: one line per
+//! distinct stack, `frame;frame;frame value`, where the value is the
+//! stack's **self time** in microseconds — wall time minus the wall time
+//! of its children, clamped at zero (children recorded on other threads
+//! can overlap their parent, so the subtraction can go negative; clamping
+//! keeps the graph truthful about where time was *not* further
+//! attributed). Span paths are already `/`-joined causal chains, so the
+//! fold is a separator swap plus aggregation.
+//!
+//! In-flight spans (crash dumps) carry no wall time and are skipped.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::model::Trace;
+
+/// Aggregated folded stacks, sorted by stack string (deterministic).
+pub fn folded_stacks(trace: &Trace) -> Vec<(String, u64)> {
+    // Children wall totals by parent id, for self-time subtraction.
+    let mut child_wall: HashMap<u64, u64> = HashMap::new();
+    for span in &trace.spans {
+        if let Some(p) = span.parent {
+            *child_wall.entry(p).or_insert(0) += span.wall_us;
+        }
+    }
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for span in &trace.spans {
+        if span.in_flight {
+            continue;
+        }
+        let self_us = span.wall_us.saturating_sub(child_wall.get(&span.id).copied().unwrap_or(0));
+        *stacks.entry(span.path.replace('/', ";")).or_insert(0) += self_us;
+    }
+    stacks.into_iter().collect()
+}
+
+/// Renders folded stacks as `flamegraph.pl` input text.
+pub fn render(stacks: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (stack, value) in stacks {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_obs::{JsonlRecorder, Span};
+
+    #[test]
+    fn folds_paths_and_subtracts_children() {
+        let (rec, buf) = JsonlRecorder::buffered();
+        {
+            let outer = Span::new(&rec, "astar");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _g = Span::child_of(&rec, "update_graph", outer.context());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let trace = Trace::parse(&buf.contents()).unwrap();
+        let stacks = folded_stacks(&trace);
+        let as_map: std::collections::HashMap<&str, u64> =
+            stacks.iter().map(|(s, v)| (s.as_str(), *v)).collect();
+        let child = as_map["astar;update_graph"];
+        let parent_self = as_map["astar"];
+        let parent_wall = trace.spans.iter().find(|s| s.name == "astar").unwrap().wall_us;
+        assert!(child >= 1000, "child ran for at least its sleep");
+        assert_eq!(parent_self, parent_wall - child, "self = wall - children");
+        let text = render(&stacks);
+        assert!(text.lines().any(|l| l.starts_with("astar;update_graph ")));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn repeated_stacks_aggregate() {
+        let (rec, buf) = JsonlRecorder::buffered();
+        for _ in 0..3 {
+            let _leaf = Span::new(&rec, "tick");
+        }
+        let trace = Trace::parse(&buf.contents()).unwrap();
+        let stacks = folded_stacks(&trace);
+        assert_eq!(stacks.len(), 1, "three closes of one path fold to one line");
+    }
+}

@@ -1,0 +1,92 @@
+//! # anonet-trace
+//!
+//! The trace analysis toolchain: everything downstream of a JSONL trace
+//! emitted by `anonet-obs` — the streaming
+//! [`JsonlRecorder`](anonet_obs::JsonlRecorder) of a live run or the
+//! crash dump of a [`FlightRecorder`](anonet_obs::FlightRecorder) ring.
+//!
+//! The [`model`] module parses either format back into a causal
+//! [`Trace`]: spans with their stable ids, explicit parent links,
+//! `/`-joined paths (reconstructed from the parent chain when a crash
+//! dump omits them), reconstructed start times (`us - wall_us`; close
+//! lines carry end times), attached attributes, and the counter and
+//! histogram event streams. On top of the model sit four analyses:
+//!
+//! * [`perfetto`] — Chrome/Perfetto `trace_event` JSON export (`"X"`
+//!   complete events per span, `"C"` counter tracks), loadable in
+//!   `ui.perfetto.dev` or `chrome://tracing`;
+//! * [`flame`] — folded-stack output (`a;b;c self_us`) for any
+//!   flamegraph renderer, self time = wall minus children;
+//! * [`critical`] — the heaviest root-to-leaf chain by wall time, with
+//!   scheduler queue wait (the `queue_wait_us` span attribute)
+//!   attributed separately from compute, plus root/orphan accounting;
+//! * [`diff`] — per-path span aggregates of two traces side by side,
+//!   for spotting where a run's time moved.
+//!
+//! The `anonet-trace` binary exposes all four:
+//!
+//! ```text
+//! anonet-trace perfetto TRACE [--out PATH]
+//! anonet-trace flame    TRACE [--out PATH]
+//! anonet-trace critical TRACE [--out PATH] [--json]
+//! anonet-trace diff     TRACE BASELINE [--out PATH] [--json]
+//! ```
+//!
+//! Everything round-trips through the workspace's one shared
+//! [`Json`](anonet_obs::Json) serializer/parser — no external
+//! dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod critical;
+pub mod diff;
+pub mod flame;
+pub mod model;
+pub mod perfetto;
+
+pub use critical::{critical_path, CriticalReport, CriticalStep};
+pub use diff::{diff_traces, DiffRow};
+pub use model::{CounterEvent, FlightSummary, HistEvent, SpanRec, Trace};
+
+/// Errors surfaced by trace parsing and the CLI.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A trace line failed to parse or lacked a required field.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// Reading or writing a file failed.
+    Io {
+        /// What was being accessed.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { line, detail } => write!(f, "trace line {line}: {detail}"),
+            TraceError::Io { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io { source, .. } => Some(source),
+            TraceError::Parse { .. } => None,
+        }
+    }
+}
+
+/// Convenient alias for results with [`TraceError`].
+pub type Result<T> = std::result::Result<T, TraceError>;

@@ -1,0 +1,134 @@
+//! `anonet-trace` — analyze JSONL traces from `anonet-obs`.
+//!
+//! ```text
+//! anonet-trace perfetto TRACE [--out PATH]
+//! anonet-trace flame    TRACE [--out PATH]
+//! anonet-trace critical TRACE [--out PATH] [--json]
+//! anonet-trace diff     TRACE BASELINE [--out PATH] [--json]
+//! ```
+//!
+//! `perfetto` always emits JSON (load it in `ui.perfetto.dev`), `flame`
+//! always emits folded-stack text; `critical` and `diff` render text by
+//! default and JSON with `--json`. Output goes to stdout unless `--out`
+//! is given. Exit 2 is an operational error (bad flags, unreadable or
+//! malformed trace).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use anonet_trace::{critical, diff, flame, model::Trace, perfetto, TraceError};
+
+fn usage() -> String {
+    "usage: anonet-trace perfetto TRACE [--out PATH]\n       \
+     anonet-trace flame    TRACE [--out PATH]\n       \
+     anonet-trace critical TRACE [--out PATH] [--json]\n       \
+     anonet-trace diff     TRACE BASELINE [--out PATH] [--json]"
+        .to_string()
+}
+
+struct Options {
+    inputs: Vec<PathBuf>,
+    out: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse(args: &mut std::env::Args) -> Result<Options, String> {
+    let mut opts = Options { inputs: Vec::new(), out: None, json: false };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let value = args.next().ok_or("--out needs a value")?;
+                opts.out = Some(PathBuf::from(value));
+            }
+            "--json" => opts.json = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => opts.inputs.push(PathBuf::from(path)),
+        }
+    }
+    Ok(opts)
+}
+
+fn emit(opts: &Options, text: &str) -> Result<(), TraceError> {
+    match &opts.out {
+        Some(path) => {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent).map_err(|e| TraceError::Io {
+                    context: format!("creating {}", parent.display()),
+                    source: e,
+                })?;
+            }
+            std::fs::write(path, text).map_err(|e| TraceError::Io {
+                context: format!("writing {}", path.display()),
+                source: e,
+            })?;
+            eprintln!("written to {}", path.display());
+            Ok(())
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn run(command: &str, opts: &Options) -> Result<(), String> {
+    let want = if command == "diff" { 2 } else { 1 };
+    if opts.inputs.len() != want {
+        return Err(format!("`{command}` takes {want} trace path(s)\n{}", usage()));
+    }
+    let trace = Trace::from_file(&opts.inputs[0]).map_err(|e| e.to_string())?;
+    let text = match command {
+        "perfetto" => {
+            let mut text = perfetto::export(&trace).pretty();
+            text.push('\n');
+            text
+        }
+        "flame" => flame::render(&flame::folded_stacks(&trace)),
+        "critical" => {
+            let report = critical::critical_path(&trace);
+            if opts.json {
+                let mut text = critical::to_json(&report).pretty();
+                text.push('\n');
+                text
+            } else {
+                critical::render(&report)
+            }
+        }
+        "diff" => {
+            let baseline = Trace::from_file(&opts.inputs[1]).map_err(|e| e.to_string())?;
+            let rows = diff::diff_traces(&trace, &baseline);
+            if opts.json {
+                let mut text = diff::to_json(&rows).pretty();
+                text.push('\n');
+                text
+            } else {
+                diff::render(&rows)
+            }
+        }
+        other => return Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    emit(opts, &text).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    let Some(command) = args.next() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let opts = match parse(&mut args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&command, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Parsing JSONL traces back into a causal span model.
+//!
+//! Accepts both trace dialects the obs layer emits:
+//!
+//! * **Live traces** ([`JsonlRecorder`](anonet_obs::JsonlRecorder)):
+//!   close-only `"ev":"span"` lines carrying `id`, `parent`, `name`, the
+//!   `/`-joined `path`, `wall_us`, and `tid`; the span's start is
+//!   reconstructed as `us - wall_us`.
+//! * **Crash dumps** ([`FlightRecorder`](anonet_obs::FlightRecorder)):
+//!   additionally `"ev":"span_open"` lines (no `path` field — paths are
+//!   reconstructed from the parent chain) and a trailing `"ev":"flight"`
+//!   summary. An open with no matching close becomes an *in-flight* span
+//!   ending at the dump's horizon.
+//!
+//! `"ev":"attr"` lines attach to spans by id; `"ev":"counter"` and
+//! `"ev":"hist"` lines are kept as ordered event streams. Ring-buffer
+//! dumps routinely contain attrs whose span was already overwritten —
+//! those are counted, not errors.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+
+use anonet_obs::Json;
+
+use crate::{Result, TraceError};
+
+/// One span reconstructed from a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRec {
+    /// Stable process-wide span id.
+    pub id: u64,
+    /// Parent span id, `None` for a root.
+    pub parent: Option<u64>,
+    /// Leaf name (e.g. `"job"`).
+    pub name: String,
+    /// `/`-joined causal path (e.g. `"soak_campaign/soak_cell/batch_run/job"`).
+    pub path: String,
+    /// Start, microseconds since the recorder's epoch.
+    pub start_us: u64,
+    /// End (close time, or the dump horizon for in-flight spans).
+    pub end_us: u64,
+    /// Wall time; zero for in-flight spans.
+    pub wall_us: u64,
+    /// Ordinal of the thread that recorded the span.
+    pub tid: u64,
+    /// Attributes attached via `Span::attr`, in arrival order.
+    pub attrs: Vec<(String, Json)>,
+    /// `true` when the span was still open when the trace ended (crash
+    /// dumps only — live traces never emit opens).
+    pub in_flight: bool,
+}
+
+impl SpanRec {
+    /// The attribute value for `key`, if attached.
+    pub fn attr(&self, key: &str) -> Option<&Json> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// One `"ev":"counter"` line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterEvent {
+    /// Microseconds since epoch.
+    pub us: u64,
+    /// Counter name.
+    pub name: String,
+    /// The bump.
+    pub delta: u64,
+}
+
+/// One `"ev":"hist"` line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistEvent {
+    /// Microseconds since epoch.
+    pub us: u64,
+    /// Histogram name.
+    pub name: String,
+    /// The sample.
+    pub value: u64,
+}
+
+/// The trailing `"ev":"flight"` summary of a ring dump.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightSummary {
+    /// Events retained in the ring.
+    pub captured: u64,
+    /// Events discarded by the never-block rule.
+    pub dropped: u64,
+    /// Ring capacity.
+    pub capacity: u64,
+}
+
+/// A whole parsed trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Spans, in the order their defining line appeared (closes first,
+    /// then any in-flight opens).
+    pub spans: Vec<SpanRec>,
+    /// Counter bumps, in arrival order.
+    pub counters: Vec<CounterEvent>,
+    /// Histogram samples, in arrival order.
+    pub hists: Vec<HistEvent>,
+    /// Ring summary, present only for flight dumps.
+    pub flight: Option<FlightSummary>,
+    /// Attr lines whose span never appeared (ring overwrote it).
+    pub detached_attrs: usize,
+}
+
+fn field_u64(obj: &Json, key: &str, line: usize) -> Result<u64> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .map(|x| x as u64)
+        .ok_or_else(|| TraceError::Parse { line, detail: format!("missing numeric field `{key}`") })
+}
+
+fn field_str(obj: &Json, key: &str, line: usize) -> Result<String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| TraceError::Parse { line, detail: format!("missing string field `{key}`") })
+}
+
+/// `parent` is `null` for roots; absent counts as null for leniency.
+fn field_parent(obj: &Json) -> Option<u64> {
+    obj.get("parent").and_then(Json::as_f64).map(|x| x as u64)
+}
+
+/// A `span_open` waiting for its close.
+struct OpenSpan {
+    parent: Option<u64>,
+    name: String,
+    us: u64,
+    tid: u64,
+    order: usize,
+}
+
+impl Trace {
+    /// Parses a trace from JSONL text (empty lines are skipped).
+    ///
+    /// # Errors
+    ///
+    /// The first malformed line, with its line number.
+    pub fn parse(text: &str) -> Result<Trace> {
+        let mut trace = Trace::default();
+        let mut open: HashMap<u64, OpenSpan> = HashMap::new();
+        let mut attrs: HashMap<u64, Vec<(String, Json)>> = HashMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let obj = Json::parse(raw).map_err(|detail| TraceError::Parse { line, detail })?;
+            let ev = field_str(&obj, "ev", line)?;
+            match ev.as_str() {
+                "span" => {
+                    let id = field_u64(&obj, "id", line)?;
+                    let name = field_str(&obj, "name", line)?;
+                    let wall_us = field_u64(&obj, "wall_us", line)?;
+                    let us = field_u64(&obj, "us", line)?;
+                    // Crash dumps omit `path`; it is reconstructed below.
+                    let path = field_str(&obj, "path", line).unwrap_or_default();
+                    let tid = field_u64(&obj, "tid", line)?;
+                    open.remove(&id);
+                    trace.spans.push(SpanRec {
+                        id,
+                        parent: field_parent(&obj),
+                        name,
+                        path,
+                        start_us: us.saturating_sub(wall_us),
+                        end_us: us,
+                        wall_us,
+                        tid,
+                        attrs: Vec::new(),
+                        in_flight: false,
+                    });
+                }
+                "span_open" => {
+                    let id = field_u64(&obj, "id", line)?;
+                    open.insert(
+                        id,
+                        OpenSpan {
+                            parent: field_parent(&obj),
+                            name: field_str(&obj, "name", line)?,
+                            us: field_u64(&obj, "us", line)?,
+                            tid: field_u64(&obj, "tid", line)?,
+                            order: idx,
+                        },
+                    );
+                }
+                "attr" => {
+                    let id = field_u64(&obj, "id", line)?;
+                    let key = field_str(&obj, "key", line)?;
+                    let value = obj.get("value").cloned().unwrap_or(Json::Null);
+                    attrs.entry(id).or_default().push((key, value));
+                }
+                "counter" => trace.counters.push(CounterEvent {
+                    us: field_u64(&obj, "us", line)?,
+                    name: field_str(&obj, "name", line)?,
+                    delta: field_u64(&obj, "delta", line)?,
+                }),
+                "hist" => trace.hists.push(HistEvent {
+                    us: field_u64(&obj, "us", line)?,
+                    name: field_str(&obj, "name", line)?,
+                    value: field_u64(&obj, "value", line)?,
+                }),
+                "flight" => {
+                    trace.flight = Some(FlightSummary {
+                        captured: field_u64(&obj, "captured", line)?,
+                        dropped: field_u64(&obj, "dropped", line)?,
+                        capacity: field_u64(&obj, "capacity", line)?,
+                    });
+                }
+                other => {
+                    return Err(TraceError::Parse {
+                        line,
+                        detail: format!("unknown event kind `{other}`"),
+                    });
+                }
+            }
+        }
+
+        // Opens with no close: the span was in flight when the trace
+        // ended. It gets the dump horizon as its end and zero wall.
+        let horizon = trace
+            .spans
+            .iter()
+            .map(|s| s.end_us)
+            .chain(trace.counters.iter().map(|c| c.us))
+            .chain(trace.hists.iter().map(|h| h.us))
+            .chain(open.values().map(|o| o.us))
+            .max()
+            .unwrap_or(0);
+        let mut in_flight: Vec<(usize, SpanRec)> = open
+            .into_iter()
+            .map(|(id, o)| {
+                (
+                    o.order,
+                    SpanRec {
+                        id,
+                        parent: o.parent,
+                        name: o.name,
+                        path: String::new(),
+                        start_us: o.us,
+                        end_us: horizon,
+                        wall_us: 0,
+                        tid: o.tid,
+                        attrs: Vec::new(),
+                        in_flight: true,
+                    },
+                )
+            })
+            .collect();
+        in_flight.sort_by_key(|(order, _)| *order);
+        trace.spans.extend(in_flight.into_iter().map(|(_, s)| s));
+
+        // Attach attrs; anything left names an overwritten span.
+        for span in &mut trace.spans {
+            if let Some(list) = attrs.remove(&span.id) {
+                span.attrs = list;
+            }
+        }
+        trace.detached_attrs = attrs.values().map(Vec::len).sum();
+
+        trace.reconstruct_paths();
+        Ok(trace)
+    }
+
+    /// Reads and parses a trace file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed lines.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Trace> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| TraceError::Io {
+            context: format!("reading trace {}", path.display()),
+            source: e,
+        })?;
+        Trace::parse(&text)
+    }
+
+    /// Fills empty `path` fields by walking parent links (crash dumps
+    /// omit paths). An unknown parent degrades to a root path, mirroring
+    /// the memory backend.
+    fn reconstruct_paths(&mut self) {
+        let by_id: HashMap<u64, (Option<u64>, String)> =
+            self.spans.iter().map(|s| (s.id, (s.parent, s.name.clone()))).collect();
+        for span in &mut self.spans {
+            if !span.path.is_empty() {
+                continue;
+            }
+            let mut segments = vec![span.name.clone()];
+            let mut cursor = span.parent;
+            // The depth guard makes a (corrupt) parent cycle terminate.
+            let mut depth = 0;
+            while let Some(pid) = cursor {
+                let Some((grand, name)) = by_id.get(&pid) else { break };
+                segments.push(name.clone());
+                cursor = *grand;
+                depth += 1;
+                if depth > by_id.len() {
+                    break;
+                }
+            }
+            segments.reverse();
+            span.path = segments.join("/");
+        }
+    }
+
+    /// Root spans: explicit `parent: null`.
+    pub fn roots(&self) -> Vec<&SpanRec> {
+        self.spans.iter().filter(|s| s.parent.is_none()).collect()
+    }
+
+    /// Orphan spans: a parent id that is nowhere in the trace. Zero in a
+    /// complete live trace; common in ring dumps (the parent's events
+    /// were overwritten).
+    pub fn orphans(&self) -> Vec<&SpanRec> {
+        let ids: HashMap<u64, ()> = self.spans.iter().map(|s| (s.id, ())).collect();
+        self.spans.iter().filter(|s| s.parent.is_some_and(|p| !ids.contains_key(&p))).collect()
+    }
+
+    /// Children indexes into [`Trace::spans`], keyed by parent id.
+    pub fn children(&self) -> HashMap<u64, Vec<usize>> {
+        let mut map: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, span) in self.spans.iter().enumerate() {
+            if let Some(p) = span.parent {
+                map.entry(p).or_default().push(i);
+            }
+        }
+        map
+    }
+
+    /// The latest timestamp in the trace.
+    pub fn end_us(&self) -> u64 {
+        self.spans.iter().map(|s| s.end_us).max().unwrap_or(0)
+    }
+
+    /// Counter totals by name.
+    pub fn counter_totals(&self) -> BTreeMap<String, u64> {
+        let mut totals = BTreeMap::new();
+        for c in &self.counters {
+            *totals.entry(c.name.clone()).or_insert(0) += c.delta;
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_obs::{JsonlRecorder, Recorder, Span};
+
+    fn live_trace() -> Trace {
+        let (rec, buf) = JsonlRecorder::buffered();
+        {
+            let campaign = Span::new(&rec, "soak_campaign");
+            {
+                let cell = Span::child_of(&rec, "soak_cell", campaign.context());
+                cell.attr("replay", "tc1:demo");
+                let _job = Span::new(&rec, "job");
+            }
+            rec.counter("soak.cells", 1);
+            rec.histogram("batch.queue_wait_us", 42);
+        }
+        Trace::parse(&buf.contents()).unwrap()
+    }
+
+    #[test]
+    fn parses_live_traces_with_ids_paths_and_attrs() {
+        let trace = live_trace();
+        assert_eq!(trace.spans.len(), 3);
+        let paths: Vec<&str> = trace.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            ["soak_campaign/soak_cell/job", "soak_campaign/soak_cell", "soak_campaign"]
+        );
+        let cell = trace.spans.iter().find(|s| s.name == "soak_cell").unwrap();
+        assert_eq!(cell.attr("replay").and_then(Json::as_str), Some("tc1:demo"));
+        assert_eq!(trace.roots().len(), 1);
+        assert!(trace.orphans().is_empty());
+        assert_eq!(trace.counter_totals()["soak.cells"], 1);
+        assert_eq!(trace.hists.len(), 1);
+        assert_eq!(trace.detached_attrs, 0);
+        for span in &trace.spans {
+            assert!(!span.in_flight);
+            assert_eq!(span.start_us + span.wall_us, span.end_us);
+        }
+    }
+
+    #[test]
+    fn parses_flight_dumps_reconstructing_paths_and_in_flight_spans() {
+        let rec = anonet_obs::FlightRecorder::with_capacity(64);
+        let outer = Span::new(&rec, "pipeline");
+        {
+            let _done = Span::child_of(&rec, "coloring", outer.context());
+        }
+        let text = rec.dump_lines().join("\n");
+        drop(outer);
+        let trace = Trace::parse(&text).unwrap();
+        assert_eq!(trace.flight.unwrap().capacity, 64);
+        let pipeline = trace.spans.iter().find(|s| s.name == "pipeline").unwrap();
+        assert!(pipeline.in_flight, "unclosed spans survive in the dump");
+        assert_eq!(pipeline.path, "pipeline");
+        let coloring = trace.spans.iter().find(|s| s.name == "coloring").unwrap();
+        assert!(!coloring.in_flight);
+        assert_eq!(coloring.path, "pipeline/coloring", "path rebuilt from the parent chain");
+        assert_eq!(coloring.parent, Some(pipeline.id));
+    }
+
+    #[test]
+    fn orphans_and_detached_attrs_are_counted_not_fatal() {
+        let text = concat!(
+            "{\"us\": 5, \"ev\": \"span\", \"id\": 9, \"parent\": 7, \"name\": \"leaf\", ",
+            "\"path\": \"leaf\", \"wall_us\": 5, \"tid\": 1}\n",
+            "{\"us\": 6, \"ev\": \"attr\", \"id\": 1234, \"key\": \"gone\", \"value\": 1}\n",
+        );
+        let trace = Trace::parse(text).unwrap();
+        assert_eq!(trace.orphans().len(), 1);
+        assert_eq!(trace.detached_attrs, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        let err = Trace::parse("{\"ev\": \"span\"}").unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other}"),
+        }
+        let err = Trace::parse("{\"us\": 1, \"ev\": \"warp\"}").unwrap_err();
+        assert!(err.to_string().contains("warp"));
+        assert!(Trace::parse("not json").is_err());
+    }
+}

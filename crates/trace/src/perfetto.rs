@@ -1,0 +1,121 @@
+//! Chrome/Perfetto `trace_event` export.
+//!
+//! Produces the JSON object format both `chrome://tracing` and
+//! `ui.perfetto.dev` load: one `"ph":"X"` *complete* event per span
+//! (`ts`/`dur` in microseconds, the recorder's thread ordinal as `tid`),
+//! and one `"ph":"C"` *counter* event per counter bump carrying the
+//! cumulative value, so counters render as stepped tracks. Span ids,
+//! parent links, paths, and attributes ride along in `args` — the
+//! viewer shows them in the selection panel.
+//!
+//! In-flight spans (crash dumps) are exported as `"X"` events stretched
+//! to the dump horizon with `"in_flight": true` in `args`, which keeps
+//! the export loadable (Perfetto dislikes unmatched `"B"` events).
+
+use std::collections::BTreeMap;
+
+use anonet_obs::Json;
+
+use crate::model::Trace;
+
+/// Renders `trace` as a `trace_event` JSON object.
+pub fn export(trace: &Trace) -> Json {
+    let horizon = trace.end_us();
+    let mut events: Vec<Json> = Vec::with_capacity(trace.spans.len() + trace.counters.len());
+
+    for span in &trace.spans {
+        let mut args = vec![
+            ("id".to_string(), Json::from(span.id)),
+            ("parent".to_string(), span.parent.map(Json::from).unwrap_or(Json::Null)),
+            ("path".to_string(), Json::str(span.path.as_str())),
+        ];
+        if span.in_flight {
+            args.push(("in_flight".to_string(), Json::from(true)));
+        }
+        for (key, value) in &span.attrs {
+            args.push((key.clone(), value.clone()));
+        }
+        let dur = if span.in_flight { horizon.saturating_sub(span.start_us) } else { span.wall_us };
+        events.push(Json::obj([
+            ("name", Json::str(span.name.as_str())),
+            ("cat", Json::str("span")),
+            ("ph", Json::str("X")),
+            ("ts", Json::from(span.start_us)),
+            ("dur", Json::from(dur)),
+            ("pid", Json::from(1u64)),
+            ("tid", Json::from(span.tid)),
+            ("args", Json::Obj(args)),
+        ]));
+    }
+
+    let mut running: BTreeMap<&str, u64> = BTreeMap::new();
+    for c in &trace.counters {
+        let total = running.entry(c.name.as_str()).or_insert(0);
+        *total += c.delta;
+        events.push(Json::obj([
+            ("name", Json::str(c.name.as_str())),
+            ("cat", Json::str("counter")),
+            ("ph", Json::str("C")),
+            ("ts", Json::from(c.us)),
+            ("pid", Json::from(1u64)),
+            ("args", Json::obj([("value", Json::from(*total))])),
+        ]));
+    }
+
+    Json::obj([("traceEvents", Json::Arr(events)), ("displayTimeUnit", Json::str("ms"))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_obs::{JsonlRecorder, Recorder, Span};
+
+    #[test]
+    fn export_is_valid_trace_event_json() {
+        let (rec, buf) = JsonlRecorder::buffered();
+        {
+            let outer = Span::new(&rec, "batch_run");
+            let job = Span::child_of(&rec, "job", outer.context());
+            job.attr("queue_wait_us", 3u64);
+            rec.counter("batch.jobs", 2);
+        }
+        let trace = Trace::parse(&buf.contents()).unwrap();
+        let text = export(&trace).pretty();
+        let parsed = Json::parse(&text).unwrap();
+        let events = parsed.get("traceEvents").unwrap().items().unwrap();
+        assert_eq!(events.len(), 3); // two spans + one counter
+        let spans: Vec<&Json> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
+        assert_eq!(spans.len(), 2);
+        for span in &spans {
+            assert!(span.get("ts").is_some() && span.get("dur").is_some());
+            assert_eq!(span.get("pid").and_then(Json::as_f64), Some(1.0));
+            assert!(span.get("tid").and_then(Json::as_f64).unwrap() >= 1.0);
+        }
+        let job = spans.iter().find(|s| s.get("name").and_then(Json::as_str) == Some("job"));
+        let args = job.unwrap().get("args").unwrap();
+        assert_eq!(args.get("queue_wait_us").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(args.get("path").and_then(Json::as_str), Some("batch_run/job"));
+        let counter =
+            events.iter().find(|e| e.get("ph").and_then(Json::as_str) == Some("C")).unwrap();
+        assert_eq!(counter.get("args").unwrap().get("value").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn in_flight_spans_stretch_to_the_horizon() {
+        let rec = anonet_obs::FlightRecorder::with_capacity(16);
+        let open = Span::new(&rec, "pipeline");
+        rec.counter("tick", 1);
+        let text = rec.dump_lines().join("\n");
+        drop(open);
+        let trace = Trace::parse(&text).unwrap();
+        let exported = export(&trace);
+        let events = exported.get("traceEvents").unwrap().items().unwrap();
+        let span = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("pipeline"))
+            .unwrap();
+        assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span.get("args").unwrap().get("in_flight").and_then(Json::as_bool), Some(true));
+    }
+}

@@ -14,7 +14,9 @@
 //! * [`core`] — the paper's derandomization: `A_∞`, `A_*`, and the Theorem-1 pipeline
 //! * [`batch`] — concurrent batch execution with a content-addressed derandomization cache
 //! * [`store`] — persistent, sharded, crash-safe backing store for the derandomization cache
-//! * [`obs`] — zero-dependency tracing, metrics, and profiling (spans, counters, recorders)
+//! * [`obs`] — zero-dependency causal tracing, metrics, and profiling (spans, counters, recorders)
+//! * [`trace`] — trace analysis toolchain: Perfetto export, flamegraphs, critical paths, diffs
+//! * [`soak`] — seeded soak campaigns and the perf-regression sentinel
 //! * [`testkit`] — metamorphic conformance harness: adversarial schedulers, differential oracles
 
 #![forbid(unsafe_code)]
@@ -26,6 +28,8 @@ pub use anonet_factor as factor;
 pub use anonet_graph as graph;
 pub use anonet_obs as obs;
 pub use anonet_runtime as runtime;
+pub use anonet_soak as soak;
 pub use anonet_store as store;
 pub use anonet_testkit as testkit;
+pub use anonet_trace as trace;
 pub use anonet_views as views;

@@ -48,7 +48,6 @@ fn astar_thread_sweep_is_byte_identical_on_concrete_instances() {
     // byte-for-byte on concrete MIS instances.
     use anonet::core::astar::{run_astar, run_astar_threaded, AStarConfig};
     use anonet::graph::{generators, lift};
-    use anonet::obs::NoopRecorder;
 
     let cfg = AStarConfig::default();
     let triangle =
@@ -68,7 +67,7 @@ fn astar_thread_sweep_is_byte_identical_on_concrete_instances() {
                 &inst,
                 &cfg,
                 threads,
-                &NoopRecorder,
+                &anonet::obs::noop(),
             )
             .unwrap();
             assert_eq!(par.outputs, sequential.outputs, "{threads} threads");
