@@ -1,0 +1,247 @@
+//! Parallel drivers for the view machinery, built on the
+//! [`BatchScheduler`]'s node-order-commit discipline.
+//!
+//! Both entry points split the node range into contiguous chunks, run the
+//! chunks concurrently, and **commit results in submission order**: every
+//! chunk's output is a pure function of `(graph, range)` and the scheduler
+//! slots outcomes by submission index, so concatenating the slots
+//! reproduces the sequential output bit for bit at any worker count.
+//! Thread count is a throughput knob, never a semantics knob — the same
+//! invariant the scheduler already enforces for whole-instance batches.
+//!
+//! * [`parallel_canonical_encodings`] — the canonical depth-`d` view
+//!   encoding of every node, each worker reusing its thread-local
+//!   [`ViewArena`](anonet_views::ViewArena) so steady-state chunks
+//!   allocate nothing.
+//! * [`parallel_stable_partition`] — color refinement with the per-round
+//!   key construction (the dominant cost, `O(Σ deg)`) fanned out across
+//!   workers; the dense-class assignment stays sequential, which is what
+//!   makes the result independent of chunking.
+
+use anonet_graph::{Label, LabeledGraph, NodeId};
+use anonet_views::{
+    assign_dense_classes, canonical_view_encoding, initial_label_classes, round_keys, ViewMode,
+};
+
+use crate::scheduler::BatchScheduler;
+
+/// Splits `0..n` into at most `parts` contiguous ranges of near-equal
+/// size, in order. Deterministic in `(n, parts)`.
+fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            break;
+        }
+        ranges.push((lo, lo + len));
+        lo += len;
+    }
+    ranges
+}
+
+/// How many chunks to cut for a scheduler: a few per worker, so a slow
+/// chunk (dense region, deep views) doesn't straggle the whole batch.
+fn chunk_count(sched: &BatchScheduler, n: usize) -> usize {
+    (sched.threads() * 4).min(n.max(1))
+}
+
+/// The canonical depth-`depth` view encoding of every node of `g`, in node
+/// order — byte-identical to calling
+/// [`canonical_view_encoding`] sequentially, at any thread count.
+///
+/// Each worker builds its chunk in its own thread-local arena; per-node
+/// results (including per-node errors) are committed in node order, so the
+/// returned error on failure is the sequential one: the error of the
+/// smallest-index failing node.
+///
+/// # Errors
+///
+/// [`ViewError::ViewTooLarge`](anonet_views::ViewError) as the sequential
+/// path, for the first (lowest-index) node whose explicit view exceeds the
+/// budget.
+pub fn parallel_canonical_encodings<L: Label + Sync>(
+    sched: &BatchScheduler,
+    g: &LabeledGraph<L>,
+    depth: usize,
+) -> anonet_views::Result<Vec<Vec<u8>>> {
+    let n = g.node_count();
+    let ranges = chunk_ranges(n, chunk_count(sched, n));
+    let outcome = sched.run(&ranges, |_idx, &(lo, hi)| {
+        let encs: Vec<anonet_views::Result<Vec<u8>>> =
+            (lo..hi).map(|v| canonical_view_encoding(g, NodeId::new(v), depth)).collect();
+        Ok::<_, String>(encs)
+    });
+    let mut out = Vec::with_capacity(n);
+    for result in outcome.results {
+        match result {
+            crate::JobResult::Ok(encs) => {
+                for enc in encs {
+                    out.push(enc?);
+                }
+            }
+            // The closure is infallible and panic-free; a panic here means
+            // a bug below us (e.g. in the arena), surfaced as the view
+            // error it can only be.
+            crate::JobResult::Failed(msg) | crate::JobResult::Panicked(msg) => {
+                return Err(anonet_views::ViewError::Reconstruction {
+                    reason: format!("parallel encoding worker failed: {msg}"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Color refinement to stability with parallel per-round key
+/// construction: returns `(classes, stabilization_depth)`, equal to
+/// [`BoundedRefinement`](anonet_views::BoundedRefinement)'s
+/// `classes()` / `stabilization_depth()` — identically, at any thread
+/// count.
+///
+/// Each round fans [`round_keys`] chunks across the scheduler, commits
+/// them in node order, and runs the (cheap, `O(n log n)`) dense-class
+/// assignment sequentially on the concatenation — the node-order-commit
+/// trick. The loop structure (including the stop-without-commit round)
+/// mirrors `BoundedRefinement::compute` exactly.
+pub fn parallel_stable_partition<L: Label + Sync>(
+    sched: &BatchScheduler,
+    g: &LabeledGraph<L>,
+    mode: ViewMode,
+) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    let mut stable = initial_label_classes(g);
+    let mut depth = 0usize;
+    loop {
+        let prev_count = class_count(&stable);
+        let ranges = chunk_ranges(n, chunk_count(sched, n));
+        let keys_outcome = sched
+            .run(&ranges, |_idx, &(lo, hi)| Ok::<_, String>(round_keys(g, &stable, mode, lo, hi)));
+        let mut keys = Vec::with_capacity(n);
+        for chunk in keys_outcome.unwrap_all() {
+            keys.extend(chunk);
+        }
+        let next = assign_dense_classes(&keys);
+        if class_count(&next) == prev_count {
+            break;
+        }
+        stable = next;
+        depth += 1;
+        if depth > n {
+            unreachable!("refinement must stabilize within n rounds");
+        }
+    }
+    (stable, depth)
+}
+
+/// Number of distinct dense class ids.
+fn class_count(classes: &[u32]) -> usize {
+    classes.iter().copied().max().map_or(0, |m| m as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::generators;
+    use anonet_views::{BoundedRefinement, ViewError, ViewTree};
+
+    fn families() -> Vec<(&'static str, LabeledGraph<u32>)> {
+        vec![
+            ("path7", generators::path(7).unwrap().with_uniform_label(0u32)),
+            ("cycle9", generators::cycle(9).unwrap().with_uniform_label(0u32)),
+            ("petersen", generators::petersen().with_uniform_label(0u32)),
+            (
+                "colored_c12",
+                generators::cycle(12)
+                    .unwrap()
+                    .with_labels((0..12).map(|i| (i % 3) as u32).collect())
+                    .unwrap(),
+            ),
+            ("complete5", generators::complete(5).unwrap().with_uniform_label(7u32)),
+        ]
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 16, 33] {
+            for parts in [1usize, 2, 3, 8, 64] {
+                let ranges = chunk_ranges(n, parts);
+                let mut expect = 0;
+                for &(lo, hi) in &ranges {
+                    assert_eq!(lo, expect);
+                    assert!(hi > lo);
+                    expect = hi;
+                }
+                assert_eq!(expect, n, "n={n} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn encodings_match_sequential_at_every_thread_count() {
+        for (name, g) in families() {
+            for depth in [1usize, 3] {
+                let reference: Vec<Vec<u8>> = g
+                    .graph()
+                    .nodes()
+                    .map(|v| ViewTree::build(&g, v, depth).unwrap().canonical_encoding())
+                    .collect();
+                for threads in [1usize, 2, 8] {
+                    let sched = BatchScheduler::with_threads(threads);
+                    let got = parallel_canonical_encodings(&sched, &g, depth).unwrap();
+                    assert_eq!(got, reference, "{name} depth={depth} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_errors_match_the_sequential_path() {
+        // Deep views on K8 blow the size budget; the parallel driver must
+        // surface the same error value the sequential call produces.
+        let g = generators::complete(8).unwrap().with_uniform_label(0u32);
+        let seq =
+            canonical_view_encoding(&g, NodeId::new(0), 9).expect_err("budget must be exceeded");
+        for threads in [1usize, 2, 8] {
+            let sched = BatchScheduler::with_threads(threads);
+            let err = parallel_canonical_encodings(&sched, &g, 9)
+                .expect_err("budget must be exceeded in parallel too");
+            assert_eq!(err, seq, "threads={threads}");
+            assert!(matches!(err, ViewError::ViewTooLarge { .. }));
+        }
+    }
+
+    #[test]
+    fn stable_partition_matches_bounded_refinement() {
+        for (name, g) in families() {
+            for mode in [ViewMode::Portless, ViewMode::PortAware] {
+                let reference = BoundedRefinement::compute(&g, mode);
+                for threads in [1usize, 2, 8] {
+                    let sched = BatchScheduler::with_threads(threads);
+                    let (classes, depth) = parallel_stable_partition(&sched, &g, mode);
+                    assert_eq!(classes, reference.classes(), "{name} {mode:?} threads={threads}");
+                    assert_eq!(
+                        depth,
+                        reference.stabilization_depth(),
+                        "{name} {mode:?} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_node_graphs_are_fine() {
+        let g1 = generators::complete(1).unwrap().with_uniform_label(0u32);
+        let sched = BatchScheduler::with_threads(4);
+        let encs = parallel_canonical_encodings(&sched, &g1, 2).unwrap();
+        assert_eq!(encs.len(), 1);
+        let (classes, depth) = parallel_stable_partition(&sched, &g1, ViewMode::Portless);
+        assert_eq!(classes, vec![0]);
+        assert_eq!(depth, 0);
+    }
+}

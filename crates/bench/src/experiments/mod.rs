@@ -14,6 +14,7 @@ pub mod lifting;
 pub mod montecarlo;
 pub mod norris;
 pub mod obs;
+pub mod scale;
 pub mod soak;
 pub mod store;
 pub mod thm1_faithful;

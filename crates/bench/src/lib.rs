@@ -30,6 +30,7 @@
 //! | E18 | [`experiments::store`] | persistent store: cold vs warm-start across processes |
 //! | E19 | [`experiments::soak`] | seeded soak campaign + the `BENCH_soak.json` regression baseline |
 //! | E20 | [`experiments::trace`] | causal tracing: noop/flight overhead + the anonet-trace round trip |
+//! | E21 | [`experiments::scale`] | million-node core: arena encoding, incremental refinement, 1/2/8-thread byte-identity |
 //!
 //! Run them with `cargo run -p anonet-bench --bin report -- <id>|all`.
 //! Timing benchmarks live in `benches/` (Criterion).
@@ -64,6 +65,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "store",
     "soak",
     "trace",
+    "scale",
 ];
 
 /// Runs one experiment by id, returning its rendered report.
@@ -94,6 +96,7 @@ pub fn run_experiment(id: &str) -> Result<String, Box<dyn std::error::Error>> {
         "store" => experiments::store::report(),
         "soak" => experiments::soak::report(),
         "trace" => experiments::trace::report(),
+        "scale" => experiments::scale::report(),
         other => Err(format!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}").into()),
     }
 }

@@ -56,7 +56,10 @@ use anonet_obs::{names, NoopRecorder, Recorder, SharedRecorder, Span};
 use anonet_runtime::{
     run, BitAssignment, ExecConfig, Oblivious, ObliviousAlgorithm, Problem, TapeSource,
 };
-use anonet_views::{canonical_order, quotient, update_graph_cmp, ViewMode, ViewQuotient, ViewTree};
+use anonet_views::{
+    canonical_order, canonical_view_encoding, quotient, update_graph_cmp, ViewMode, ViewQuotient,
+    ViewTree,
+};
 
 use crate::astar_cache::{AstarCache, CandidateLabel, PoolKey};
 use crate::candidates::candidate_pool;
@@ -322,7 +325,10 @@ where
     C: Label,
 {
     let update_graph_span = Span::new(rec, names::SPAN_UPDATE_GRAPH);
-    let view_v = ViewTree::build(ip, v, p)?.canonical_encoding();
+    // Arena-backed build: byte-identical to `ViewTree::build(..)?.
+    // canonical_encoding()` (pinned by the views tests and the testkit
+    // oracle), allocation-free after the per-thread arena warms up.
+    let view_v = canonical_view_encoding(ip, v, p)?;
     if rec.is_enabled() {
         rec.counter(names::ASTAR_C2_LOOKUPS, 1);
     }

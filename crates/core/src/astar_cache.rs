@@ -48,7 +48,9 @@ use std::collections::{HashMap, HashSet};
 use anonet_graph::{coloring, distance, BitString, Label, LabeledGraph, NodeId};
 use anonet_obs::{names, Recorder};
 use anonet_runtime::Problem;
-use anonet_views::{canonical_encoding, quotient, Interner, Sym, ViewMode, ViewQuotient, ViewTree};
+use anonet_views::{
+    canonical_encoding, canonical_view_encoding, quotient, Interner, Sym, ViewMode, ViewQuotient,
+};
 
 use crate::candidates::candidate_pool;
 use crate::error::CoreError;
@@ -305,7 +307,8 @@ fn build_index<I: Label, C: Label>(
     for (idx, cand) in candidates.iter().enumerate() {
         let mut seen: HashSet<Sym> = HashSet::new();
         for u in cand.graph.graph().nodes() {
-            let enc = ViewTree::build(&cand.graph, u, depth)?.canonical_encoding();
+            // Arena fast path; byte-identical to the recursive build.
+            let enc = canonical_view_encoding(&cand.graph, u, depth)?;
             let sym = interner.intern(&enc);
             if !seen.insert(sym) {
                 continue; // v̂ is the *first* matching node of the candidate
@@ -334,7 +337,7 @@ mod tests {
     use anonet_algorithms::problems::MisProblem;
     use anonet_graph::generators;
     use anonet_obs::NoopRecorder;
-    use anonet_views::{canonical_order, update_graph_cmp};
+    use anonet_views::{canonical_order, update_graph_cmp, ViewTree};
 
     use crate::candidates::candidate_pool_all_presentations;
 

@@ -24,7 +24,7 @@ use anonet_batch::{CachedAssignment, DerandCache};
 use anonet_graph::{BitString, Label, LabeledGraph};
 use anonet_obs::{names, noop, Recorder, SharedRecorder, Span};
 use anonet_runtime::{run, BitAssignment, ExecConfig, Oblivious, ObliviousAlgorithm, TapeSource};
-use anonet_views::{canonical_order, quotient, Refinement, ViewMode};
+use anonet_views::{canonical_order, quotient, thread_arena_stats, BoundedRefinement, ViewMode};
 
 use crate::search::{canonical_successful_simulation, SearchStrategy};
 use crate::Result;
@@ -161,6 +161,7 @@ where
         let rec: &dyn Recorder = &*self.recorder;
         let observing = rec.is_enabled();
         let _derand_span = Span::new(rec, names::SPAN_DERANDOMIZE);
+        let arena_before = thread_arena_stats();
 
         // Step 1: the finite view graph of the full (i, c)-labeled instance.
         let t0 = Instant::now();
@@ -177,7 +178,8 @@ where
             rec.histogram(names::DERAND_MULTIPLICITY, q.multiplicity().unwrap_or(0) as u64);
             rec.histogram(
                 names::DERAND_VIEW_DEPTH,
-                Refinement::compute(instance, ViewMode::Portless).stabilization_depth() as u64,
+                BoundedRefinement::compute(instance, ViewMode::Portless).stabilization_depth()
+                    as u64,
             );
         }
 
@@ -206,6 +208,7 @@ where
                         if observing {
                             rec.counter(names::CACHE_HIT, 1);
                             rec.histogram(names::CACHE_BYTES, cache.stats().bytes as u64);
+                            record_view_obs(rec, arena_before);
                         }
                         let lift_span = Span::new(rec, names::SPAN_LIFT);
                         let qouts = exec.outputs_unwrapped();
@@ -271,6 +274,7 @@ where
             if let Some(cache) = &self.cache {
                 rec.histogram(names::CACHE_BYTES, cache.stats().bytes as u64);
             }
+            record_view_obs(rec, arena_before);
         }
         let lift_span = Span::new(rec, names::SPAN_LIFT);
         let qouts = sim.execution.outputs_unwrapped();
@@ -289,6 +293,19 @@ where
             search_time: t1.elapsed(),
         })
     }
+}
+
+/// Emits this run's view-machinery deltas: interner hit/miss counters and
+/// the number of arena vertices built (a per-run gauge, recorded as a
+/// histogram sample — the [`Recorder`] surface has no gauge type).
+fn record_view_obs(rec: &dyn Recorder, before: anonet_views::ArenaStats) {
+    let now = thread_arena_stats();
+    rec.counter(names::VIEWS_INTERNER_HIT, now.interner_hits.saturating_sub(before.interner_hits));
+    rec.counter(
+        names::VIEWS_INTERNER_MISS,
+        now.interner_misses.saturating_sub(before.interner_misses),
+    );
+    rec.histogram(names::VIEWS_ARENA_NODES, now.nodes_built.saturating_sub(before.nodes_built));
 }
 
 /// Derandomizes an arbitrary **port-sensitive** algorithm on a 2-hop

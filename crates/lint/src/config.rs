@@ -70,6 +70,10 @@ impl Config {
                 // The soak driver is itself a gate: a panic mid-campaign
                 // loses the replay strings the gate exists to report.
                 "crates/soak/src/",
+                // The arena is the per-node hot path of every encoding:
+                // a panic there takes out whole batch workers.
+                "crates/views/src/arena.rs",
+                "crates/batch/src/views_par.rs",
             ]),
             obs_names_file: "crates/obs/src/lib.rs".to_string(),
             obs_callsite_scopes: s(&["crates/", "src/"]),

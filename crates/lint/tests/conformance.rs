@@ -27,9 +27,15 @@ fn count(report: &FileReport, rule: &str) -> usize {
 #[test]
 fn determinism_fixtures() {
     let fail = check_fixture("fail/determinism.rs", "crates/graph/src/fixture.rs");
-    assert_eq!(count(&fail, "determinism"), 2, "{:?}", fail.findings);
+    assert_eq!(count(&fail, "determinism"), 3, "{:?}", fail.findings);
     let pass = check_fixture("pass/determinism.rs", "crates/graph/src/fixture.rs");
     assert_eq!(count(&pass, "determinism"), 0, "{:?}", pass.findings);
+    // The dirty-set pattern specifically lands in the views scope: the
+    // incremental refinement worklist must sweep in sorted order.
+    let views = check_fixture("fail/determinism.rs", "crates/views/src/refinement.rs");
+    assert_eq!(count(&views, "determinism"), 3, "{:?}", views.findings);
+    let views_pass = check_fixture("pass/determinism.rs", "crates/views/src/refinement.rs");
+    assert_eq!(count(&views_pass, "determinism"), 0, "{:?}", views_pass.findings);
 }
 
 #[test]

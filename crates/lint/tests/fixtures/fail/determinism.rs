@@ -17,3 +17,11 @@ pub fn first_member(set: &HashSet<u32>) -> Option<u32> {
     }
     None
 }
+
+pub fn drain_dirty_classes(dirty: &mut HashSet<u32>) -> Vec<u32> {
+    // BAD: a refinement worklist swept in hash order makes the split
+    // order — and thus freshly assigned class ids — nondeterministic.
+    let sweep: Vec<u32> = dirty.iter().copied().collect();
+    dirty.clear();
+    sweep
+}

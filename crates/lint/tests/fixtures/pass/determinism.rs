@@ -23,3 +23,13 @@ pub fn membership(set: &HashSet<u32>, probe: u32) -> bool {
     // OK: point lookup, no iteration.
     set.contains(&probe)
 }
+
+use std::collections::BTreeSet;
+
+pub fn drain_dirty_classes(dirty: &mut BTreeSet<u32>) -> Vec<u32> {
+    // OK: a BTreeSet worklist sweeps in sorted class-id order, so split
+    // processing (and fresh id assignment) is deterministic.
+    let sweep: Vec<u32> = dirty.iter().copied().collect();
+    dirty.clear();
+    sweep
+}

@@ -224,10 +224,11 @@ pub fn diff(current: &SoakReport, baseline: &SoakReport, band: f64) -> DiffOutco
 /// an experiment), `false` flags become regressions.
 pub fn check_headlines(bench_dir: &Path) -> DiffOutcome {
     let mut out = DiffOutcome::default();
-    let headlines: [(&str, &[&str]); 3] = [
+    let headlines: [(&str, &[&str]); 4] = [
         ("BENCH_batch.json", &["byte_identical"]),
         ("BENCH_astar.json", &["byte_identical"]),
         ("BENCH_store.json", &["byte_identical", "warm_strictly_better"]),
+        ("BENCH_scale.json", &["byte_identical", "incremental_matches", "speedup_ok"]),
     ];
     for (file, flags) in headlines {
         let path = bench_dir.join(file);
@@ -465,7 +466,7 @@ mod tests {
         // Nothing committed: all notes, no failures.
         let outcome = check_headlines(&dir);
         assert!(outcome.passed());
-        assert_eq!(outcome.notes.len(), 3);
+        assert_eq!(outcome.notes.len(), 4);
 
         // A false flag fails; a true one passes.
         std::fs::write(
@@ -477,6 +478,16 @@ mod tests {
         assert!(!outcome.passed());
         assert_eq!(outcome.regressions.len(), 1);
         assert_eq!(outcome.regressions[0].field, "warm_strictly_better");
+
+        // The scale headline gates all three of its flags.
+        std::fs::write(
+            dir.join("BENCH_scale.json"),
+            "{\"byte_identical\": true, \"incremental_matches\": true, \"speedup_ok\": false}",
+        )
+        .expect("write headline");
+        let outcome = check_headlines(&dir);
+        assert!(!outcome.passed());
+        assert!(outcome.regressions.iter().any(|r| r.field == "speedup_ok"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -15,7 +15,7 @@ use anonet_runtime::{
     run, run_with_adversary, ExecConfig, Oblivious, ObliviousAlgorithm, Problem, RngSource, Status,
     ZeroSource,
 };
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use anonet_core::astar::{run_astar_observed, run_astar_threaded, AStarConfig};
@@ -26,6 +26,7 @@ use anonet_core::conformance::{
 use anonet_core::pipeline::run_pipeline;
 use anonet_core::{CoreError, Derandomizer, SearchStrategy};
 use anonet_obs::{bridge, names, MemoryRecorder, SharedRecorder};
+use anonet_views::{canonical_view_encoding, Refinement, RefinementEngine, ViewMode, ViewTree};
 
 use crate::gen::{self, Instance};
 use crate::oracles::Failure;
@@ -221,6 +222,62 @@ where
                 "port-invariance",
                 format!("{:?} vs {:?} after port shuffle", drun.outputs, shuf_run.outputs),
             ));
+        }
+
+        // Differential — the view machinery against itself: the arena
+        // encoder must byte-match the recursive `ViewTree` on every node,
+        // and the incremental refinement engine must track from-scratch
+        // refinement through seeded monotone label refinements, in both
+        // view modes. (The engine backs the scale path; a divergence here
+        // is a silent wrong-canonical-id bug everywhere downstream.)
+        let depth = n.clamp(1, 3);
+        for v in instance.graph().nodes() {
+            let reference = ViewTree::build(&instance, v, depth)
+                .map_err(|e| Failure::new("arena-encoding", e.to_string()))?
+                .canonical_encoding();
+            let fast = canonical_view_encoding(&instance, v, depth)
+                .map_err(|e| Failure::new("arena-encoding", e.to_string()))?;
+            if fast != reference {
+                return Err(Failure::new(
+                    "arena-encoding",
+                    format!("arena encoding of node {} diverged from ViewTree", v.index()),
+                ));
+            }
+        }
+        for mode in [ViewMode::Portless, ViewMode::PortAware] {
+            let mut labels: Vec<(u32, u32)> =
+                inst.colors.labels().iter().map(|&c| (c, 0)).collect();
+            let relabeled = |labels: &[(u32, u32)]| {
+                LabeledGraph::new(inst.colors.graph().clone(), labels.to_vec())
+                    .expect("label count matches the graph it came from")
+            };
+            let mut engine = RefinementEngine::new(&relabeled(&labels), mode);
+            for phase in 1..=3u32 {
+                // A fresh, unique tag on one seeded node: a strict
+                // refinement, so the engine's incremental path is on trial
+                // (topology changes and non-monotone updates fall back to
+                // a rebuild by design).
+                let v = (rng.next_u64() % n as u64) as usize;
+                labels[v].1 = phase;
+                let g2 = relabeled(&labels);
+                engine.update(&g2);
+                let scratch = Refinement::compute(&g2, mode);
+                if engine.classes() != scratch.classes()
+                    || engine.stabilization_depth() != scratch.stabilization_depth()
+                {
+                    return Err(Failure::new(
+                        "refinement-incremental",
+                        format!(
+                            "engine diverged from from-scratch refinement ({mode:?}, phase \
+                             {phase}, node {v}): {:?} (depth {}) vs {:?} (depth {})",
+                            engine.classes(),
+                            engine.stabilization_depth(),
+                            scratch.classes(),
+                            scratch.stabilization_depth()
+                        ),
+                    ));
+                }
+            }
         }
 
         // Metamorphic 3 — lift projection: derandomizing the lift is the

@@ -48,6 +48,9 @@ impl Sym {
 pub struct Interner {
     lookup: HashMap<Box<[u8]>, Sym>,
     entries: Vec<Box<[u8]>>,
+    hits: u64,
+    misses: u64,
+    stored_bytes: usize,
 }
 
 impl Interner {
@@ -59,8 +62,11 @@ impl Interner {
     /// Interns `bytes`, returning its (new or existing) symbol.
     pub fn intern(&mut self, bytes: &[u8]) -> Sym {
         if let Some(&sym) = self.lookup.get(bytes) {
+            self.hits += 1;
             return sym;
         }
+        self.misses += 1;
+        self.stored_bytes += bytes.len();
         let sym = Sym(u32::try_from(self.entries.len()).expect("fewer than 2^32 encodings"));
         let boxed: Box<[u8]> = bytes.into();
         self.entries.push(boxed.clone());
@@ -91,6 +97,24 @@ impl Interner {
     /// `true` iff nothing has been interned.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Lifetime count of [`intern`](Interner::intern) calls that found an
+    /// existing encoding — the `views.interner.hit` obs counter.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime count of [`intern`](Interner::intern) calls that inserted
+    /// a new encoding — the `views.interner.miss` obs counter.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total payload bytes of the distinct encodings stored (excludes map
+    /// overhead; used as a footprint proxy).
+    pub fn stored_bytes(&self) -> usize {
+        self.stored_bytes
     }
 }
 
@@ -129,6 +153,21 @@ mod tests {
         let s = t.intern(b"x");
         assert_eq!(t.sym(b"x"), Some(s));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn hit_miss_counters_track_lookups() {
+        let mut t = Interner::new();
+        assert_eq!((t.hits(), t.misses()), (0, 0));
+        t.intern(b"alpha");
+        t.intern(b"alpha");
+        t.intern(b"beta");
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+        assert_eq!(t.stored_bytes(), "alpha".len() + "beta".len());
+        // `sym` is read-only and must not move the counters.
+        let _ = t.sym(b"alpha");
+        assert_eq!((t.hits(), t.misses()), (1, 2));
     }
 
     #[test]

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod cover;
 mod error;
 mod folded;
@@ -63,12 +64,16 @@ mod quotient;
 mod refinement;
 mod view_tree;
 
+pub use arena::{canonical_view_encoding, thread_arena_stats, ArenaStats, ViewArena, ViewNode};
 pub use error::ViewError;
 pub use folded::FoldedView;
 pub use interner::{Interner, Sym};
 pub use order::{canonical_encoding, canonical_order, update_graph_cmp};
 pub use quotient::{quotient, ViewQuotient};
-pub use refinement::{Refinement, ViewMode};
+pub use refinement::{
+    assign_dense_classes, initial_label_classes, round_keys, BoundedRefinement, EngineStats,
+    Refinement, RefinementEngine, RoundKey, ViewMode,
+};
 pub use view_tree::ViewTree;
 
 /// Convenient alias for results with [`ViewError`].

@@ -4,7 +4,7 @@
 use anonet_graph::{Graph, Label, LabeledGraph, NodeId};
 
 use crate::error::ViewError;
-use crate::refinement::{Refinement, ViewMode};
+use crate::refinement::{BoundedRefinement, ViewMode};
 use crate::Result;
 
 /// The finite view graph `G_*` of a labeled graph `G`, together with the
@@ -106,7 +106,9 @@ impl<L: Label> ViewQuotient<L> {
 ///   view-equivalent neighbors (impossible when it is a 2-hop coloring —
 ///   this is the paper's Lemma 2).
 pub fn quotient<L: Label>(g: &LabeledGraph<L>, mode: ViewMode) -> Result<ViewQuotient<L>> {
-    let refinement = Refinement::compute(g, mode);
+    // Only the stable partition is consumed here, so the bounded engine
+    // (two retained rounds, not O(n·rounds)) suffices.
+    let refinement = BoundedRefinement::compute(g, mode);
     let classes = refinement.classes();
     let graph = g.graph();
     let k = refinement.class_count();

@@ -8,8 +8,9 @@ use crate::error::ViewError;
 use crate::Result;
 
 /// Hard cap on explicit view-tree sizes; deeper views must go through
-/// refinement instead.
-const SIZE_BUDGET: usize = 2_000_000;
+/// refinement instead. Shared with the arena path so both fail on
+/// exactly the same inputs.
+pub(crate) const SIZE_BUDGET: usize = 2_000_000;
 
 /// An explicit depth-`d` local view: a rooted tree whose vertices carry
 /// *marks* (the labels of the underlying nodes).
