@@ -115,7 +115,13 @@ fn run_phase(
 /// Propagates store, lift-construction, and derandomization errors.
 pub fn measure() -> ExpResult<StoreSummary> {
     let dir = std::env::temp_dir().join(format!("anonet-bench-store-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
+    // A stale directory would let the cold phase warm-start and skew the
+    // measurement, so anything but "already absent" is a hard error.
+    if let Err(e) = std::fs::remove_dir_all(&dir) {
+        if e.kind() != std::io::ErrorKind::NotFound {
+            return Err(format!("clearing scratch store {}: {e}", dir.display()).into());
+        }
+    }
     let graphs = lift_families()?;
 
     let (cold, cold_out, _) = run_phase(&dir, "cold", false, &graphs)?;
@@ -129,7 +135,9 @@ pub fn measure() -> ExpResult<StoreSummary> {
         warm,
         disk,
     };
-    std::fs::remove_dir_all(&dir).ok();
+    if let Err(e) = std::fs::remove_dir_all(&dir) {
+        eprintln!("anonet-bench: could not remove scratch store {}: {e}", dir.display());
+    }
     Ok(summary)
 }
 
@@ -211,7 +219,7 @@ pub fn report() -> ExpResult<String> {
         ("torn_truncations", Json::from(summary.disk.torn_truncations)),
     ])
     .pretty();
-    std::fs::create_dir_all("target").ok();
+    std::fs::create_dir_all("target")?;
     std::fs::write("target/store-report.json", disk_report)?;
     Ok(format!(
         "{t}\n{jobs} jobs per phase; cold {cold:.3?} at {ch:.1}% hits, \

@@ -26,6 +26,18 @@ pub struct Config {
     pub obs_names_file: String,
     /// Where literal metric names at call sites are flagged.
     pub obs_callsite_scopes: Vec<String>,
+    /// Where the `lock-discipline` flow rule applies.
+    pub lock_scopes: Vec<String>,
+    /// Where the `thread-leak` flow rule applies.
+    pub thread_leak_scopes: Vec<String>,
+    /// Where the `error-swallow` flow rule applies.
+    pub error_swallow_scopes: Vec<String>,
+    /// Where the `commit-order` flow rule applies: the parallel drivers
+    /// whose byte-identity depends on submission-order commits.
+    pub commit_order_scopes: Vec<String>,
+    /// Types that are thread-confined by design: a binding derived from
+    /// one must not cross into a submitted closure (`thread-leak`).
+    pub thread_local_types: Vec<String>,
 }
 
 impl Config {
@@ -74,9 +86,24 @@ impl Config {
                 // a panic there takes out whole batch workers.
                 "crates/views/src/arena.rs",
                 "crates/batch/src/views_par.rs",
+                // The trace CLI is forensic tooling: it must report a
+                // broken log as an error, never die on it.
+                "crates/trace/src/",
             ]),
             obs_names_file: "crates/obs/src/lib.rs".to_string(),
             obs_callsite_scopes: s(&["crates/", "src/"]),
+            // The flow rules see the whole workspace: lock order and
+            // error propagation are global properties.
+            lock_scopes: s(&["crates/", "src/"]),
+            thread_leak_scopes: s(&["crates/", "src/"]),
+            error_swallow_scopes: s(&["crates/", "src/"]),
+            // Only the parallel drivers promise byte-identical commits.
+            commit_order_scopes: s(&[
+                "crates/batch/src/",
+                "crates/core/src/astar.rs",
+                "crates/core/src/batch.rs",
+            ]),
+            thread_local_types: s(&["ViewArena"]),
         }
     }
 

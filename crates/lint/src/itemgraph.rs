@@ -1,0 +1,676 @@
+//! The workspace item graph: per-function facts assembled across files.
+//!
+//! [`ItemGraph::build`] takes every file's token stream and parsed
+//! skeleton ([`parser::ParsedFile`]) and derives the IR the flow rules
+//! traverse (DESIGN.md §14):
+//!
+//! * name indices — `Type::method` and bare-name lookup over every `fn`
+//!   in the workspace, plus the set of names whose *every* definition
+//!   returns `Result` (the error-propagation registry);
+//! * the thread-local registry — every `thread_local!` static name in
+//!   the workspace;
+//! * per-function facts — direct lock acquisitions (the lock **class**
+//!   is the crate-qualified receiver field, e.g. `store::shards`) with
+//!   their *hold regions* (let-bound guards live to the end of the
+//!   enclosing block or an explicit `drop(guard)`, temporaries to the
+//!   end of the statement), resolvable call sites, and spawn/submit
+//!   sites (`BatchScheduler::run`, `spawn`);
+//! * the **may-lock** fixpoint — the set of lock classes each function
+//!   can acquire, directly or through any resolvable callee.
+//!
+//! Call resolution is deliberately approximate: `self.method(…)`
+//! resolves within the enclosing impl, `Type::method(…)` through the
+//! qualified index, and bare names only when the workspace has exactly
+//! one definition and the name is not a ubiquitous container method.
+//! Unresolvable calls contribute no facts — the analysis under-reports
+//! rather than guesses.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{self, Closure, FnItem, ParsedFile};
+
+/// Method names too generic to resolve by bare name: shared by the std
+/// containers and half the workspace, so a bare-name match would wire
+/// the call graph to the wrong function far too often.
+const COMMON_METHODS: &[&str] = &[
+    "new",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "contains",
+    "contains_key",
+    "clone",
+    "next",
+    "with",
+    "map",
+    "and_then",
+    "unwrap",
+    "unwrap_or",
+    "expect",
+    "extend",
+    "clear",
+    "take",
+    "into",
+    "from",
+    "as_ref",
+    "as_mut",
+    "write",
+    "read",
+    "flush",
+    "run",
+    "drain",
+    "keys",
+    "values",
+    "sort",
+    "split",
+    "join",
+    "lock",
+];
+
+/// Statement keywords that look like calls (`if (…)`) but are not.
+const STMT_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "else", "let", "fn", "in", "move", "as",
+    "break", "continue", "where", "impl", "pub", "unsafe", "mut", "ref", "use", "mod", "const",
+    "static", "type", "struct", "enum", "trait", "dyn",
+];
+
+/// One source file's contribution to the graph.
+pub struct FileInput<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub path: &'a str,
+    /// The file's token stream.
+    pub tokens: &'a [Tok],
+    /// The file's parsed skeleton.
+    pub parsed: &'a ParsedFile,
+}
+
+/// A lock acquisition site inside a function body.
+#[derive(Clone, Debug)]
+pub struct LockSite {
+    /// Crate-qualified lock class, e.g. `store::shards`.
+    pub class: String,
+    /// Token index of the acquiring `.lock(` (the `.`).
+    pub tok: usize,
+    /// Last token index at which the guard is still held.
+    pub region_end: usize,
+    /// 1-indexed line of the acquisition.
+    pub line: u32,
+}
+
+/// A resolved call site inside a function body.
+#[derive(Clone, Copy, Debug)]
+pub struct CallSite {
+    /// Index of the callee in [`ItemGraph::fns`].
+    pub target: usize,
+    /// Token index of the callee name.
+    pub tok: usize,
+    /// 1-indexed line.
+    pub line: u32,
+}
+
+/// A spawn/submit site: work handed to another thread.
+#[derive(Clone, Copy, Debug)]
+pub struct SubmitSite {
+    /// Token index of the method name (`run` / `spawn`).
+    pub tok: usize,
+    /// Token range of the argument list, inclusive of both parens.
+    pub args: (usize, usize),
+    /// 1-indexed line.
+    pub line: u32,
+}
+
+/// Per-function derived facts.
+#[derive(Clone, Debug, Default)]
+pub struct FnFacts {
+    /// Direct lock acquisitions with hold regions.
+    pub locks: Vec<LockSite>,
+    /// Calls resolved to workspace functions.
+    pub calls: Vec<CallSite>,
+    /// Scheduler submissions and thread spawns.
+    pub submits: Vec<SubmitSite>,
+}
+
+/// One function node of the graph.
+pub struct FnNode<'a> {
+    /// Index of the defining file in [`ItemGraph::files`].
+    pub file: usize,
+    /// The parsed item.
+    pub item: &'a FnItem,
+    /// Derived facts.
+    pub facts: FnFacts,
+}
+
+/// The workspace-wide item graph.
+pub struct ItemGraph<'a> {
+    /// The input files, in the caller's (sorted) order.
+    pub files: Vec<FileInput<'a>>,
+    /// Every function with a body, workspace-wide.
+    pub fns: Vec<FnNode<'a>>,
+    /// `Type::name` → fn index (first definition wins on duplicates).
+    pub qual_index: BTreeMap<String, usize>,
+    /// bare name → fn indices.
+    pub bare_index: BTreeMap<String, Vec<usize>>,
+    /// Names whose every workspace definition (including bodyless trait
+    /// declarations) returns `Result`.
+    pub result_names: BTreeSet<String>,
+    /// Every `thread_local!` static name in the workspace.
+    pub thread_locals: BTreeSet<String>,
+    /// Per-fn may-lock sets (same indexing as [`ItemGraph::fns`]).
+    pub may_lock: Vec<BTreeSet<String>>,
+}
+
+impl<'a> ItemGraph<'a> {
+    /// Builds the graph. `files` should be sorted by path; the graph
+    /// preserves the given order everywhere, so sorted input makes every
+    /// downstream report deterministic.
+    pub fn build(files: Vec<FileInput<'a>>) -> ItemGraph<'a> {
+        let mut fns: Vec<FnNode<'a>> = Vec::new();
+        let mut qual_index = BTreeMap::new();
+        let mut bare_index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut thread_locals = BTreeSet::new();
+        // name → (result_count, total_count), trait declarations included.
+        let mut result_tally: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+
+        for (fi, file) in files.iter().enumerate() {
+            for tl in &file.parsed.thread_locals {
+                thread_locals.insert(tl.clone());
+            }
+            for item in &file.parsed.fns {
+                let tally = result_tally.entry(item.name.clone()).or_insert((0, 0));
+                tally.1 += 1;
+                if item.returns_result {
+                    tally.0 += 1;
+                }
+                if item.body.is_none() {
+                    continue;
+                }
+                let id = fns.len();
+                qual_index.entry(item.qualified()).or_insert(id);
+                bare_index.entry(item.name.clone()).or_default().push(id);
+                fns.push(FnNode { file: fi, item, facts: FnFacts::default() });
+            }
+        }
+
+        let result_names = result_tally
+            .into_iter()
+            .filter(|(_, (res, total))| *res == *total && *res > 0)
+            .map(|(name, _)| name)
+            .collect();
+
+        let mut graph = ItemGraph {
+            files,
+            fns,
+            qual_index,
+            bare_index,
+            result_names,
+            thread_locals,
+            may_lock: Vec::new(),
+        };
+        graph.derive_facts();
+        graph.fix_may_lock();
+        graph
+    }
+
+    /// Crate name of a file (`crates/store/src/…` → `store`).
+    pub fn crate_of(path: &str) -> &str {
+        let mut parts = path.split('/');
+        if parts.next() == Some("crates") {
+            parts.next().unwrap_or("root")
+        } else {
+            "root"
+        }
+    }
+
+    /// Fills [`FnFacts`] for every fn: lock sites, resolved calls,
+    /// submit sites.
+    fn derive_facts(&mut self) {
+        let mut all_facts = Vec::with_capacity(self.fns.len());
+        for node in &self.fns {
+            let file = &self.files[node.file];
+            let krate = Self::crate_of(file.path);
+            let (lo, hi) = node.item.body.expect("graph holds only bodied fns");
+            all_facts.push(FnFacts {
+                locks: lock_sites(file.tokens, lo, hi, krate),
+                submits: submit_sites(file.tokens, lo, hi),
+                calls: self.call_sites(file.tokens, lo, hi, node.item.impl_type.as_deref()),
+            });
+        }
+        for (node, facts) in self.fns.iter_mut().zip(all_facts) {
+            node.facts = facts;
+        }
+    }
+
+    /// Resolves call sites in `[lo, hi]` against the workspace indices.
+    fn call_sites(
+        &self,
+        tokens: &[Tok],
+        lo: usize,
+        hi: usize,
+        impl_type: Option<&str>,
+    ) -> Vec<CallSite> {
+        let mut out = Vec::new();
+        for i in lo..=hi.min(tokens.len().saturating_sub(1)) {
+            if tokens[i].kind != TokKind::Ident || i + 1 >= tokens.len() {
+                continue;
+            }
+            if !tokens[i + 1].is_punct('(') {
+                continue;
+            }
+            let name = tokens[i].text.as_str();
+            if STMT_KEYWORDS.contains(&name) {
+                continue;
+            }
+            let target = if i >= 2 && tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':') {
+                // `Type::name(` — qualified resolution; walk back to the
+                // type identifier.
+                if i >= 3 && tokens[i - 3].kind == TokKind::Ident {
+                    self.qual_index.get(&format!("{}::{}", tokens[i - 3].text, name)).copied()
+                } else {
+                    None
+                }
+            } else if i >= 2 && tokens[i - 1].is_punct('.') && tokens[i - 2].is_ident("self") {
+                // `self.name(` — resolve inside the enclosing impl first,
+                // falling back to a unique bare definition.
+                impl_type
+                    .and_then(|t| self.qual_index.get(&format!("{t}::{name}")).copied())
+                    .or_else(|| self.unique_bare(name))
+            } else if i >= 1 && tokens[i - 1].is_punct('.') {
+                // `recv.name(` — bare resolution only for distinctive
+                // names with exactly one workspace definition.
+                if COMMON_METHODS.contains(&name) {
+                    None
+                } else {
+                    self.unique_bare(name)
+                }
+            } else {
+                // `name(` free call.
+                if COMMON_METHODS.contains(&name) {
+                    None
+                } else {
+                    self.unique_bare(name)
+                }
+            };
+            if let Some(target) = target {
+                out.push(CallSite { target, tok: i, line: tokens[i].line });
+            }
+        }
+        out
+    }
+
+    fn unique_bare(&self, name: &str) -> Option<usize> {
+        match self.bare_index.get(name) {
+            Some(ids) if ids.len() == 1 => Some(ids[0]),
+            _ => None,
+        }
+    }
+
+    /// Iterates may-lock to fixpoint over the call graph.
+    fn fix_may_lock(&mut self) {
+        let n = self.fns.len();
+        let mut sets: Vec<BTreeSet<String>> = (0..n)
+            .map(|i| self.fns[i].facts.locks.iter().map(|l| l.class.clone()).collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                for call in &self.fns[i].facts.calls {
+                    if call.target == i {
+                        continue;
+                    }
+                    let add: Vec<String> = sets[call.target]
+                        .iter()
+                        .filter(|c| !sets[i].contains(*c))
+                        .cloned()
+                        .collect();
+                    if !add.is_empty() {
+                        sets[i].extend(add);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.may_lock = sets;
+    }
+
+    /// The classes a call site can acquire (empty when none).
+    pub fn call_may_lock(&self, call: &CallSite) -> &BTreeSet<String> {
+        &self.may_lock[call.target]
+    }
+}
+
+/// Direct lock acquisitions in `[lo, hi]`: `recv.lock(` where the
+/// receiver is a field or local (not `self` — that is a call to a
+/// same-impl helper, handled through the call graph).
+fn lock_sites(tokens: &[Tok], lo: usize, hi: usize, krate: &str) -> Vec<LockSite> {
+    let mut out = Vec::new();
+    let hi = hi.min(tokens.len().saturating_sub(1));
+    for i in lo..=hi {
+        if !(tokens[i].is_punct('.')
+            && i + 2 <= hi
+            && tokens[i + 1].is_ident("lock")
+            && tokens[i + 2].is_punct('('))
+        {
+            continue;
+        }
+        // Walk back over an optional index expression (`slots[j].lock()`).
+        let mut j = i.checked_sub(1);
+        if let Some(k) = j {
+            if tokens[k].is_punct(']') {
+                j = match_bracket_back(tokens, k, lo).and_then(|open| open.checked_sub(1));
+            }
+        }
+        let Some(k) = j else { continue };
+        if tokens[k].kind != TokKind::Ident || tokens[k].text == "self" {
+            continue;
+        }
+        let class = format!("{krate}::{}", tokens[k].text);
+        let region_end = hold_region_end(tokens, k, i, hi);
+        out.push(LockSite { class, tok: i, region_end, line: tokens[i].line });
+    }
+    out
+}
+
+/// Where the guard acquired at `.lock(` (token `dot`) with receiver at
+/// `recv` stops being held: end of the enclosing block (or `drop(name)`)
+/// for let-bound guards, end of the statement for temporaries.
+fn hold_region_end(tokens: &[Tok], recv: usize, dot: usize, hi: usize) -> usize {
+    // Is the statement a `let [mut] NAME = …`? Walk back a few tokens
+    // from the receiver, stopping at statement boundaries.
+    let mut bound: Option<&str> = None;
+    let lo = recv.saturating_sub(12);
+    let mut j = recv;
+    while j > lo {
+        j -= 1;
+        let t = &tokens[j];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.is_ident("let") {
+            // `let NAME =` or `let mut NAME =`.
+            let mut k = j + 1;
+            if k < tokens.len() && tokens[k].is_ident("mut") {
+                k += 1;
+            }
+            if k < tokens.len() && tokens[k].kind == TokKind::Ident {
+                bound = Some(tokens[k].text.as_str());
+            }
+            break;
+        }
+    }
+    match bound {
+        Some(name) => {
+            // Held to the end of the enclosing block, or an explicit
+            // `drop(name)`.
+            let mut depth = 0i32;
+            let mut k = dot;
+            while k <= hi {
+                let t = &tokens[k];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    if depth == 0 {
+                        return k;
+                    }
+                    depth -= 1;
+                } else if depth == 0
+                    && t.is_ident("drop")
+                    && k + 2 <= hi
+                    && tokens[k + 1].is_punct('(')
+                    && tokens[k + 2].is_ident(name)
+                {
+                    return k;
+                }
+                k += 1;
+            }
+            hi
+        }
+        None => {
+            // Temporary guard: held to the end of the statement.
+            let mut depth = 0i32;
+            let mut k = dot;
+            while k <= hi {
+                let t = &tokens[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                    if depth < 0 {
+                        return k;
+                    }
+                } else if depth == 0 && t.is_punct(';') {
+                    return k;
+                }
+                k += 1;
+            }
+            hi
+        }
+    }
+}
+
+/// Spawn/submit sites in `[lo, hi]`: `sched.run(…)` where `sched` is
+/// scheduler-typed in this fn, any `.spawn(…)`, and `thread::spawn(…)`.
+fn submit_sites(tokens: &[Tok], lo: usize, hi: usize) -> Vec<SubmitSite> {
+    let scheds = scheduler_bindings(tokens, lo, hi);
+    let mut out = Vec::new();
+    let hi = hi.min(tokens.len().saturating_sub(1));
+    for i in lo..=hi {
+        if tokens[i].kind != TokKind::Ident || i + 1 > hi || !tokens[i + 1].is_punct('(') {
+            continue;
+        }
+        let name = tokens[i].text.as_str();
+        let is_submit = match name {
+            "spawn" => true,
+            "run" => {
+                i >= 2
+                    && tokens[i - 1].is_punct('.')
+                    && tokens[i - 2].kind == TokKind::Ident
+                    && scheds.contains(&tokens[i - 2].text)
+            }
+            _ => false,
+        };
+        if !is_submit {
+            continue;
+        }
+        if let Some(close) = parser::match_paren(tokens, i + 1) {
+            out.push(SubmitSite { tok: i, args: (i + 1, close.min(hi)), line: tokens[i].line });
+        }
+    }
+    out
+}
+
+/// Names bound to a `BatchScheduler` in this fn: parameters annotated
+/// with the type, and `let` bindings whose initializer statement
+/// mentions it.
+fn scheduler_bindings(tokens: &[Tok], lo: usize, hi: usize) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    // Scan a window that includes the signature (params precede the
+    // body open brace); generous enough for generic-heavy signatures.
+    let sig_lo = lo.saturating_sub(120);
+    let hi = hi.min(tokens.len().saturating_sub(1));
+    for i in sig_lo..=hi {
+        if !tokens[i].is_ident("BatchScheduler") {
+            continue;
+        }
+        // `name: [&][mut] BatchScheduler` — parameter or typed binding.
+        let mut j = i;
+        while j > sig_lo {
+            j -= 1;
+            let t = &tokens[j];
+            if t.is_punct('&') || t.is_ident("mut") || t.is_punct('\'') {
+                continue;
+            }
+            if t.is_punct(':') && j >= 1 && tokens[j - 1].kind == TokKind::Ident {
+                out.insert(tokens[j - 1].text.clone());
+            }
+            break;
+        }
+        // `let [mut] name = … BatchScheduler …;` — walk back to the let.
+        let stmt_lo = i.saturating_sub(24).max(sig_lo);
+        let mut j = i;
+        while j > stmt_lo {
+            j -= 1;
+            let t = &tokens[j];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            if t.is_ident("let") {
+                let mut k = j + 1;
+                if k < tokens.len() && tokens[k].is_ident("mut") {
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].kind == TokKind::Ident {
+                    out.insert(tokens[k].text.clone());
+                }
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Matching `[` for the `]` at `close`, scanning backwards to `floor`.
+fn match_bracket_back(tokens: &[Tok], close: usize, floor: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = close;
+    loop {
+        let t = &tokens[i];
+        if t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('[') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        if i == floor {
+            return None;
+        }
+        i -= 1;
+    }
+}
+
+/// Closures inside a submit site's argument list.
+pub fn submit_closures(tokens: &[Tok], site: &SubmitSite) -> Vec<Closure> {
+    parser::closures_in(tokens, site.args.0, site.args.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn graph_of(srcs: &[(&str, &str)]) -> (Vec<(String, crate::lexer::Lexed, ParsedFile)>, ()) {
+        let units: Vec<(String, crate::lexer::Lexed, ParsedFile)> = srcs
+            .iter()
+            .map(|(p, s)| {
+                let lexed = lex(s);
+                let parsed = parse(&lexed.tokens);
+                (p.to_string(), lexed, parsed)
+            })
+            .collect();
+        (units, ())
+    }
+
+    #[test]
+    fn lock_classes_and_hold_regions() {
+        let src = "
+impl Store {
+    fn put(&self) {
+        let mut st = self.shards.lock();
+        st.go();
+        self.helper();
+    }
+    fn scan(&self) {
+        for s in 0..4 {
+            let g = self.shards[s].lock();
+            g.look();
+        }
+        self.after();
+    }
+}
+";
+        let (units, ()) = graph_of(&[("crates/store/src/store.rs", src)]);
+        let files = units
+            .iter()
+            .map(|(p, l, parsed)| FileInput { path: p, tokens: &l.tokens, parsed })
+            .collect();
+        let g = ItemGraph::build(files);
+        assert_eq!(g.fns.len(), 2);
+        let put = &g.fns[0].facts;
+        assert_eq!(put.locks.len(), 1);
+        assert_eq!(put.locks[0].class, "store::shards");
+        // Held to the fn body's closing brace.
+        let (_, body_hi) = g.fns[0].item.body.unwrap();
+        assert_eq!(put.locks[0].region_end, body_hi);
+        // The loop guard must not extend past the loop body: `self.after()`
+        // lies outside its region.
+        let scan = &g.fns[1];
+        let toks = g.files[0].tokens;
+        let after_tok = (0..toks.len()).find(|&i| toks[i].is_ident("after")).unwrap();
+        assert!(scan.facts.locks[0].region_end < after_tok);
+    }
+
+    #[test]
+    fn may_lock_propagates_through_calls() {
+        let a = "
+impl Store {
+    fn lock_shard(&self) { let g = self.shards.lock(); g.use_it(); }
+    fn outer(&self) { self.lock_shard(); }
+}
+";
+        let (units, ()) = graph_of(&[("crates/store/src/a.rs", a)]);
+        let files = units
+            .iter()
+            .map(|(p, l, parsed)| FileInput { path: p, tokens: &l.tokens, parsed })
+            .collect();
+        let g = ItemGraph::build(files);
+        let outer = g.qual_index["Store::outer"];
+        assert!(g.may_lock[outer].contains("store::shards"));
+    }
+
+    #[test]
+    fn scheduler_run_is_a_submit_site_but_other_run_is_not() {
+        let src = "
+fn drive(sched: &BatchScheduler, d: &Derandomizer) {
+    let out = sched.run(&jobs, |_i, j| go(j));
+    let res = d.run(instance);
+}
+";
+        let (units, ()) = graph_of(&[("crates/batch/src/x.rs", src)]);
+        let files = units
+            .iter()
+            .map(|(p, l, parsed)| FileInput { path: p, tokens: &l.tokens, parsed })
+            .collect();
+        let g = ItemGraph::build(files);
+        assert_eq!(g.fns[0].facts.submits.len(), 1);
+    }
+
+    #[test]
+    fn result_names_require_unanimity() {
+        let src = "
+fn always() -> Result<u8, E> { Ok(1) }
+impl A { fn mixed(&self) -> Result<u8, E> { Ok(1) } }
+impl B { fn mixed(&self) -> u8 { 1 } }
+";
+        let (units, ()) = graph_of(&[("crates/core/src/x.rs", src)]);
+        let files = units
+            .iter()
+            .map(|(p, l, parsed)| FileInput { path: p, tokens: &l.tokens, parsed })
+            .collect();
+        let g = ItemGraph::build(files);
+        assert!(g.result_names.contains("always"));
+        assert!(!g.result_names.contains("mixed"));
+    }
+}

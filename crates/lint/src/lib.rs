@@ -11,6 +11,15 @@
 //! path scoping ([`config`]), and deny-by-default inline waivers
 //! ([`waiver`]).
 //!
+//! Since PR 10 the engine is flow-aware: a lightweight parser layer
+//! ([`parser`]) recovers each file's item skeleton, [`itemgraph`]
+//! assembles the workspace-wide item graph (fn index, approximate call
+//! graph, lock/submit/thread-local facts), and [`flow`] runs four
+//! cross-file rules on that IR — `lock-discipline`, `thread-leak`,
+//! `error-swallow`, and `commit-order` (DESIGN.md §14). Flow findings
+//! go through the same `#[cfg(test)]` exemption and waiver machinery as
+//! the token rules.
+//!
 //! The binary (`cargo run -p anonet-lint -- check`) walks every `src/`
 //! tree under `crates/`, prints `file:line rule message` per finding,
 //! and exits non-zero on any unwaived finding. `--json` writes a
@@ -18,7 +27,10 @@
 //! serializer; `--stats` prints per-rule finding and waiver counts.
 
 pub mod config;
+pub mod flow;
+pub mod itemgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod waiver;
 
@@ -66,79 +78,152 @@ pub struct FileReport {
 /// `#[cfg(test)]` regions are dropped (tests may use hash iteration,
 /// panics, and raw identities freely); malformed waivers become findings
 /// of the un-waivable `waiver` rule.
+///
+/// This is the single-file view of [`check_workspace`]: the flow rules
+/// run too, over the one-file item graph (cross-file facts are simply
+/// absent).
 pub fn check_source(rel_path: &str, src: &str, cfg: &Config) -> FileReport {
-    let lexed = lexer::lex(src);
-    let regions = lexer::test_regions(&lexed.tokens);
-    let (waivers, malformed) = waiver::extract(&lexed.comments, RULES);
+    let files = [(rel_path.to_string(), src.to_string())];
+    let report = check_workspace(&files, cfg);
+    FileReport {
+        findings: report.findings,
+        waivers_total: report.waivers_total,
+        unused_waivers: report.unused_waivers.into_iter().map(|(_, l, r)| (l, r)).collect(),
+    }
+}
 
-    let mut raw = Vec::new();
-    if Config::in_scopes(&cfg.determinism_scopes, rel_path) {
-        raw.extend(rules::determinism(&lexed.tokens));
-    }
-    if Config::in_scopes(&cfg.anonymity_scopes, rel_path)
-        && !Config::in_scopes(&cfg.anonymity_sanctioned, rel_path)
-    {
-        raw.extend(rules::anonymity(&lexed.tokens));
-    }
-    if !Config::in_scopes(&cfg.randomness_exempt, rel_path) {
-        raw.extend(rules::randomness(&lexed.tokens));
-    }
-    if Config::in_scopes(&cfg.panic_scopes, rel_path) {
-        raw.extend(rules::panic_hygiene(&lexed.tokens));
-    }
-    if Config::in_scopes(&cfg.obs_callsite_scopes, rel_path) || rel_path == cfg.obs_names_file {
-        raw.extend(rules::obs_naming(rel_path, &lexed.tokens, cfg));
-    }
-    raw.retain(|f| !lexer::in_regions(&regions, f.line));
-    raw.sort_by_key(|f| (f.line, f.rule));
+/// One file's scanned state inside the workspace pipeline.
+struct Unit {
+    path: String,
+    lexed: lexer::Lexed,
+    parsed: parser::ParsedFile,
+    regions: Vec<(u32, u32)>,
+    raw: Vec<rules::RawFinding>,
+}
 
-    let mut used = vec![false; waivers.len()];
-    let mut findings: Vec<Finding> = raw
+/// Checks a set of `(workspace-relative path, source)` files as one
+/// workspace: per-file token rules, then the flow rules over the item
+/// graph built from *all* files, then `#[cfg(test)]` exemption and
+/// waiver resolution per file.
+///
+/// Files are processed in sorted path order regardless of input order,
+/// so the report — findings, waiver accounting, everything — is a pure
+/// function of the file *set*. The analyzer itself is deterministic.
+pub fn check_workspace(files: &[(String, String)], cfg: &Config) -> Report {
+    let mut order: Vec<usize> = (0..files.len()).collect();
+    order.sort_by(|&a, &b| files[a].0.cmp(&files[b].0));
+
+    let mut units: Vec<Unit> = order
         .into_iter()
-        .map(|f| {
-            let hit = waivers.iter().enumerate().find(|(_, w)| {
-                w.rule == f.rule && (w.file_scope || w.line == f.line || w.line + 1 == f.line)
-            });
-            let (waived, reason) = match hit {
-                Some((i, w)) => {
-                    used[i] = true;
-                    (true, Some(w.reason.clone()))
-                }
-                None => (false, None),
-            };
-            Finding {
-                file: rel_path.to_string(),
-                line: f.line,
-                rule: f.rule,
-                message: f.message,
-                waived,
-                reason,
-            }
+        .map(|i| {
+            let (path, src) = &files[i];
+            let lexed = lexer::lex(src);
+            let regions = lexer::test_regions(&lexed.tokens);
+            let parsed = parser::parse(&lexed.tokens);
+            Unit { path: path.clone(), lexed, parsed, regions, raw: Vec::new() }
         })
         .collect();
 
-    // Malformed waivers are findings in their own right and can never be
-    // suppressed — otherwise a broken waiver could waive itself.
-    for m in &malformed {
-        findings.push(Finding {
-            file: rel_path.to_string(),
-            line: m.line,
-            rule: "waiver",
-            message: format!("malformed waiver: {}", m.detail),
-            waived: false,
-            reason: None,
-        });
+    // Per-file token rules.
+    for unit in &mut units {
+        let rel_path = unit.path.as_str();
+        let tokens = &unit.lexed.tokens;
+        if Config::in_scopes(&cfg.determinism_scopes, rel_path) {
+            unit.raw.extend(rules::determinism(tokens));
+        }
+        if Config::in_scopes(&cfg.anonymity_scopes, rel_path)
+            && !Config::in_scopes(&cfg.anonymity_sanctioned, rel_path)
+        {
+            unit.raw.extend(rules::anonymity(tokens));
+        }
+        if !Config::in_scopes(&cfg.randomness_exempt, rel_path) {
+            unit.raw.extend(rules::randomness(tokens));
+        }
+        if Config::in_scopes(&cfg.panic_scopes, rel_path) {
+            unit.raw.extend(rules::panic_hygiene(tokens));
+        }
+        if Config::in_scopes(&cfg.obs_callsite_scopes, rel_path) || rel_path == cfg.obs_names_file {
+            unit.raw.extend(rules::obs_naming(rel_path, tokens, cfg));
+        }
     }
-    findings.sort_by_key(|f| (f.line, f.rule));
 
-    let unused_waivers = waivers
-        .iter()
-        .zip(&used)
-        .filter(|(_, u)| !**u)
-        .map(|(w, _)| (w.line, w.rule.clone()))
-        .collect();
+    // Flow rules over the workspace item graph.
+    let flow_findings = {
+        let inputs: Vec<itemgraph::FileInput<'_>> = units
+            .iter()
+            .map(|u| itemgraph::FileInput {
+                path: u.path.as_str(),
+                tokens: &u.lexed.tokens,
+                parsed: &u.parsed,
+            })
+            .collect();
+        let graph = itemgraph::ItemGraph::build(inputs);
+        flow::run(&graph, cfg)
+    };
+    for (file_idx, f) in flow_findings {
+        units[file_idx].raw.push(f);
+    }
 
-    FileReport { findings, waivers_total: waivers.len(), unused_waivers }
+    // Test-region exemption and waiver resolution, per file.
+    let mut report = Report::default();
+    for unit in &mut units {
+        let rel_path = unit.path.as_str();
+        let (waivers, malformed) = waiver::extract(&unit.lexed.comments, RULES);
+        unit.raw.retain(|f| !lexer::in_regions(&unit.regions, f.line));
+        unit.raw.sort_by_key(|f| (f.line, f.rule));
+
+        let mut used = vec![false; waivers.len()];
+        let mut findings: Vec<Finding> = unit
+            .raw
+            .drain(..)
+            .map(|f| {
+                let hit = waivers.iter().enumerate().find(|(_, w)| {
+                    w.rule == f.rule && (w.file_scope || w.line == f.line || w.line + 1 == f.line)
+                });
+                let (waived, reason) = match hit {
+                    Some((i, w)) => {
+                        used[i] = true;
+                        (true, Some(w.reason.clone()))
+                    }
+                    None => (false, None),
+                };
+                Finding {
+                    file: rel_path.to_string(),
+                    line: f.line,
+                    rule: f.rule,
+                    message: f.message,
+                    waived,
+                    reason,
+                }
+            })
+            .collect();
+
+        // Malformed waivers are findings in their own right and can never
+        // be suppressed — otherwise a broken waiver could waive itself.
+        for m in &malformed {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: m.line,
+                rule: "waiver",
+                message: format!("malformed waiver: {}", m.detail),
+                waived: false,
+                reason: None,
+            });
+        }
+        findings.sort_by_key(|f| (f.line, f.rule));
+
+        report.files_scanned += 1;
+        report.waivers_total += waivers.len();
+        report.unused_waivers.extend(
+            waivers
+                .iter()
+                .zip(&used)
+                .filter(|(_, u)| !**u)
+                .map(|(w, _)| (rel_path.to_string(), w.line, w.rule.clone())),
+        );
+        report.findings.extend(findings);
+    }
+    report
 }
 
 /// The whole-workspace report.
@@ -252,8 +337,10 @@ impl Report {
 ///
 /// Scans `crates/*/src/**` and the root `src/` tree (test, bench, and
 /// example trees are out of scope by design; fixture corpora under any
-/// `fixtures` directory and vendored code are skipped). Files are
-/// visited in sorted path order so the report is deterministic.
+/// `fixtures` directory and vendored code are skipped). All files feed
+/// one [`check_workspace`] call, so the flow rules see the whole
+/// workspace; files are visited in sorted path order so the report is
+/// deterministic.
 ///
 /// # Errors
 ///
@@ -278,7 +365,7 @@ pub fn run_check(root: &Path, cfg: &Config) -> io::Result<Report> {
     }
     files.sort();
 
-    let mut report = Report::default();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -288,15 +375,9 @@ pub fn run_check(root: &Path, cfg: &Config) -> io::Result<Report> {
             .collect::<Vec<_>>()
             .join("/");
         let src = fs::read_to_string(&path)?;
-        let file_report = check_source(&rel, &src, cfg);
-        report.files_scanned += 1;
-        report.waivers_total += file_report.waivers_total;
-        report
-            .unused_waivers
-            .extend(file_report.unused_waivers.into_iter().map(|(l, r)| (rel.clone(), l, r)));
-        report.findings.extend(file_report.findings);
+        sources.push((rel, src));
     }
-    Ok(report)
+    Ok(check_workspace(&sources, cfg))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

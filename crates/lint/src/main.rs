@@ -21,6 +21,16 @@ Checks the anonet workspace against its domain invariants:
   panic-hygiene   no unwrap/expect/panic! in hot paths
   obs-naming      metric names follow subsystem.noun[.verb]
 
+Flow-aware rules over the workspace item graph:
+  lock-discipline no lock-order cycles, re-entry, or guards held across
+                  spawn/submit sites
+  thread-leak     thread-local-derived state must not be captured by
+                  closures submitted to other threads
+  error-swallow   no Result discarded via `let _`, terminal `.ok()`, or
+                  empty Err match arms in non-test code
+  commit-order    parallel drivers commit results by submission index,
+                  never completion order
+
 Findings are suppressed inline, with a mandatory reason:
   // anonet-lint: allow(<rule>, reason = \"...\")
 

@@ -11,9 +11,22 @@ use crate::lexer::{Tok, TokKind};
 
 /// Every rule name, as used in waivers, findings, and reports.
 ///
-/// `waiver` is the meta-rule for malformed waivers; it cannot be waived.
-pub const RULES: &[&str] =
-    &["determinism", "anonymity", "randomness", "panic-hygiene", "obs-naming", "waiver"];
+/// The first five are the per-file token rules; `lock-discipline`,
+/// `thread-leak`, `error-swallow`, and `commit-order` are the flow-aware
+/// rules over the workspace item graph (see `flow`). `waiver` is the
+/// meta-rule for malformed waivers; it cannot be waived.
+pub const RULES: &[&str] = &[
+    "determinism",
+    "anonymity",
+    "randomness",
+    "panic-hygiene",
+    "obs-naming",
+    "lock-discipline",
+    "thread-leak",
+    "error-swallow",
+    "commit-order",
+    "waiver",
+];
 
 /// One finding, before waiver resolution.
 #[derive(Clone, Debug)]

@@ -8,7 +8,7 @@
 
 use std::path::Path;
 
-use anonet_lint::{check_source, run_check, Config, FileReport};
+use anonet_lint::{check_source, check_workspace, run_check, Config, FileReport};
 use anonet_obs::Json;
 
 fn fixture(rel: &str) -> String {
@@ -81,6 +81,153 @@ fn obs_naming_fixtures() {
     assert_eq!(count(&fail, "obs-naming"), 6, "{:?}", fail.findings);
     let pass = check_fixture("pass/obs_naming.rs", "crates/obs/src/lib.rs");
     assert_eq!(count(&pass, "obs-naming"), 0, "{:?}", pass.findings);
+}
+
+/// Asserts every unwaived finding in `report` belongs to `rule` — the
+/// fail fixtures must trigger exactly their own rule.
+fn only_rule(report: &FileReport, rule: &str) {
+    for f in report.findings.iter().filter(|f| !f.waived) {
+        assert_eq!(f.rule, rule, "unexpected finding: {f:?}");
+    }
+}
+
+#[test]
+fn lock_discipline_fixtures() {
+    let fail = check_fixture("fail/lock_discipline.rs", "crates/store/src/fixture.rs");
+    // Two cycle edges, one re-entrant acquisition, one guard held
+    // across a submit site.
+    assert_eq!(count(&fail, "lock-discipline"), 4, "{:?}", fail.findings);
+    only_rule(&fail, "lock-discipline");
+    let pass = check_fixture("pass/lock_discipline.rs", "crates/store/src/fixture.rs");
+    assert!(pass.findings.is_empty(), "{:?}", pass.findings);
+}
+
+#[test]
+fn thread_leak_fixtures() {
+    let fail = check_fixture("fail/thread_leak.rs", "crates/views/src/fixture.rs");
+    assert_eq!(count(&fail, "thread-leak"), 2, "{:?}", fail.findings);
+    only_rule(&fail, "thread-leak");
+    let pass = check_fixture("pass/thread_leak.rs", "crates/views/src/fixture.rs");
+    assert!(pass.findings.is_empty(), "{:?}", pass.findings);
+}
+
+#[test]
+fn error_swallow_fixtures() {
+    let fail = check_fixture("fail/error_swallow.rs", "crates/runtime/src/fixture.rs");
+    assert_eq!(count(&fail, "error-swallow"), 3, "{:?}", fail.findings);
+    only_rule(&fail, "error-swallow");
+    let pass = check_fixture("pass/error_swallow.rs", "crates/runtime/src/fixture.rs");
+    assert!(pass.findings.is_empty(), "{:?}", pass.findings);
+}
+
+#[test]
+fn commit_order_fixtures() {
+    let fail = check_fixture("fail/commit_order.rs", "crates/batch/src/fixture.rs");
+    // One completion-order accumulation, one `mpsc`, one `recv`.
+    assert_eq!(count(&fail, "commit-order"), 3, "{:?}", fail.findings);
+    only_rule(&fail, "commit-order");
+    let pass = check_fixture("pass/commit_order.rs", "crates/batch/src/fixture.rs");
+    assert!(pass.findings.is_empty(), "{:?}", pass.findings);
+    // The same accumulation pattern outside the parallel-driver scope is
+    // not the commit-order rule's business.
+    let elsewhere = check_fixture("fail/commit_order.rs", "crates/graph/src/fixture.rs");
+    assert_eq!(count(&elsewhere, "commit-order"), 0, "{:?}", elsewhere.findings);
+}
+
+#[test]
+fn lock_cycle_is_detected_across_files() {
+    // Each file is clean in isolation: the cycle only exists in the
+    // workspace-wide lock-order graph.
+    let forward = "
+use std::sync::Mutex;
+pub struct A { pub shards: Mutex<u32>, pub tables: Mutex<u32> }
+impl A {
+    fn forward(&self) {
+        let a = self.shards.lock();
+        let b = self.tables.lock();
+        use_both(a, b);
+    }
+}
+";
+    let backward = "
+use std::sync::Mutex;
+pub struct B { pub shards: Mutex<u32>, pub tables: Mutex<u32> }
+impl B {
+    fn backward(&self) {
+        let b = self.tables.lock();
+        let a = self.shards.lock();
+        use_both(a, b);
+    }
+}
+";
+    let cfg = Config::workspace();
+    for (src, path) in [(forward, "crates/store/src/fwd.rs"), (backward, "crates/store/src/bwd.rs")]
+    {
+        let alone = check_source(path, src, &cfg);
+        assert!(alone.findings.is_empty(), "{path} alone: {:?}", alone.findings);
+    }
+    let files = vec![
+        ("crates/store/src/fwd.rs".to_string(), forward.to_string()),
+        ("crates/store/src/bwd.rs".to_string(), backward.to_string()),
+    ];
+    let report = check_workspace(&files, &cfg);
+    let cycles: Vec<_> = report.findings.iter().filter(|f| f.rule == "lock-discipline").collect();
+    assert_eq!(cycles.len(), 2, "{:?}", report.findings);
+    assert!(cycles.iter().any(|f| f.file == "crates/store/src/fwd.rs"));
+    assert!(cycles.iter().any(|f| f.file == "crates/store/src/bwd.rs"));
+}
+
+#[test]
+fn may_lock_propagates_across_files_through_calls() {
+    // `helper` (file 1) takes the shard lock; `outer` (file 2) calls it
+    // while holding the same class — a self-deadlock only visible
+    // through the cross-file call graph.
+    let helper = "
+use std::sync::Mutex;
+pub struct Store { pub shards: Mutex<u32> }
+impl Store {
+    pub fn shard_stats(&self) -> u32 {
+        let g = self.shards.lock();
+        read(g)
+    }
+}
+";
+    let caller = "
+impl Store {
+    pub fn outer(&self) -> u32 {
+        let g = self.shards.lock();
+        let stats = self.shard_stats();
+        combine(g, stats)
+    }
+}
+";
+    let files = vec![
+        ("crates/store/src/helper.rs".to_string(), helper.to_string()),
+        ("crates/store/src/caller.rs".to_string(), caller.to_string()),
+    ];
+    let report = check_workspace(&files, &Config::workspace());
+    let hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "lock-discipline" && f.message.contains("shard_stats"))
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    assert_eq!(hits[0].file, "crates/store/src/caller.rs");
+}
+
+#[test]
+fn flow_findings_accept_waivers_like_any_other() {
+    let src = "
+fn persist(x: u32) -> Result<u32, String> { Ok(x) }
+fn best_effort(x: u32) {
+    // anonet-lint: allow(error-swallow, reason = \"fixture: failure is benign here\")
+    let _ = persist(x);
+}
+";
+    let r = check_source("crates/runtime/src/fixture.rs", src, &Config::workspace());
+    assert_eq!(count(&r, "error-swallow"), 0, "{:?}", r.findings);
+    assert_eq!(r.findings.iter().filter(|f| f.waived).count(), 1);
+    assert!(r.unused_waivers.is_empty());
 }
 
 #[test]

@@ -1,0 +1,29 @@
+//! Fail fixture: parallel results folded in completion order.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+use anonet_batch::BatchScheduler;
+
+// Workers race to append: the output order depends on thread timing,
+// which breaks byte-identity across thread counts.
+fn fold_by_arrival(sched: &BatchScheduler, jobs: &[u32]) -> Vec<u32> {
+    let results = Mutex::new(Vec::new());
+    sched.run(jobs, |_i, j| {
+        results.lock().push(encode(j));
+    });
+    results.into_inner()
+}
+
+// Channel receives yield results in whatever order workers finish.
+fn channel_fold(jobs: &[u32]) -> Vec<u32> {
+    let (tx, rx) = mpsc::channel();
+    for &j in jobs {
+        spawn_worker(tx.clone(), j);
+    }
+    let mut out = Vec::new();
+    for _ in jobs {
+        out.push(rx.recv());
+    }
+    out
+}

@@ -1,0 +1,25 @@
+//! Fail fixture: Results silently discarded.
+
+// Every definition of `persist` returns Result, so the engine registers
+// it as fallible workspace-wide.
+fn persist(x: u32) -> Result<u32, String> {
+    Ok(x)
+}
+
+// Discarded wholesale: the error can never be observed.
+fn drop_result() {
+    let _ = persist(4);
+}
+
+// Statement-terminal `.ok()`: converts to Option and throws that away.
+fn terminal_ok(x: u32) {
+    persist(x).ok();
+}
+
+// The arm matches every error and observes none of them.
+fn silent_arm(x: u32) {
+    match persist(x) {
+        Ok(v) => consume(v),
+        Err(_) => {}
+    }
+}

@@ -1,0 +1,41 @@
+//! Fail fixture: lock-order cycle, re-entrant acquisition, and a guard
+//! held across a submit site.
+
+use std::sync::Mutex;
+
+use anonet_batch::BatchScheduler;
+
+pub struct Hub {
+    shards: Mutex<u32>,
+    tables: Mutex<u32>,
+}
+
+impl Hub {
+    // Establishes the edge shards -> tables…
+    fn forward(&self) {
+        let a = self.shards.lock();
+        let b = self.tables.lock();
+        use_both(a, b);
+    }
+
+    // …and this one the reverse edge: together, a lock-order cycle.
+    fn backward(&self) {
+        let b = self.tables.lock();
+        let a = self.shards.lock();
+        use_both(a, b);
+    }
+
+    // Re-acquires a class while its guard is live: self-deadlock.
+    fn reentrant(&self) {
+        let a = self.shards.lock();
+        let again = self.shards.lock();
+        use_both(a, again);
+    }
+
+    // The guard is still live when work is handed to other threads.
+    fn held_across_submit(&self, sched: &BatchScheduler, jobs: &[u32]) {
+        let a = self.shards.lock();
+        let out = sched.run(jobs, |_i, j| j + 1);
+        consume(a, out);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fail fixture: thread-local-derived state captured by closures
+//! submitted to the scheduler.
+
+use std::cell::RefCell;
+
+use anonet_batch::BatchScheduler;
+use anonet_views::ViewArena;
+
+thread_local! {
+    static SCRATCH: RefCell<ViewArena> = RefCell::new(ViewArena::new());
+}
+
+// A thread-confined arena built on the driver thread, then shared with
+// every worker through the closure.
+fn leak_arena(sched: &BatchScheduler, jobs: &[u32]) -> Vec<u32> {
+    let arena = ViewArena::new();
+    let out = sched.run(jobs, |_i, j| arena_encode(&arena, j));
+    unwrap_all(out)
+}
+
+// A handle pulled out of the thread-local on the driver thread leaks
+// the driver's instance into the workers.
+fn leak_handle(sched: &BatchScheduler, jobs: &[u32]) -> Vec<u32> {
+    let handle = SCRATCH.with(|s| s.as_ptr());
+    let out = sched.run(jobs, |_i, j| encode_at(handle, j));
+    unwrap_all(out)
+}

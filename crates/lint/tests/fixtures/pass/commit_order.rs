@@ -1,0 +1,29 @@
+//! Pass fixture: results committed by submission index — byte-identical
+//! at any thread count.
+
+use std::sync::Mutex;
+
+use anonet_batch::BatchScheduler;
+
+// The scheduler slots outcomes by submission index; folding its results
+// in order reproduces the sequential output.
+fn commit_in_order(sched: &BatchScheduler, jobs: &[u32]) -> Vec<u32> {
+    let outcome = sched.run(jobs, |_i, j| encode(j));
+    let mut out = Vec::new();
+    for r in outcome.results {
+        out.push(r);
+    }
+    out
+}
+
+// Tagging each result with its submission index and sorting afterwards
+// also restores the canonical order.
+fn sort_by_index(sched: &BatchScheduler, jobs: &[u32]) -> Vec<(usize, u32)> {
+    let tagged = Mutex::new(Vec::new());
+    sched.run(jobs, |i, j| {
+        tagged.lock().push((i, encode(j)));
+    });
+    let mut tagged = tagged.into_inner();
+    tagged.sort_by_key(index_of);
+    tagged
+}

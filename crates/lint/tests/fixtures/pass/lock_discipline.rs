@@ -1,0 +1,46 @@
+//! Pass fixture: consistent lock order, block-scoped guards, and guards
+//! released before submitting work.
+
+use std::sync::Mutex;
+
+use anonet_batch::BatchScheduler;
+
+pub struct Hub {
+    shards: Mutex<u32>,
+    tables: Mutex<u32>,
+}
+
+impl Hub {
+    // Both functions acquire in the same order: one edge, no cycle.
+    fn ordered_one(&self) {
+        let a = self.shards.lock();
+        let b = self.tables.lock();
+        use_both(a, b);
+    }
+
+    fn ordered_two(&self) {
+        let a = self.shards.lock();
+        let b = self.tables.lock();
+        use_both(a, b);
+    }
+
+    // The loop guard dies at the end of each iteration; the later
+    // acquisition never overlaps it.
+    fn scoped(&self) {
+        for i in 0..4 {
+            let g = self.shards.lock();
+            touch(g, i);
+        }
+        let t = self.tables.lock();
+        touch(t, 9);
+    }
+
+    // Explicitly dropped before the submit site.
+    fn released_before_submit(&self, sched: &BatchScheduler, jobs: &[u32]) {
+        let a = self.shards.lock();
+        touch(a, 1);
+        drop(a);
+        let out = sched.run(jobs, |_i, j| j + 1);
+        consume(out);
+    }
+}

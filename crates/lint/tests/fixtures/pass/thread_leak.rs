@@ -1,0 +1,32 @@
+//! Pass fixture: each worker touches the thread-local from inside its
+//! own closure — every thread gets its own instance.
+
+use std::cell::RefCell;
+
+use anonet_batch::BatchScheduler;
+use anonet_views::ViewArena;
+
+thread_local! {
+    static SCRATCH: RefCell<ViewArena> = RefCell::new(ViewArena::new());
+}
+
+// The canonical pattern: the thread-local is named only inside the
+// submitted closure, so each worker uses its own arena.
+fn per_worker(sched: &BatchScheduler, jobs: &[u32]) -> Vec<u32> {
+    let out = sched.run(jobs, |_i, j| SCRATCH.with(|s| arena_encode(&s.borrow(), j)));
+    unwrap_all(out)
+}
+
+// Arena use confined to the driver thread: no submit involved.
+fn driver_side(jobs: &[u32]) -> Vec<u32> {
+    let arena = ViewArena::new();
+    jobs.iter().map(|&j| arena_encode(&arena, j)).collect()
+}
+
+// The closure parameter shadows the outer arena: nothing leaks.
+fn param_shadow(sched: &BatchScheduler, jobs: &[u32]) -> Vec<u32> {
+    let arena = ViewArena::new();
+    warm(&arena);
+    let out = sched.run(jobs, |arena, j| arena + j);
+    unwrap_all(out)
+}

@@ -1,0 +1,119 @@
+//! Property: the flow-aware engine is a pure function of the file *set*.
+//!
+//! `check_workspace` sorts files by path before lexing, parsing, and
+//! building the item graph, so the order in which the driver happens to
+//! discover files must not leak into the report — not into the findings,
+//! not into their order, not into waiver accounting. This is the
+//! contract that makes the CI lint gate reproducible across platforms
+//! whose directory walks order entries differently.
+//!
+//! The corpus is the real workspace: every `.rs` file under
+//! `crates/*/src`, the same set the self-check gate scans.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use anonet_lint::{check_workspace, Config};
+use proptest::prelude::*;
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default();
+        if path.is_dir() {
+            if name == "fixtures" || name == "target" || name == "vendor" {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn workspace_files() -> Vec<(String, String)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let crates = root.join("crates");
+    let mut paths = Vec::new();
+    let mut krates: Vec<PathBuf> = fs::read_dir(&crates)
+        .expect("workspace crates/ dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    krates.sort();
+    for krate in krates {
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut paths);
+        }
+    }
+    paths
+        .into_iter()
+        .map(|path| {
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let src =
+                fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            (rel, src)
+        })
+        .collect()
+}
+
+/// The file corpus and the reference report for the sorted order,
+/// computed once. `Report` doesn't implement `PartialEq` (it's a render
+/// target, not a value type), so reports are compared through their
+/// canonical JSON encoding, which covers findings, waiver accounting,
+/// and scan stats alike.
+fn corpus() -> &'static (Vec<(String, String)>, String) {
+    static CORPUS: OnceLock<(Vec<(String, String)>, String)> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let files = workspace_files();
+        assert!(files.len() > 50, "corpus unexpectedly small: {} files", files.len());
+        let reference = check_workspace(&files, &Config::workspace()).to_json().pretty();
+        (files, reference)
+    })
+}
+
+/// splitmix64: a tiny, well-mixed PRNG so the Fisher-Yates permutation
+/// is a deterministic function of the proptest-drawn seed (shrinking
+/// stays meaningful, failures replay exactly).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed;
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn report_is_invariant_under_file_order_permutation(seed in 0u64..u64::MAX) {
+        let (files, reference) = corpus();
+        let order = permutation(files.len(), seed);
+        let shuffled: Vec<(String, String)> =
+            order.iter().map(|&i| files[i].clone()).collect();
+        let permuted = check_workspace(&shuffled, &Config::workspace()).to_json().pretty();
+        prop_assert_eq!(&permuted, reference);
+    }
+}

@@ -161,14 +161,18 @@ impl FlightRecorder {
 
     /// Registers a process-wide panic hook that dumps the ring to `path`
     /// (conventionally `target/trace-crash.jsonl`). The hook holds a
-    /// [`Weak`] self-reference and swallows I/O errors — a dropped
-    /// recorder or an unwritable path must never compound a panic.
+    /// [`Weak`] self-reference; a failed dump is reported on stderr — a
+    /// crash dump that vanishes silently defeats the recorder's purpose,
+    /// and a stderr write cannot compound the panic the way a nested
+    /// I/O panic could.
     pub fn install_crash_dump(self: &Arc<Self>, path: impl Into<PathBuf>) {
         let weak: Weak<FlightRecorder> = Arc::downgrade(self);
         let path = path.into();
         crate::crash::on_panic(move || {
             if let Some(rec) = weak.upgrade() {
-                let _ = rec.dump_to(&path);
+                if let Err(e) = rec.dump_to(&path) {
+                    eprintln!("anonet-obs: crash dump to {} failed: {e}", path.display());
+                }
             }
         });
     }

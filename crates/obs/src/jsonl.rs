@@ -98,7 +98,9 @@ impl JsonlRecorder {
         let weak: Weak<JsonlRecorder> = Arc::downgrade(self);
         crate::crash::on_panic(move || {
             if let Some(rec) = weak.upgrade() {
-                let _ = rec.flush();
+                if let Err(e) = rec.flush() {
+                    eprintln!("anonet-obs: flush from panic hook failed: {e}");
+                }
             }
         });
     }

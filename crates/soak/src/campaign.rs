@@ -371,7 +371,16 @@ pub fn run_campaign_observed(
     let stamp = CAMPAIGNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let dir =
         std::env::temp_dir().join(format!("anonet-soak-cache-{}-{stamp}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
+    // A stale cache directory would warm-start the campaign and
+    // invalidate its cold-path numbers; only "already absent" is benign.
+    if let Err(e) = std::fs::remove_dir_all(&dir) {
+        if e.kind() != std::io::ErrorKind::NotFound {
+            return Err(SoakError::Io {
+                context: format!("clearing campaign cache dir {}", dir.display()),
+                source: e,
+            });
+        }
+    }
     let pdc = PersistentDerandCache::open_with(
         StoreConfig::new(&dir).with_recorder(Arc::clone(recorder)),
         None,
@@ -395,7 +404,9 @@ pub fn run_campaign_observed(
         cells.push(run_cell(&cell, &cases, &pdc, &suite, &mut failures, recorder)?);
     }
     pdc.flush()?;
-    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::remove_dir_all(&dir) {
+        eprintln!("anonet-soak: could not remove campaign cache dir {}: {e}", dir.display());
+    }
 
     rec.counter(names::SOAK_CELLS_SKIPPED, skipped.len() as u64);
     rec.counter(names::SOAK_ORACLE_FAILURES, failures.len() as u64);

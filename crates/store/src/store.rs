@@ -261,9 +261,22 @@ impl Store {
         &self.cfg.dir
     }
 
+    /// Locks shard `s`, recovering the guard if the mutex is poisoned.
+    ///
+    /// Poisoning policy: a panic on one writer thread must not brick the
+    /// shard for every later caller, so this always takes
+    /// `PoisonError::into_inner`. That is sound because mutations under
+    /// the lock are ordered so the in-memory state is consistent after
+    /// every step: the frame is appended (and optionally synced) before
+    /// the index points at it, and byte accounting follows the index
+    /// insert. A panic mid-update can therefore lose at most the
+    /// bookkeeping of the interrupted write — never a committed
+    /// key→offset mapping — and all derived state is rebuilt from the
+    /// segments on reopen anyway. The regression test
+    /// `tests/lock_poisoning.rs` pins this: after a writer panics while
+    /// holding the shard lock, the same shard must keep serving reads
+    /// and accepting writes.
     fn lock_shard(&self, s: usize) -> MutexGuard<'_, ShardState> {
-        // A panicking caller must not take the store down; every update
-        // commits atomically under the lock, so poisoned state is sound.
         self.shards[s].lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 

@@ -1,0 +1,100 @@
+//! A panicked writer must not brick its shard.
+//!
+//! `Store` serializes each shard behind a `std::sync::Mutex`. If a
+//! writer panics while holding the guard — here, a recorder that panics
+//! from inside `put`'s critical section — the mutex is poisoned. The
+//! store's documented policy (`Store::lock_shard`) is to recover the
+//! guard with `into_inner`: every mutation under the lock keeps the
+//! in-memory state consistent at each step, so later callers see either
+//! the whole committed write or none of its bookkeeping. This test pins
+//! that contract end to end: reads, writes, and a full reopen all work
+//! on the shard the panic happened on.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use anonet_obs::{names, Json, Recorder, SpanId};
+use anonet_store::{Store, StoreConfig};
+
+const NS: u8 = 0;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("anonet-poison-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A recorder that panics from the first `counter` call after `arm()`.
+///
+/// `Store::put` bumps the append counter while the shard guard is held,
+/// so the panic fires inside the critical section — after the frame and
+/// index update committed — and poisons the shard mutex.
+#[derive(Debug, Default)]
+struct PanicOnceRecorder {
+    armed: AtomicBool,
+}
+
+impl PanicOnceRecorder {
+    fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Recorder for PanicOnceRecorder {
+    fn span_open(&self, _id: SpanId, _parent: Option<SpanId>, _name: &str) {}
+    fn span_close(&self, _id: SpanId, _parent: Option<SpanId>, _name: &str, _wall: Duration) {}
+    fn span_attr(&self, _id: SpanId, _key: &str, _value: &Json) {}
+
+    fn counter(&self, name: &str, _delta: u64) {
+        if name == names::STORE_SEGMENT_APPENDS && self.armed.swap(false, Ordering::SeqCst) {
+            panic!("injected recorder panic inside the shard critical section");
+        }
+    }
+
+    fn histogram(&self, _name: &str, _value: u64) {}
+}
+
+#[test]
+fn panicked_writer_does_not_brick_the_shard() {
+    let dir = tmp("writer");
+    let recorder = Arc::new(PanicOnceRecorder::default());
+    let store = Store::open(StoreConfig::new(&dir).with_shards(1).with_recorder(recorder.clone()))
+        .expect("open store");
+
+    // Baseline write before the panic, on the same (only) shard.
+    store.put(NS, b"k-before", b"v-before").expect("baseline put");
+
+    recorder.arm();
+    let outcome = catch_unwind(AssertUnwindSafe(|| store.put(NS, b"k-during", b"v-during")));
+    assert!(outcome.is_err(), "armed recorder must panic out of put");
+
+    // The panic fired after append + index insert, so the interrupted
+    // write is fully committed and readable through the poisoned —
+    // now recovered — lock.
+    let during = store.get(NS, b"k-during").expect("get across recovered lock");
+    assert_eq!(during.as_deref(), Some(b"v-during".as_ref()));
+    let before = store.get(NS, b"k-before").expect("get baseline");
+    assert_eq!(before.as_deref(), Some(b"v-before".as_ref()));
+
+    // The shard keeps accepting writes.
+    store.put(NS, b"k-after", b"v-after").expect("put after poison");
+    let after = store.get(NS, b"k-after").expect("get after poison");
+    assert_eq!(after.as_deref(), Some(b"v-after".as_ref()));
+
+    // And nothing about the episode leaked to disk: a clean reopen
+    // recovers all three records.
+    drop(store);
+    let reopened = Store::open(StoreConfig::new(&dir).with_shards(1)).expect("reopen");
+    for (k, v) in [
+        (b"k-before".as_ref(), b"v-before".as_ref()),
+        (b"k-during", b"v-during"),
+        (b"k-after", b"v-after"),
+    ] {
+        let got = reopened.get(NS, k).expect("get after reopen");
+        assert_eq!(got.as_deref(), Some(v), "key {:?} after reopen", String::from_utf8_lossy(k));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

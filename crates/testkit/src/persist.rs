@@ -147,7 +147,14 @@ pub fn check_persistence(cases: &[TestCase], scratch: &Path) -> Result<PersistRe
         .collect::<Result<_, Failure>>()?;
     for sub in ["fresh", "crashed"] {
         let dir = scratch.join(sub);
-        let _ = std::fs::remove_dir_all(&dir);
+        // Leftover shards from an earlier run would make the fresh and
+        // crashed variants diverge for reasons the differential is not
+        // testing; only "already absent" is benign.
+        if let Err(e) = std::fs::remove_dir_all(&dir) {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                return Err(fail(format!("clearing scratch {}: {e}", dir.display())));
+            }
+        }
     }
 
     // Variant 1 — memory only.
